@@ -1,0 +1,105 @@
+// Command rbgen generates pebbling workload DAGs and the paper's
+// constructions, writing them in the library's text format (or Graphviz
+// DOT with -dot) for use with the rbpebble solver CLI.
+//
+// Usage:
+//
+//	rbgen -kind pyramid -a 6            # pyramid of height 6
+//	rbgen -kind fft -a 4 -o fft.dag     # 16-point FFT butterfly
+//	rbgen -kind tradeoff -a 4 -b 50     # Figure 3 DAG, d=4, chain 50
+//	rbgen -kind greedygrid -a 4 -b 16   # Figure 8 grid, ℓ=4, k'=16
+//	rbgen -kind hampath -a 8 -seed 7    # Theorem 2 reduction of G(8,.25)
+//	rbgen -kind matmul -a 3 -dot        # DOT output for visualization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/gadgets"
+	"rbpebble/internal/reduce"
+	"rbpebble/internal/ugraph"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "", "DAG kind: chain|pyramid|tree|grid|fft|matmul|stencil|layered|groups|tradeoff|greedygrid|hampath|vcover")
+		a    = flag.Int("a", 4, "first size parameter (height / logN / k / d / ℓ / N)")
+		b    = flag.Int("b", 4, "second size parameter (cols / chain length / k' / group size)")
+		c    = flag.Int("c", 2, "third size parameter (max indegree for layered)")
+		p    = flag.Float64("p", 0.25, "edge probability for random source graphs")
+		seed = flag.Int64("seed", 1, "random seed")
+		out  = flag.String("o", "", "output file (default stdout)")
+		dot  = flag.Bool("dot", false, "emit Graphviz DOT instead of the text format")
+	)
+	flag.Parse()
+
+	g, err := build(*kind, *a, *b, *c, *p, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbgen:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *dot {
+		err = g.WriteDOT(w, *kind)
+	} else {
+		fmt.Fprintf(w, "# rbgen -kind %s -a %d -b %d (n=%d, m=%d, Δ=%d)\n",
+			*kind, *a, *b, g.N(), g.M(), g.MaxInDegree())
+		err = g.WriteText(w)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func build(kind string, a, b, c int, p float64, seed int64) (*dag.DAG, error) {
+	switch kind {
+	case "chain":
+		return daggen.Chain(a), nil
+	case "pyramid":
+		return daggen.Pyramid(a), nil
+	case "tree":
+		return daggen.BinaryTree(a), nil
+	case "grid":
+		return daggen.Grid(a, b), nil
+	case "fft":
+		return daggen.FFT(a), nil
+	case "matmul":
+		return daggen.MatMul(a), nil
+	case "stencil":
+		return daggen.Stencil1D(a, b), nil
+	case "layered":
+		return daggen.RandomLayered(a, b, c, seed), nil
+	case "groups":
+		g, _, _ := daggen.InputGroups(a, b)
+		return g, nil
+	case "tradeoff":
+		return gadgets.NewTradeoff(a, b).G, nil
+	case "greedygrid":
+		return gadgets.NewGreedyGrid(a, b).G, nil
+	case "hampath":
+		src := ugraph.Random(a, p, seed)
+		return reduce.NewHamPath(src).G, nil
+	case "vcover":
+		src := ugraph.Random(a, p, seed)
+		return reduce.NewVertexCover(src, b).G, nil
+	case "":
+		return nil, fmt.Errorf("missing -kind")
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestBuildKinds(t *testing.T) {
+	kinds := []string{"chain", "pyramid", "tree", "grid", "fft", "matmul",
+		"stencil", "layered", "groups", "tradeoff", "greedygrid", "hampath", "vcover"}
+	for _, k := range kinds {
+		g, err := build(k, 3, 3, 2, 0.3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%s: empty graph", k)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: invalid DAG: %v", k, err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("", 3, 3, 2, 0.3, 1); err == nil {
+		t.Fatal("missing kind accepted")
+	}
+	if _, err := build("bogus", 3, 3, 2, 0.3, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

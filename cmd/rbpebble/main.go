@@ -1,0 +1,146 @@
+// Command rbpebble solves red-blue pebbling instances: it reads a DAG in
+// the library's text format, runs the selected solver under the selected
+// model, and prints the verified cost (optionally writing the full move
+// trace).
+//
+// Usage:
+//
+//	rbgen -kind pyramid -a 5 -o pyr.dag
+//	rbpebble -graph pyr.dag -model oneshot -r 3 -solver topobelady
+//	rbpebble -graph pyr.dag -model oneshot -r 3 -solver exact -trace out.trace
+//	rbpebble -graph pyr.dag -model compcost -eps 100 -r 3 -solver greedy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/solve"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input DAG file (text format; - for stdin)")
+		modelName = flag.String("model", "oneshot", "model: base|oneshot|nodel|compcost")
+		epsDenom  = flag.Int("eps", 100, "compcost ε denominator (ε = 1/eps)")
+		r         = flag.Int("r", 0, "red pebble limit (default Δ+1)")
+		solver    = flag.String("solver", "topobelady", "solver: exact|orderopt|greedy|topo|topobelady")
+		rule      = flag.String("rule", "most-red-inputs", "greedy rule: most-red-inputs|fewest-blue-inputs|red-ratio")
+		tracePath = flag.String("trace", "", "write the verified move trace to this file")
+		maxStates = flag.Int("maxstates", 0, "exact solver state budget (0 = default)")
+		blueSrc   = flag.Bool("blue-sources", false, "sources start blue (Hong-Kung convention)")
+		blueSink  = flag.Bool("blue-sinks", false, "sinks must end blue")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "rbpebble: missing -graph")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := readGraph(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := parseModel(*modelName, *epsDenom)
+	if err != nil {
+		fatal(err)
+	}
+	rr := *r
+	if rr == 0 {
+		rr = pebble.MinFeasibleR(g)
+	}
+	p := solve.Problem{
+		G: g, Model: model, R: rr,
+		Convention: pebble.Convention{SourcesStartBlue: *blueSrc, SinksMustBeBlue: *blueSink},
+	}
+
+	var sol solve.Solution
+	switch *solver {
+	case "exact":
+		sol, err = solve.Exact(p, solve.ExactOptions{MaxStates: *maxStates})
+	case "orderopt":
+		sol, err = solve.OrderOpt(p, solve.OrderOptOptions{})
+	case "greedy":
+		gr, perr := parseRule(*rule)
+		if perr != nil {
+			fatal(perr)
+		}
+		sol, err = solve.Greedy(p, gr)
+	case "topo":
+		sol, err = solve.Topological(p)
+	case "topobelady":
+		sol, err = solve.TopoBelady(p)
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res := sol.Result
+	fmt.Printf("graph:     n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxInDegree())
+	fmt.Printf("problem:   model=%s R=%d\n", model, rr)
+	fmt.Printf("solver:    %s\n", *solver)
+	fmt.Printf("cost:      %.4f (transfers=%d computes=%d)\n", res.Cost.Value(model), res.Cost.Transfers, res.Cost.Computes)
+	fmt.Printf("steps:     %d (loads=%d stores=%d computes=%d deletes=%d)\n",
+		res.Steps, res.Loads, res.Stores, res.Computes, res.Deletes)
+	fmt.Printf("peak red:  %d / %d\n", res.MaxRed, rr)
+	fmt.Printf("bound:     (2Δ+1)n = %d transfers\n", pebble.CostUpperBound(g, model).Transfers)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := sol.Trace.WriteText(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:     %s (%d moves)\n", *tracePath, len(sol.Trace.Moves))
+	}
+}
+
+func readGraph(path string) (*dag.DAG, error) {
+	if path == "-" {
+		return dag.ReadText(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dag.ReadText(f)
+}
+
+func parseModel(name string, epsDenom int) (pebble.Model, error) {
+	switch name {
+	case "base":
+		return pebble.NewModel(pebble.Base), nil
+	case "oneshot":
+		return pebble.NewModel(pebble.Oneshot), nil
+	case "nodel":
+		return pebble.NewModel(pebble.NoDel), nil
+	case "compcost":
+		return pebble.Model{Kind: pebble.CompCost, EpsDenom: epsDenom}, nil
+	default:
+		return pebble.Model{}, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+func parseRule(name string) (solve.GreedyRule, error) {
+	for _, r := range solve.AllGreedyRules() {
+		if r.String() == name {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown greedy rule %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rbpebble:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"rbpebble/internal/pebble"
+)
+
+func TestParseModel(t *testing.T) {
+	for name, want := range map[string]pebble.ModelKind{
+		"base": pebble.Base, "oneshot": pebble.Oneshot, "nodel": pebble.NoDel,
+	} {
+		m, err := parseModel(name, 100)
+		if err != nil || m.Kind != want {
+			t.Fatalf("parseModel(%q) = %v, %v", name, m, err)
+		}
+	}
+	m, err := parseModel("compcost", 50)
+	if err != nil || m.Kind != pebble.CompCost || m.EpsDenom != 50 {
+		t.Fatalf("compcost = %v, %v", m, err)
+	}
+	if _, err := parseModel("frobnicate", 100); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	for _, name := range []string{"most-red-inputs", "fewest-blue-inputs", "red-ratio"} {
+		if _, err := parseRule(name); err != nil {
+			t.Fatalf("parseRule(%q): %v", name, err)
+		}
+	}
+	if _, err := parseRule("nope"); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Command rbtrace inspects a pebbling trace against its DAG: it
+// validates every move, prints cost and occupancy statistics, renders an
+// ASCII timeline, and can export a per-move CSV for plotting.
+//
+// Usage:
+//
+//	rbgen -kind pyramid -a 5 -o pyr.dag
+//	rbpebble -graph pyr.dag -solver exact -trace opt.trace
+//	rbtrace -graph pyr.dag -trace opt.trace
+//	rbtrace -graph pyr.dag -trace opt.trace -timeline 20
+//	rbtrace -graph pyr.dag -trace opt.trace -csv profile.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rbpebble/internal/analysis"
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "DAG file (text format)")
+		tracePath = flag.String("trace", "", "trace file (written by rbpebble -trace)")
+		timeline  = flag.Int("timeline", 0, "render an ASCII timeline with this many buckets")
+		csvPath   = flag.String("csv", "", "write the per-move profile as CSV to this file")
+	)
+	flag.Parse()
+	if *graphPath == "" || *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "rbtrace: need -graph and -trace")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	gf, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := dag.ReadText(gf)
+	gf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := pebble.ReadTrace(tf)
+	tf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	prof, err := analysis.NewProfile(g, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(prof.Summary())
+	if *timeline > 0 {
+		fmt.Println()
+		if err := prof.Timeline(os.Stdout, *timeline); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := prof.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("csv written to %s\n", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rbtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+package rbpebble_test
+
+import (
+	"fmt"
+	"log"
+
+	"rbpebble"
+)
+
+// Example pebbles a small pyramid with the minimum feasible fast memory
+// and reports the heuristic and exact costs.
+func Example() {
+	g := rbpebble.Pyramid(3)
+	p := rbpebble.Problem{
+		G:     g,
+		Model: rbpebble.NewModel(rbpebble.Oneshot),
+		R:     rbpebble.MinFeasibleR(g),
+	}
+	heur, err := rbpebble.TopoBelady(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := rbpebble.Exact(p, rbpebble.ExactOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heuristic=%d optimal=%d\n",
+		heur.Result.Cost.Transfers, opt.Result.Cost.Transfers)
+	// Output: heuristic=12 optimal=6
+}
+
+// ExampleNewTradeoff shows the maximal time-memory tradeoff of the
+// paper's Figure 3 construction: each extra red pebble saves 2n
+// transfers.
+func ExampleNewTradeoff() {
+	tr := rbpebble.NewTradeoff(3, 10) // d=3, chain length 10
+	for r := tr.MinR(); r <= tr.MaxUsefulR(); r++ {
+		_, res, err := rbpebble.Execute(tr.G, rbpebble.NewModel(rbpebble.Oneshot), r,
+			rbpebble.Convention{}, tr.StrategyOrder(),
+			rbpebble.SchedOptions{Policy: rbpebble.Belady})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("R=%d cost=%d\n", r, res.Cost.Transfers)
+	}
+	// Output:
+	// R=5 cost=48
+	// R=6 cost=32
+	// R=7 cost=16
+	// R=8 cost=0
+}
+
+// ExampleNewHamPathReduction demonstrates the Theorem 2 NP-hardness
+// reduction: the pebbling threshold is reached exactly when the source
+// graph has a Hamiltonian path.
+func ExampleNewHamPathReduction() {
+	src := rbpebble.NewUGraph(4) // the path 0-1-2-3
+	src.AddEdge(0, 1)
+	src.AddEdge(1, 2)
+	src.AddEdge(2, 3)
+	red := rbpebble.NewHamPathReduction(src)
+	_, res, err := red.Pebble([]int{0, 1, 2, 3}, rbpebble.NewModel(rbpebble.Oneshot))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost=%d threshold=%d\n", res.Cost.Transfers, red.ThresholdOneshot())
+	// Output: cost=3 threshold=3
+}

@@ -1,0 +1,68 @@
+// Greedyvsopt reproduces the paper's Theorem 4 / Figure 8: on the
+// misguidance grid, every natural greedy strategy follows an adversarial
+// column-by-column order and pays Θ(k') per group, while the diagonal
+// order pays O(1) per group — an unbounded separation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rbpebble"
+)
+
+func main() {
+	const l = 4
+	fmt.Printf("Theorem 4 grid, ℓ=%d (%d input groups)\n\n", l, l*(l+1)/2)
+	fmt.Printf("%6s %7s %9s %9s %7s %s\n", "k'", "nodes", "greedy", "optimal", "ratio", "greedy followed misguide?")
+
+	for _, kprime := range []int{8, 16, 32, 64, 128} {
+		gg := rbpebble.NewGreedyGrid(l, kprime)
+		p := rbpebble.Problem{
+			G:     gg.G,
+			Model: rbpebble.NewModel(rbpebble.Oneshot),
+			R:     gg.R(),
+		}
+		greedy, err := rbpebble.Greedy(p, rbpebble.MostRedInputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The paper's optimal strategy: process diagonals consecutively.
+		_, opt, err := rbpebble.Execute(gg.G, p.Model, gg.R(), rbpebble.Convention{},
+			gg.VisitOrder(gg.OptimalVisits()), rbpebble.SchedOptions{Policy: rbpebble.Belady})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Recover the greedy visit order and compare with the adversarial
+		// column order the construction is designed to force.
+		order, err := rbpebble.GreedyOrder(p, rbpebble.MostRedInputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tpos := gg.TargetPos()
+		followed := true
+		want := gg.GreedyExpectedVisits()
+		i := 0
+		for _, v := range order {
+			if pos, ok := tpos[v]; ok {
+				if i >= len(want) || pos != want[i] {
+					followed = false
+					break
+				}
+				i++
+			}
+		}
+
+		fmt.Printf("%6d %7d %9d %9d %7.2f %v\n",
+			kprime, gg.G.N(),
+			greedy.Result.Cost.Transfers, opt.Cost.Transfers,
+			float64(greedy.Result.Cost.Transfers)/float64(opt.Cost.Transfers),
+			followed)
+	}
+
+	fmt.Println("\nThe optimal cost is independent of k' (common nodes live and die")
+	fmt.Println("in fast memory), while greedy re-reads each diagonal's k' common")
+	fmt.Println("nodes once per column: the ratio grows without bound (Θ̃(√n) under")
+	fmt.Println("the paper's constant-degree parameterization).")
+}

@@ -1,0 +1,78 @@
+// Matmul applies red-blue pebbling to the HPC workload that motivated it
+// historically (Hong & Kung 1981): scheduling a matrix multiplication's
+// computation DAG under a limited cache, comparing eviction policies and
+// cache sizes by their I/O (transfer) cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rbpebble"
+)
+
+func main() {
+	const k = 4
+	g := rbpebble.MatMul(k)
+	model := rbpebble.NewModel(rbpebble.Oneshot)
+	order, err := g.TopoOrder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C = A·B with k=%d: %d-node DAG (2k²=%d inputs, k²=%d outputs, Δ=%d)\n\n",
+		k, g.N(), 2*k*k, k*k, g.MaxInDegree())
+
+	policies := []struct {
+		name string
+		p    rbpebble.Policy
+	}{
+		{"belady (optimal offline)", rbpebble.Belady},
+		{"lru", rbpebble.LRU},
+		{"fifo", rbpebble.FIFO},
+		{"random", rbpebble.RandomEvict},
+		{"store-all (naive §3)", rbpebble.EvictAllStore},
+	}
+
+	// Sweep the cache size: the I/O cost falls as R grows, vanishing when
+	// the whole working set fits.
+	fmt.Printf("%-26s", "policy \\ R")
+	sizes := []int{3, 4, 6, 8, 12, 16, 24, 32}
+	for _, r := range sizes {
+		fmt.Printf("%7d", r)
+	}
+	fmt.Println()
+	for _, pol := range policies {
+		fmt.Printf("%-26s", pol.name)
+		for _, r := range sizes {
+			_, res, err := rbpebble.Execute(g, model, r, rbpebble.Convention{},
+				order, rbpebble.SchedOptions{Policy: pol.p, Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%7d", res.Cost.Transfers)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nTransfers = cache↔memory traffic. Belady lower-bounds every")
+	fmt.Println("online policy for this order; the naive baseline realizes the")
+	fmt.Println("paper's (2Δ+1)n universal bound up to its slack. Increasing R")
+	fmt.Println("trades memory for I/O exactly as the pebble game models.")
+
+	// Also show what the computation costs if source loads are charged
+	// (inputs start in slow memory — the Hong-Kung convention).
+	conv := rbpebble.Convention{SourcesStartBlue: true}
+	nonSource := make([]rbpebble.NodeID, 0, len(order))
+	for _, v := range order {
+		if !g.IsSource(v) {
+			nonSource = append(nonSource, v)
+		}
+	}
+	_, res, err := rbpebble.Execute(g, model, 8, conv, nonSource,
+		rbpebble.SchedOptions{Policy: rbpebble.Belady})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith inputs charged (sources start blue), R=8: %d transfers\n",
+		res.Cost.Transfers)
+}

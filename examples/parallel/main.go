@@ -1,0 +1,51 @@
+// Parallel demonstrates the multi-processor extension of the red-blue
+// pebble game (Elango et al., cited in the paper's related work): P
+// processors with private fast memories communicate through shared slow
+// memory, and the assignment of DAG nodes to processors trades
+// parallelism against communication volume.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rbpebble"
+	"rbpebble/internal/parpeb"
+)
+
+func main() {
+	g := rbpebble.FFT(5) // 32-point butterfly, 192 nodes
+	order, err := g.TopoOrder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const r = 8
+	fmt.Printf("workload: 32-point FFT butterfly (%d nodes), R=%d per processor\n\n", g.N(), r)
+	fmt.Printf("%3s  %-12s %12s %8s %9s\n", "P", "assignment", "cross-edges", "total", "max/proc")
+
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, a := range []struct {
+			name   string
+			assign parpeb.Assignment
+		}{
+			{"blocks", parpeb.Blocks(order, g.N(), p)},
+			{"round-robin", parpeb.RoundRobin(order, g.N(), p)},
+		} {
+			cfg := parpeb.Config{P: p, R: r, Oneshot: true}
+			_, res, err := parpeb.Execute(g, cfg, order, a.assign)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%3d  %-12s %12d %8d %9d\n",
+				p, a.name, res.CrossEdges, res.Total, res.MaxProc)
+		}
+	}
+
+	fmt.Println("\ntotal = all transfers (communication volume); max/proc bounds the")
+	fmt.Println("per-processor I/O critical path. Two forces compete as P grows:")
+	fmt.Println("cut edges force traffic through shared memory, while the aggregate")
+	fmt.Println("fast capacity P·R reduces capacity misses. On the butterfly,")
+	fmt.Println("round-robin keeps the straight edges processor-local and wins;")
+	fmt.Println("on a chain (try it), contiguous blocks win instead — assignment")
+	fmt.Println("quality is exactly what the multi-shade pebble game studies.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a workload DAG, pebble it with a heuristic, and
+// compare against the exact optimum and the universal upper bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rbpebble"
+)
+
+func main() {
+	// A pebbling pyramid of height 3: 10 nodes, Δ = 2, single sink.
+	g := rbpebble.Pyramid(3)
+	fmt.Printf("workload: %s\n", g)
+
+	// Pebble in the oneshot model with the minimum feasible fast memory.
+	model := rbpebble.NewModel(rbpebble.Oneshot)
+	r := rbpebble.MinFeasibleR(g)
+	p := rbpebble.Problem{G: g, Model: model, R: r}
+	fmt.Printf("problem:  model=%s, R=%d (Δ+1)\n", model, r)
+
+	// Heuristic: topological order with Belady (optimal offline) eviction.
+	heur, err := rbpebble.TopoBelady(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topo+belady: %d transfers, %d steps\n",
+		heur.Result.Cost.Transfers, heur.Result.Steps)
+
+	// The three greedy strategies of the paper's §8.
+	for _, rule := range []rbpebble.GreedyRule{
+		rbpebble.MostRedInputs, rbpebble.FewestBlueInputs, rbpebble.RedRatio,
+	} {
+		sol, err := rbpebble.Greedy(p, rule)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("greedy(%s): %d transfers\n", rule, sol.Result.Cost.Transfers)
+	}
+
+	// Exact optimum by state-space search (instances this small are easy;
+	// the paper proves the general problem NP-hard).
+	opt, err := rbpebble.Exact(p, rbpebble.ExactOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact optimum: %d transfers\n", opt.Result.Cost.Transfers)
+	fmt.Printf("universal bound (2Δ+1)n: %d transfers\n",
+		rbpebble.CostUpperBound(g, model).Transfers)
+
+	// More fast memory makes pebbling cheaper — measure the tradeoff.
+	fmt.Println("\nR -> optimal transfers:")
+	for rr := r; rr <= g.N(); rr++ {
+		o, err := rbpebble.Exact(rbpebble.Problem{G: g, Model: model, R: rr}, rbpebble.ExactOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  R=%2d: %d\n", rr, o.Result.Cost.Transfers)
+		if o.Result.Cost.Transfers == 0 {
+			break
+		}
+	}
+}

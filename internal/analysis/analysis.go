@@ -1,0 +1,206 @@
+// Package analysis inspects pebbling traces: per-operation statistics,
+// the fast-memory occupancy profile over time, transfer timelines, a
+// textual visualization, and CSV export. It is the observability layer a
+// user of the library reaches for when a schedule's cost surprises them.
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+)
+
+// Profile is the step-by-step evolution of a pebbling.
+type Profile struct {
+	Model pebble.Model
+	R     int
+	// RedOccupancy[i] is the number of red pebbles after move i.
+	RedOccupancy []int
+	// BlueOccupancy[i] is the number of blue pebbles after move i.
+	BlueOccupancy []int
+	// CumulativeCost[i] is the scaled cost after move i.
+	CumulativeCost []int64
+	// Moves echoes the trace's moves.
+	Moves []pebble.Move
+	// Final is the verified end-of-run summary.
+	Final pebble.Result
+}
+
+// NewProfile replays the trace on g, recording occupancy and cost after
+// every move. The trace must be legal and complete.
+func NewProfile(g *dag.DAG, tr *pebble.Trace) (*Profile, error) {
+	st, err := pebble.NewState(g, tr.Model, tr.R, tr.Convention)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Model: tr.Model,
+		R:     tr.R,
+		Moves: append([]pebble.Move(nil), tr.Moves...),
+	}
+	for i, m := range tr.Moves {
+		if err := st.Apply(m); err != nil {
+			return nil, fmt.Errorf("analysis: move %d: %w", i, err)
+		}
+		p.RedOccupancy = append(p.RedOccupancy, st.RedCount())
+		p.BlueOccupancy = append(p.BlueOccupancy, st.BlueSet().Count())
+		p.CumulativeCost = append(p.CumulativeCost, st.Cost().Scaled(tr.Model))
+	}
+	res, err := tr.Run(g)
+	if err != nil {
+		return nil, err
+	}
+	p.Final = res
+	return p, nil
+}
+
+// PeakRed returns the maximum red occupancy.
+func (p *Profile) PeakRed() int {
+	peak := 0
+	for _, r := range p.RedOccupancy {
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// PeakBlue returns the maximum blue occupancy (slow-memory footprint).
+func (p *Profile) PeakBlue() int {
+	peak := 0
+	for _, b := range p.BlueOccupancy {
+		if b > peak {
+			peak = b
+		}
+	}
+	return peak
+}
+
+// MeanRed returns the average red occupancy over the trace.
+func (p *Profile) MeanRed() float64 {
+	if len(p.RedOccupancy) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, r := range p.RedOccupancy {
+		sum += r
+	}
+	return float64(sum) / float64(len(p.RedOccupancy))
+}
+
+// TransferBursts returns the lengths of maximal runs of consecutive
+// transfer moves (loads/stores) — long bursts indicate phase changes
+// such as group-to-group moves in the paper's constructions.
+func (p *Profile) TransferBursts() []int {
+	var bursts []int
+	run := 0
+	for _, m := range p.Moves {
+		if m.Kind == pebble.Load || m.Kind == pebble.Store {
+			run++
+			continue
+		}
+		if run > 0 {
+			bursts = append(bursts, run)
+			run = 0
+		}
+	}
+	if run > 0 {
+		bursts = append(bursts, run)
+	}
+	return bursts
+}
+
+// Summary renders a one-screen textual report.
+func (p *Profile) Summary() string {
+	var b strings.Builder
+	res := p.Final
+	fmt.Fprintf(&b, "model=%s R=%d moves=%d\n", p.Model, p.R, len(p.Moves))
+	fmt.Fprintf(&b, "cost=%.4f (loads=%d stores=%d computes=%d deletes=%d)\n",
+		res.Cost.Value(p.Model), res.Loads, res.Stores, res.Computes, res.Deletes)
+	fmt.Fprintf(&b, "red: peak=%d/%d mean=%.2f   blue: peak=%d\n",
+		p.PeakRed(), p.R, p.MeanRed(), p.PeakBlue())
+	bursts := p.TransferBursts()
+	if len(bursts) > 0 {
+		max := 0
+		for _, x := range bursts {
+			if x > max {
+				max = x
+			}
+		}
+		fmt.Fprintf(&b, "transfer bursts: %d (longest %d)\n", len(bursts), max)
+	}
+	return b.String()
+}
+
+// Timeline renders an ASCII occupancy chart with the given width
+// (buckets of moves); each row is one bucket showing red occupancy as a
+// bar and the moves' kinds as a compact string.
+func (p *Profile) Timeline(w io.Writer, buckets int) error {
+	if buckets < 1 {
+		buckets = 1
+	}
+	bw := bufio.NewWriter(w)
+	total := len(p.Moves)
+	if total == 0 {
+		fmt.Fprintln(bw, "(empty trace)")
+		return bw.Flush()
+	}
+	per := (total + buckets - 1) / buckets
+	fmt.Fprintf(bw, "%8s  %-*s  %s\n", "moves", p.R, "red occupancy", "ops (L/S/C/D)")
+	for start := 0; start < total; start += per {
+		end := start + per
+		if end > total {
+			end = total
+		}
+		peak := 0
+		var l, s, c, d int
+		for i := start; i < end; i++ {
+			if p.RedOccupancy[i] > peak {
+				peak = p.RedOccupancy[i]
+			}
+			switch p.Moves[i].Kind {
+			case pebble.Load:
+				l++
+			case pebble.Store:
+				s++
+			case pebble.Compute:
+				c++
+			case pebble.Delete:
+				d++
+			}
+		}
+		bar := strings.Repeat("#", peak)
+		fmt.Fprintf(bw, "%4d-%-4d  %-*s  L%d S%d C%d D%d\n", start, end-1, p.R, bar, l, s, c, d)
+	}
+	return bw.Flush()
+}
+
+// WriteCSV exports the per-move profile for external plotting: columns
+// step, kind, node, red, blue, cumulative cost.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "step,kind,node,red,blue,scaled_cost")
+	for i, m := range p.Moves {
+		fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d\n",
+			i, m.Kind, m.Node, p.RedOccupancy[i], p.BlueOccupancy[i], p.CumulativeCost[i])
+	}
+	return bw.Flush()
+}
+
+// CompareTraces runs both traces on g and reports their cost difference
+// (a's scaled cost minus b's). Used by tooling to rank schedules.
+func CompareTraces(g *dag.DAG, a, b *pebble.Trace) (int64, error) {
+	ra, err := a.Run(g)
+	if err != nil {
+		return 0, fmt.Errorf("analysis: trace a: %w", err)
+	}
+	rb, err := b.Run(g)
+	if err != nil {
+		return 0, fmt.Errorf("analysis: trace b: %w", err)
+	}
+	return ra.Cost.Scaled(a.Model) - rb.Cost.Scaled(b.Model), nil
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/solve"
+)
+
+func solveTrace(t *testing.T, p solve.Problem) *pebble.Trace {
+	t.Helper()
+	sol, err := solve.TopoBelady(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol.Trace
+}
+
+func TestProfileBasics(t *testing.T) {
+	g := daggen.Pyramid(3)
+	p := solve.Problem{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 3}
+	tr := solveTrace(t, p)
+	prof, err := NewProfile(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.RedOccupancy) != len(tr.Moves) {
+		t.Fatal("occupancy length mismatch")
+	}
+	if prof.PeakRed() > p.R {
+		t.Fatalf("peak red %d exceeds R", prof.PeakRed())
+	}
+	if prof.PeakRed() != prof.Final.MaxRed {
+		t.Fatalf("peak red %d != result MaxRed %d", prof.PeakRed(), prof.Final.MaxRed)
+	}
+	if prof.MeanRed() <= 0 || prof.MeanRed() > float64(p.R) {
+		t.Fatalf("mean red = %v", prof.MeanRed())
+	}
+	// Cumulative cost is non-decreasing and ends at the final cost.
+	for i := 1; i < len(prof.CumulativeCost); i++ {
+		if prof.CumulativeCost[i] < prof.CumulativeCost[i-1] {
+			t.Fatal("cumulative cost decreased")
+		}
+	}
+	last := prof.CumulativeCost[len(prof.CumulativeCost)-1]
+	if last != prof.Final.Cost.Scaled(tr.Model) {
+		t.Fatalf("cumulative end %d != final %d", last, prof.Final.Cost.Scaled(tr.Model))
+	}
+}
+
+func TestProfileRejectsBadTrace(t *testing.T) {
+	g := daggen.Chain(3)
+	bad := &pebble.Trace{Model: pebble.NewModel(pebble.Oneshot), R: 2,
+		Moves: []pebble.Move{{Kind: pebble.Load, Node: 0}}}
+	if _, err := NewProfile(g, bad); err == nil {
+		t.Fatal("illegal trace accepted")
+	}
+	incomplete := &pebble.Trace{Model: pebble.NewModel(pebble.Oneshot), R: 2,
+		Moves: []pebble.Move{{Kind: pebble.Compute, Node: 0}}}
+	if _, err := NewProfile(g, incomplete); err == nil {
+		t.Fatal("incomplete trace accepted")
+	}
+}
+
+func TestTransferBursts(t *testing.T) {
+	g, _, _ := daggen.InputGroups(3, 3)
+	p := solve.Problem{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 4}
+	sol, err := solve.Topological(p) // store-all: many transfer bursts
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := NewProfile(g, sol.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursts := prof.TransferBursts()
+	if len(bursts) == 0 {
+		t.Fatal("store-all trace has no transfer bursts")
+	}
+	total := 0
+	for _, b := range bursts {
+		total += b
+	}
+	if total != prof.Final.Loads+prof.Final.Stores {
+		t.Fatalf("burst sum %d != transfer count %d", total, prof.Final.Loads+prof.Final.Stores)
+	}
+}
+
+func TestSummaryAndTimeline(t *testing.T) {
+	g := daggen.FFT(3)
+	p := solve.Problem{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 4}
+	prof, err := NewProfile(g, solveTrace(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := prof.Summary()
+	for _, want := range []string{"model=oneshot", "cost=", "red: peak="} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	var buf bytes.Buffer
+	if err := prof.Timeline(&buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Fatalf("timeline has no bars:\n%s", buf.String())
+	}
+	// Degenerate parameters.
+	var buf2 bytes.Buffer
+	if err := prof.Timeline(&buf2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineEmptyTrace(t *testing.T) {
+	g := daggen.Chain(1)
+	// A single-node graph pebbled with one compute.
+	tr := &pebble.Trace{Model: pebble.NewModel(pebble.Oneshot), R: 1,
+		Moves: []pebble.Move{{Kind: pebble.Compute, Node: 0}}}
+	prof, err := NewProfile(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.Timeline(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	g := daggen.Pyramid(2)
+	p := solve.Problem{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 3}
+	prof, err := NewProfile(g, solveTrace(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "step,kind,node,red,blue,scaled_cost" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != len(prof.Moves)+1 {
+		t.Fatalf("csv rows = %d, want %d", len(lines), len(prof.Moves)+1)
+	}
+}
+
+func TestCompareTraces(t *testing.T) {
+	g := daggen.Pyramid(3)
+	p := solve.Problem{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 3}
+	good, err := solve.TopoBelady(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := solve.Topological(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := CompareTraces(g, bad.Trace, good.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff < 0 {
+		t.Fatalf("store-all cheaper than Belady: diff=%d", diff)
+	}
+	// Corrupt trace is rejected.
+	corrupt := &pebble.Trace{Model: good.Trace.Model, R: good.Trace.R,
+		Moves: []pebble.Move{{Kind: pebble.Store, Node: 0}}}
+	if _, err := CompareTraces(g, corrupt, good.Trace); err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Package bitset provides a compact fixed-capacity bit set used to encode
+// pebbling states (red set, blue set, computed set) in solvers and the
+// game engine. The zero value is unusable; create sets with New.
+package bitset
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Set is a fixed-capacity bit set over [0, n).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity n.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int) bool {
+	s.check(i)
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Equal reports whether s and t have the same capacity and contents.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns the contents as a compact string usable as a map key.
+func (s *Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 8)
+	for _, w := range s.words {
+		for k := 0; k < 8; k++ {
+			b.WriteByte(byte(w >> (8 * k)))
+		}
+	}
+	return b.String()
+}
+
+// AppendKey appends the raw words to dst (for building composite keys
+// without intermediate allocations) and returns the extended slice.
+func (s *Set) AppendKey(dst []byte) []byte {
+	for _, w := range s.words {
+		for k := 0; k < 8; k++ {
+			dst = append(dst, byte(w>>(8*k)))
+		}
+	}
+	return dst
+}
+
+// ForEach calls fn for every set bit in increasing order; fn returning
+// false stops the iteration.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*64 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set bits in increasing order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// String renders the set like "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,217 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Get(0) || !s.Get(64) || !s.Get(129) || s.Get(1) {
+		t.Fatal("Get after Set wrong")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	s.Clear(64)
+	if s.Get(64) || s.Count() != 2 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(10).Set(10) },
+		func() { New(10).Get(-1) },
+		func() { New(10).Clear(11) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	s := New(100)
+	s.Set(5)
+	s.Set(77)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(6)
+	if s.Equal(c) {
+		t.Fatal("clone shares storage")
+	}
+	if s.Get(6) {
+		t.Fatal("clone mutation leaked")
+	}
+	other := New(99)
+	if s.Equal(other) {
+		t.Fatal("different capacities compared equal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(70)
+	s.Set(1)
+	s.Set(69)
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	a.Set(127)
+	if a.Key() == b.Key() {
+		t.Fatal("distinct sets share key")
+	}
+	b.Set(127)
+	if a.Key() != b.Key() {
+		t.Fatal("equal sets have different keys")
+	}
+	buf := a.AppendKey(nil)
+	if string(buf) != a.Key() {
+		t.Fatal("AppendKey differs from Key")
+	}
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 190}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	s.ForEach(func(i int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	sl := s.Slice()
+	for i := range want {
+		if sl[i] != want[i] {
+			t.Fatalf("Slice = %v", sl)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(20)
+	if s.String() != "{}" {
+		t.Fatalf("empty String = %q", s.String())
+	}
+	s.Set(0)
+	s.Set(13)
+	if s.String() != "{0, 13}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+// Property: a Set agrees with a reference map[int]bool under a random
+// operation sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		ref := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				delete(ref, i)
+			case 2:
+				if s.Get(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for _, i := range s.Slice() {
+			if !ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective on the sampled state space (two random sets
+// have equal keys iff they are Equal).
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetGet(b *testing.B) {
+	s := New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(i & 4095)
+		if !s.Get(i & 4095) {
+			b.Fatal("lost bit")
+		}
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	s := New(512)
+	for i := 0; i < 512; i += 3 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}

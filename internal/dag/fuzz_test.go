@@ -1,0 +1,94 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestReadTextNeverPanics feeds the parser random garbage, mutated valid
+// inputs, and truncations: it must return an error or a valid DAG, never
+// panic, for every input.
+func TestReadTextNeverPanics(t *testing.T) {
+	valid := "nodes 5\nlabel 0 src\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\n"
+	rng := rand.New(rand.NewSource(99))
+	inputs := []string{valid, "", "\n\n\n", "nodes", "nodes x", "nodes 99999999999999999999"}
+	// Random mutations of the valid input.
+	for i := 0; i < 200; i++ {
+		b := []byte(valid)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			case 1: // truncate
+				b = b[:rng.Intn(len(b)+1)]
+				if len(b) == 0 {
+					b = []byte{'n'}
+				}
+			case 2: // duplicate a chunk
+				p := rng.Intn(len(b))
+				b = append(b[:p], append([]byte(valid[:rng.Intn(len(valid))]), b[p:]...)...)
+			}
+		}
+		inputs = append(inputs, string(b))
+	}
+	// Pure random bytes.
+	for i := 0; i < 100; i++ {
+		b := make([]byte, rng.Intn(200))
+		rng.Read(b)
+		inputs = append(inputs, string(b))
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadText panicked on %q: %v", in, r)
+				}
+			}()
+			g, err := ReadText(strings.NewReader(in))
+			if err == nil {
+				// Anything accepted must be a valid DAG that round-trips.
+				if verr := g.Validate(); verr != nil {
+					t.Fatalf("accepted invalid DAG from %q: %v", in, verr)
+				}
+				var buf bytes.Buffer
+				if werr := g.WriteText(&buf); werr != nil {
+					t.Fatalf("re-serialize failed: %v", werr)
+				}
+			}
+		}()
+	}
+}
+
+// TestUnmarshalJSONNeverPanics does the same for the JSON decoder.
+func TestUnmarshalJSONNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	valid := `{"nodes":4,"edges":[[0,1],[1,2],[2,3]]}`
+	inputs := []string{valid, "{}", "null", "[]", `{"nodes":-1}`,
+		`{"nodes":2,"edges":[[0]]}`, `{"nodes":2,"edges":[[0,1,2]]}`,
+		`{"nodes":1,"labels":["a","b"]}`}
+	for i := 0; i < 150; i++ {
+		b := []byte(valid)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+		}
+		inputs = append(inputs, string(b))
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("UnmarshalJSON panicked on %q: %v", in, r)
+				}
+			}()
+			var g DAG
+			if err := json.Unmarshal([]byte(in), &g); err == nil {
+				if verr := g.Validate(); verr != nil {
+					t.Fatalf("accepted invalid DAG from %q: %v", in, verr)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,252 @@
+// Package daggen generates computation DAGs for pebbling workloads: the
+// classic structures studied in the pebbling literature (pyramids, trees,
+// grids) and the HPC kernels whose I/O complexity motivated red-blue
+// pebbling (matrix multiplication, FFT butterflies, stencils), plus random
+// layered DAGs for fuzzing.
+package daggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rbpebble/internal/dag"
+)
+
+// Chain returns a path DAG v0 -> v1 -> ... -> v(n-1).
+func Chain(n int) *dag.DAG {
+	g := dag.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(dag.NodeID(i), dag.NodeID(i+1))
+	}
+	return g
+}
+
+// Pyramid returns the classic pebbling pyramid of the given height: row 0
+// has height+1 nodes, each subsequent row one fewer, and every interior
+// node has exactly 2 inputs from the row below. A pyramid of height h has
+// (h+1)(h+2)/2 nodes and a single sink (the apex). Height 0 is a single
+// node.
+func Pyramid(height int) *dag.DAG {
+	if height < 0 {
+		panic("daggen: negative pyramid height")
+	}
+	n := (height + 1) * (height + 2) / 2
+	g := dag.New(n)
+	// Rows bottom-up: row r (size height+1-r) starts at offset(r).
+	offset := func(r int) int {
+		// sum of sizes of rows 0..r-1: sizes height+1, height, ...
+		return r*(height+1) - r*(r-1)/2
+	}
+	for r := 0; r < height; r++ {
+		size := height + 1 - r
+		for i := 0; i < size-1; i++ {
+			lo := offset(r) + i
+			up := offset(r+1) + i
+			g.AddEdge(dag.NodeID(lo), dag.NodeID(up))
+			g.AddEdge(dag.NodeID(lo+1), dag.NodeID(up))
+		}
+	}
+	return g
+}
+
+// BinaryTree returns a complete in-tree of the given number of levels:
+// 2^levels - 1 nodes, leaves are sources, the root is the unique sink, and
+// every internal node has exactly its two children as inputs. Node 0 is the
+// root (sink).
+func BinaryTree(levels int) *dag.DAG {
+	if levels < 1 {
+		panic("daggen: BinaryTree needs >= 1 level")
+	}
+	n := (1 << levels) - 1
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		l, r := 2*i+1, 2*i+2
+		if l < n {
+			g.AddEdge(dag.NodeID(l), dag.NodeID(i))
+		}
+		if r < n {
+			g.AddEdge(dag.NodeID(r), dag.NodeID(i))
+		}
+	}
+	return g
+}
+
+// Grid returns a rows x cols 2D stencil DAG: node (i,j) depends on (i-1,j)
+// and (i,j-1). Node (i,j) has ID i*cols+j. The single source is (0,0) and
+// the single sink is (rows-1, cols-1). This models dynamic-programming
+// tables and diamond dags.
+func Grid(rows, cols int) *dag.DAG {
+	if rows < 1 || cols < 1 {
+		panic("daggen: Grid needs positive dimensions")
+	}
+	g := dag.New(rows * cols)
+	id := func(i, j int) dag.NodeID { return dag.NodeID(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i > 0 {
+				g.AddEdge(id(i-1, j), id(i, j))
+			}
+			if j > 0 {
+				g.AddEdge(id(i, j-1), id(i, j))
+			}
+		}
+	}
+	return g
+}
+
+// FFT returns the butterfly DAG of an n-point FFT where n = 2^logN:
+// (logN+1) levels of n nodes each. Node at level l, position p has ID
+// l*n + p; level 0 nodes are sources and level logN nodes are sinks. Each
+// non-source node has exactly 2 inputs. This is the canonical DAG of
+// Hong & Kung's original red-blue analysis.
+func FFT(logN int) *dag.DAG {
+	if logN < 1 {
+		panic("daggen: FFT needs logN >= 1")
+	}
+	n := 1 << logN
+	g := dag.New((logN + 1) * n)
+	id := func(l, p int) dag.NodeID { return dag.NodeID(l*n + p) }
+	for l := 0; l < logN; l++ {
+		stride := 1 << l
+		for p := 0; p < n; p++ {
+			g.AddEdge(id(l, p), id(l+1, p))
+			g.AddEdge(id(l, p^stride), id(l+1, p))
+		}
+	}
+	return g
+}
+
+// MatMul returns the DAG of a classic three-loop k x k matrix
+// multiplication C = A*B with a binary-tree reduction per output element.
+// Inputs: 2k^2 source nodes (entries of A and B). For each output C[i][j]
+// there are k product nodes a[i][l]*b[l][j] (in-degree 2) and a reduction
+// tree summing them (in-degree 2), rooted at the sink C[i][j].
+// Total nodes: 2k^2 + k^2*k products + k^2*(k-1) adds.
+func MatMul(k int) *dag.DAG {
+	if k < 1 {
+		panic("daggen: MatMul needs k >= 1")
+	}
+	g := dag.New(0)
+	a := make([][]dag.NodeID, k)
+	b := make([][]dag.NodeID, k)
+	for i := 0; i < k; i++ {
+		a[i] = make([]dag.NodeID, k)
+		b[i] = make([]dag.NodeID, k)
+		for j := 0; j < k; j++ {
+			a[i][j] = g.AddLabeledNode(fmt.Sprintf("A[%d][%d]", i, j))
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			b[i][j] = g.AddLabeledNode(fmt.Sprintf("B[%d][%d]", i, j))
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			// k products.
+			prods := make([]dag.NodeID, k)
+			for l := 0; l < k; l++ {
+				p := g.AddLabeledNode(fmt.Sprintf("P[%d][%d][%d]", i, j, l))
+				g.AddEdge(a[i][l], p)
+				g.AddEdge(b[l][j], p)
+				prods[l] = p
+			}
+			// Binary reduction tree.
+			layer := prods
+			for len(layer) > 1 {
+				var next []dag.NodeID
+				for x := 0; x+1 < len(layer); x += 2 {
+					s := g.AddNode()
+					g.AddEdge(layer[x], s)
+					g.AddEdge(layer[x+1], s)
+					next = append(next, s)
+				}
+				if len(layer)%2 == 1 {
+					next = append(next, layer[len(layer)-1])
+				}
+				layer = next
+			}
+			g.SetLabel(layer[0], fmt.Sprintf("C[%d][%d]", i, j))
+		}
+	}
+	return g
+}
+
+// RandomLayered returns a random layered DAG: `layers` layers of `width`
+// nodes; each node in layer l>0 receives between 1 and maxIn inputs chosen
+// uniformly from layer l-1. Deterministic for a given seed.
+func RandomLayered(layers, width, maxIn int, seed int64) *dag.DAG {
+	if layers < 1 || width < 1 || maxIn < 1 {
+		panic("daggen: RandomLayered needs positive parameters")
+	}
+	if maxIn > width {
+		maxIn = width
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.New(layers * width)
+	id := func(l, p int) dag.NodeID { return dag.NodeID(l*width + p) }
+	for l := 1; l < layers; l++ {
+		for p := 0; p < width; p++ {
+			din := 1 + rng.Intn(maxIn)
+			perm := rng.Perm(width)
+			for _, q := range perm[:din] {
+				g.AddEdge(id(l-1, q), id(l, p))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTriangular returns a random DAG on n nodes where each pair (i,j),
+// i<j, is an edge independently with probability p. Guaranteed acyclic.
+func RandomTriangular(n int, p float64, seed int64) *dag.DAG {
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(dag.NodeID(i), dag.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// Stencil1D returns the DAG of t timesteps of a radius-1 one-dimensional
+// stencil over w cells: cell (s,i) for step s>0 depends on (s-1,j) for
+// j in {i-1,i,i+1} clipped to the boundary. Node (s,i) has ID s*w+i.
+func Stencil1D(w, t int) *dag.DAG {
+	if w < 1 || t < 1 {
+		panic("daggen: Stencil1D needs positive dimensions")
+	}
+	g := dag.New(w * t)
+	id := func(s, i int) dag.NodeID { return dag.NodeID(s*w + i) }
+	for s := 1; s < t; s++ {
+		for i := 0; i < w; i++ {
+			for _, j := range []int{i - 1, i, i + 1} {
+				if j >= 0 && j < w {
+					g.AddEdge(id(s-1, j), id(s, i))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// InputGroups builds the "input group" pattern used throughout the paper:
+// nGroups disjoint groups of groupSize source nodes, each feeding a single
+// distinct target (sink). Returns the DAG, the groups (slices of source
+// IDs), and the targets. The minimal feasible R is groupSize+1.
+func InputGroups(nGroups, groupSize int) (*dag.DAG, [][]dag.NodeID, []dag.NodeID) {
+	g := dag.New(0)
+	groups := make([][]dag.NodeID, nGroups)
+	targets := make([]dag.NodeID, nGroups)
+	for i := 0; i < nGroups; i++ {
+		groups[i] = g.AddNodes(groupSize)
+		targets[i] = g.AddLabeledNode(fmt.Sprintf("t%d", i))
+		for _, v := range groups[i] {
+			g.AddEdge(v, targets[i])
+		}
+	}
+	return g, groups, targets
+}

@@ -1,0 +1,300 @@
+package daggen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rbpebble/internal/dag"
+)
+
+func validate(t *testing.T, g *dag.DAG) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5)
+	validate(t, g)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("chain: n=%d m=%d", g.N(), g.M())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("chain should have 1 source, 1 sink")
+	}
+	if g.MaxInDegree() != 1 {
+		t.Fatalf("chain Δ = %d", g.MaxInDegree())
+	}
+	g1 := Chain(1)
+	validate(t, g1)
+	if g1.N() != 1 || g1.M() != 0 {
+		t.Fatal("Chain(1) should be a single node")
+	}
+}
+
+func TestPyramid(t *testing.T) {
+	for h := 0; h <= 6; h++ {
+		g := Pyramid(h)
+		validate(t, g)
+		wantN := (h + 1) * (h + 2) / 2
+		if g.N() != wantN {
+			t.Fatalf("Pyramid(%d): n=%d want %d", h, g.N(), wantN)
+		}
+		if len(g.Sinks()) != 1 {
+			t.Fatalf("Pyramid(%d): %d sinks", h, len(g.Sinks()))
+		}
+		if len(g.Sources()) != h+1 {
+			t.Fatalf("Pyramid(%d): %d sources", h, len(g.Sources()))
+		}
+		if h > 0 && g.MaxInDegree() != 2 {
+			t.Fatalf("Pyramid(%d): Δ=%d", h, g.MaxInDegree())
+		}
+		lp, _ := g.LongestPathLen()
+		if lp != h {
+			t.Fatalf("Pyramid(%d): longest path %d", h, lp)
+		}
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	for levels := 1; levels <= 6; levels++ {
+		g := BinaryTree(levels)
+		validate(t, g)
+		wantN := (1 << levels) - 1
+		if g.N() != wantN {
+			t.Fatalf("BinaryTree(%d): n=%d", levels, g.N())
+		}
+		if len(g.Sinks()) != 1 || g.Sinks()[0] != 0 {
+			t.Fatalf("BinaryTree(%d): sinks=%v", levels, g.Sinks())
+		}
+		if len(g.Sources()) != 1<<(levels-1) {
+			t.Fatalf("BinaryTree(%d): %d sources", levels, len(g.Sources()))
+		}
+		if levels > 1 && g.MaxInDegree() != 2 {
+			t.Fatalf("BinaryTree(%d): Δ=%d", levels, g.MaxInDegree())
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	validate(t, g)
+	if g.N() != 12 {
+		t.Fatalf("Grid n=%d", g.N())
+	}
+	// Edges: (rows-1)*cols vertical + rows*(cols-1) horizontal.
+	if g.M() != 2*4+3*3 {
+		t.Fatalf("Grid m=%d", g.M())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("Grid should have single source and sink")
+	}
+	if g.MaxInDegree() != 2 {
+		t.Fatalf("Grid Δ=%d", g.MaxInDegree())
+	}
+	lp, _ := g.LongestPathLen()
+	if lp != 2+3 {
+		t.Fatalf("Grid longest path = %d", lp)
+	}
+}
+
+func TestFFT(t *testing.T) {
+	for logN := 1; logN <= 5; logN++ {
+		g := FFT(logN)
+		validate(t, g)
+		n := 1 << logN
+		if g.N() != (logN+1)*n {
+			t.Fatalf("FFT(%d): n=%d", logN, g.N())
+		}
+		if g.M() != 2*logN*n {
+			t.Fatalf("FFT(%d): m=%d", logN, g.M())
+		}
+		if len(g.Sources()) != n || len(g.Sinks()) != n {
+			t.Fatalf("FFT(%d): sources=%d sinks=%d", logN, len(g.Sources()), len(g.Sinks()))
+		}
+		if g.MaxInDegree() != 2 {
+			t.Fatalf("FFT(%d): Δ=%d", logN, g.MaxInDegree())
+		}
+		lp, _ := g.LongestPathLen()
+		if lp != logN {
+			t.Fatalf("FFT(%d): longest path %d", logN, lp)
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		g := MatMul(k)
+		validate(t, g)
+		wantN := 2*k*k + k*k*k + k*k*(k-1)
+		if g.N() != wantN {
+			t.Fatalf("MatMul(%d): n=%d want %d", k, g.N(), wantN)
+		}
+		if len(g.Sinks()) != k*k {
+			t.Fatalf("MatMul(%d): %d sinks", k, len(g.Sinks()))
+		}
+		if len(g.Sources()) != 2*k*k {
+			t.Fatalf("MatMul(%d): %d sources", k, len(g.Sources()))
+		}
+		if k > 1 && g.MaxInDegree() != 2 {
+			t.Fatalf("MatMul(%d): Δ=%d", k, g.MaxInDegree())
+		}
+	}
+}
+
+func TestRandomLayeredDeterministic(t *testing.T) {
+	a := RandomLayered(4, 6, 3, 99)
+	b := RandomLayered(4, 6, 3, 99)
+	validate(t, a)
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for v := 0; v < a.N(); v++ {
+		sa, sb := a.SortedSuccs(dag.NodeID(v)), b.SortedSuccs(dag.NodeID(v))
+		if len(sa) != len(sb) {
+			t.Fatal("same seed produced different adjacency")
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatal("same seed produced different adjacency")
+			}
+		}
+	}
+	c := RandomLayered(4, 6, 3, 100)
+	if c.M() == a.M() {
+		// Not impossible but the same edge count AND a passing determinism
+		// test above makes collision overwhelmingly unlikely for these dims;
+		// compare adjacency to be sure.
+		same := true
+		for v := 0; v < a.N() && same; v++ {
+			sa, sc := a.SortedSuccs(dag.NodeID(v)), c.SortedSuccs(dag.NodeID(v))
+			if len(sa) != len(sc) {
+				same = false
+				break
+			}
+			for i := range sa {
+				if sa[i] != sc[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRandomLayeredDegrees(t *testing.T) {
+	g := RandomLayered(5, 8, 3, 1)
+	validate(t, g)
+	if g.MaxInDegree() > 3 {
+		t.Fatalf("maxIn violated: Δ=%d", g.MaxInDegree())
+	}
+	// Every non-first-layer node has at least one input.
+	for v := 8; v < g.N(); v++ {
+		if g.InDegree(dag.NodeID(v)) < 1 {
+			t.Fatalf("layered node %d has no inputs", v)
+		}
+	}
+}
+
+func TestRandomTriangular(t *testing.T) {
+	g := RandomTriangular(30, 0.3, 5)
+	validate(t, g)
+	if g.N() != 30 {
+		t.Fatal("wrong n")
+	}
+	g0 := RandomTriangular(10, 0, 5)
+	if g0.M() != 0 {
+		t.Fatal("p=0 should give no edges")
+	}
+	g1 := RandomTriangular(10, 1, 5)
+	if g1.M() != 45 {
+		t.Fatalf("p=1 should give complete DAG, m=%d", g1.M())
+	}
+}
+
+func TestStencil1D(t *testing.T) {
+	g := Stencil1D(5, 3)
+	validate(t, g)
+	if g.N() != 15 {
+		t.Fatalf("stencil n=%d", g.N())
+	}
+	if g.MaxInDegree() != 3 {
+		t.Fatalf("stencil Δ=%d", g.MaxInDegree())
+	}
+	if len(g.Sources()) != 5 || len(g.Sinks()) != 5 {
+		t.Fatal("stencil boundary wrong")
+	}
+}
+
+func TestInputGroups(t *testing.T) {
+	g, groups, targets := InputGroups(3, 4)
+	validate(t, g)
+	if g.N() != 3*5 {
+		t.Fatalf("input groups n=%d", g.N())
+	}
+	if len(groups) != 3 || len(targets) != 3 {
+		t.Fatal("wrong group/target count")
+	}
+	for i, grp := range groups {
+		if len(grp) != 4 {
+			t.Fatalf("group %d size %d", i, len(grp))
+		}
+		for _, v := range grp {
+			if !g.HasEdge(v, targets[i]) {
+				t.Fatalf("missing edge %d->%d", v, targets[i])
+			}
+			if !g.IsSource(v) {
+				t.Fatalf("group node %d not a source", v)
+			}
+		}
+		if !g.IsSink(targets[i]) {
+			t.Fatalf("target %d not a sink", targets[i])
+		}
+		if g.InDegree(targets[i]) != 4 {
+			t.Fatalf("target %d indegree %d", targets[i], g.InDegree(targets[i]))
+		}
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	cases := []func(){
+		func() { Pyramid(-1) },
+		func() { BinaryTree(0) },
+		func() { Grid(0, 5) },
+		func() { FFT(0) },
+		func() { MatMul(0) },
+		func() { RandomLayered(0, 1, 1, 0) },
+		func() { Stencil1D(0, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: all generators produce valid DAGs across a parameter sweep.
+func TestQuickGeneratorsValid(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		layers := int(a%5) + 2
+		width := int(b%6) + 2
+		g := RandomLayered(layers, width, 3, seed)
+		if g.Validate() != nil {
+			return false
+		}
+		g2 := RandomTriangular(int(a%20)+2, 0.25, seed)
+		return g2.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

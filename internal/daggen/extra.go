@@ -1,0 +1,72 @@
+package daggen
+
+import (
+	"fmt"
+
+	"rbpebble/internal/dag"
+)
+
+// KaryTree returns a complete k-ary in-tree with the given number of
+// levels: leaves are sources, the root (node 0) is the unique sink, and
+// every internal node has its k children as inputs. Generalizes
+// BinaryTree to reduction trees of arbitrary fan-in.
+func KaryTree(k, levels int) *dag.DAG {
+	if k < 2 || levels < 1 {
+		panic("daggen: KaryTree needs k >= 2 and levels >= 1")
+	}
+	// Number of nodes: (k^levels - 1) / (k - 1).
+	n := 1
+	pow := 1
+	for l := 1; l < levels; l++ {
+		pow *= k
+		n += pow
+	}
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			child := k*i + 1 + c
+			if child < n {
+				g.AddEdge(dag.NodeID(child), dag.NodeID(i))
+			}
+		}
+	}
+	return g
+}
+
+// DenseLayer returns a fully connected bipartite computation: out output
+// nodes, each reading all in input sources — the DAG of a dense linear
+// layer, and a worst case for input reuse under small caches (every
+// output needs the whole input resident).
+func DenseLayer(in, out int) *dag.DAG {
+	if in < 1 || out < 1 {
+		panic("daggen: DenseLayer needs positive dimensions")
+	}
+	g := dag.New(in + out)
+	for o := 0; o < out; o++ {
+		g.SetLabel(dag.NodeID(in+o), fmt.Sprintf("y%d", o))
+		for i := 0; i < in; i++ {
+			g.AddEdge(dag.NodeID(i), dag.NodeID(in+o))
+		}
+	}
+	return g
+}
+
+// CheckpointChain returns a chain of length n where every interval-th
+// node also feeds the final sink — modeling checkpoint/rollback
+// dependencies: the sink needs all checkpoints alive. The sink is the
+// last node.
+func CheckpointChain(n, interval int) *dag.DAG {
+	if n < 2 || interval < 1 {
+		panic("daggen: CheckpointChain needs n >= 2 and interval >= 1")
+	}
+	g := dag.New(n)
+	for i := 0; i+1 < n-1; i++ {
+		g.AddEdge(dag.NodeID(i), dag.NodeID(i+1))
+	}
+	sink := dag.NodeID(n - 1)
+	g.AddEdge(dag.NodeID(n-2), sink)
+	for i := interval - 1; i < n-2; i += interval {
+		g.AddEdge(dag.NodeID(i), sink)
+	}
+	return g
+}

@@ -1,0 +1,83 @@
+package daggen
+
+import (
+	"testing"
+
+	"rbpebble/internal/dag"
+)
+
+func TestKaryTree(t *testing.T) {
+	for _, c := range []struct{ k, levels, wantN int }{
+		{2, 3, 7},
+		{3, 3, 13},
+		{4, 2, 5},
+		{3, 1, 1},
+	} {
+		g := KaryTree(c.k, c.levels)
+		validate(t, g)
+		if g.N() != c.wantN {
+			t.Fatalf("KaryTree(%d,%d): n=%d want %d", c.k, c.levels, g.N(), c.wantN)
+		}
+		if len(g.Sinks()) != 1 || g.Sinks()[0] != 0 {
+			t.Fatalf("KaryTree(%d,%d): sinks=%v", c.k, c.levels, g.Sinks())
+		}
+		if c.levels > 1 && g.MaxInDegree() != c.k {
+			t.Fatalf("KaryTree(%d,%d): Δ=%d", c.k, c.levels, g.MaxInDegree())
+		}
+		lp, _ := g.LongestPathLen()
+		if lp != c.levels-1 {
+			t.Fatalf("KaryTree(%d,%d): depth=%d", c.k, c.levels, lp)
+		}
+	}
+}
+
+func TestDenseLayer(t *testing.T) {
+	g := DenseLayer(5, 3)
+	validate(t, g)
+	if g.N() != 8 || g.M() != 15 {
+		t.Fatalf("DenseLayer: n=%d m=%d", g.N(), g.M())
+	}
+	if len(g.Sources()) != 5 || len(g.Sinks()) != 3 {
+		t.Fatal("DenseLayer boundary wrong")
+	}
+	if g.MaxInDegree() != 5 {
+		t.Fatalf("DenseLayer Δ=%d", g.MaxInDegree())
+	}
+}
+
+func TestCheckpointChain(t *testing.T) {
+	g := CheckpointChain(10, 3)
+	validate(t, g)
+	sink := dag.NodeID(9)
+	if !g.IsSink(sink) || len(g.Sinks()) != 1 {
+		t.Fatal("sink wrong")
+	}
+	// Checkpoints 2, 5 feed the sink, plus the chain end 8.
+	for _, cp := range []dag.NodeID{2, 5, 8} {
+		if !g.HasEdge(cp, sink) {
+			t.Fatalf("checkpoint %d not wired to sink", cp)
+		}
+	}
+	if g.HasEdge(0, sink) || g.HasEdge(3, sink) {
+		t.Fatal("non-checkpoint wired to sink")
+	}
+}
+
+func TestExtraPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { KaryTree(1, 3) },
+		func() { KaryTree(2, 0) },
+		func() { DenseLayer(0, 3) },
+		func() { CheckpointChain(1, 1) },
+		func() { CheckpointChain(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,87 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"rbpebble/internal/dag"
+)
+
+// CD is the constant-degree gadget of Figure 1 / Appendix B: it replaces
+// an input group of R-1 nodes (which would force indegree R-1 on its
+// target) by a structure of maximum indegree 2 that still forces any
+// reasonable pebbling to hold red pebbles on all R-1 left-side nodes
+// simultaneously.
+//
+// The gadget consists of the left group L of R-1 source nodes and h
+// layers, each a run of R-1 chain nodes; chain node i of a layer has
+// inputs L[i] and the preceding chain node. With R+1 red pebbles (R-1 on
+// L plus 2 rolling in the layers) the whole gadget pebbles for free in
+// the oneshot and base models; with fewer, every layer forces at least 2
+// transfers, a total of at least 2h — prohibitive for large h.
+type CD struct {
+	G *dag.DAG
+	// Left is the group of R-1 left-side source nodes.
+	Left []dag.NodeID
+	// Layers[j][i] is chain node i of layer j.
+	Layers [][]dag.NodeID
+	// Out is the last node of the last layer; target nodes of the original
+	// input group attach to Out.
+	Out dag.NodeID
+	H   int
+}
+
+// NewCD builds a standalone CD gadget with left-group size groupSize
+// (= R-1) and h layers. Use AttachCD to splice gadgets into an existing
+// construction.
+func NewCD(groupSize, h int) *CD {
+	g := dag.New(0)
+	return AttachCD(g, g.AddNodes(groupSize), h)
+}
+
+// AttachCD adds the layered part of a CD gadget to g, reading from the
+// given left-side nodes (which may be shared with other structure). It
+// returns the gadget handle; the caller wires Out to the original target
+// nodes.
+func AttachCD(g *dag.DAG, left []dag.NodeID, h int) *CD {
+	if len(left) < 1 || h < 1 {
+		panic("gadgets: AttachCD needs a nonempty left group and h >= 1")
+	}
+	cd := &CD{G: g, Left: left, H: h}
+	var prev dag.NodeID = -1
+	for j := 0; j < h; j++ {
+		layer := make([]dag.NodeID, len(left))
+		for i := range left {
+			v := g.AddLabeledNode(fmt.Sprintf("cd[%d][%d]", j, i))
+			g.AddEdge(left[i], v)
+			if prev >= 0 {
+				g.AddEdge(prev, v)
+			}
+			layer[i] = v
+			prev = v
+		}
+		cd.Layers = append(cd.Layers, layer)
+	}
+	cd.Out = prev
+	return cd
+}
+
+// RequiredR returns the red pebble count with which the gadget pebbles
+// for free: len(Left) + 2.
+func (cd *CD) RequiredR() int { return len(cd.Left) + 2 }
+
+// StrategyOrder returns the free pebbling order with RequiredR pebbles:
+// left group first, then the layers in sequence.
+func (cd *CD) StrategyOrder() []dag.NodeID {
+	order := make([]dag.NodeID, 0, len(cd.Left)*(cd.H+1))
+	order = append(order, cd.Left...)
+	for _, layer := range cd.Layers {
+		order = append(order, layer...)
+	}
+	return order
+}
+
+// MinCostLowerBoundWithFewerPebbles returns the paper's 2h lower bound on
+// the transfer cost of pebbling the gadget when fewer than RequiredR red
+// pebbles are available (so red pebbles must shuttle within the left
+// group on every layer).
+func (cd *CD) MinCostLowerBoundWithFewerPebbles() int { return 2 * cd.H }

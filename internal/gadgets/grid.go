@@ -1,0 +1,268 @@
+package gadgets
+
+import (
+	"fmt"
+	"sort"
+
+	"rbpebble/internal/dag"
+)
+
+// GridPos addresses an input group of the Theorem 4 grid: 1 <= I, J and
+// I+J <= L+1. I is the column, J the height within the column.
+type GridPos struct{ I, J int }
+
+// GreedyGrid is the Figure 8 construction: a triangular grid of input
+// groups, aligned so that groups on a diagonal (I+J constant) share k'
+// common source nodes. Dependency edges force any pebbling to visit a
+// group before the group above it; small "misguidance" intersections
+// steer greedy algorithms into a column-by-column (right-to-left,
+// bottom-to-top) visit order that re-reads each diagonal's common nodes
+// over and over, while the optimal order processes whole diagonals
+// consecutively and pays nothing for the common nodes.
+type GreedyGrid struct {
+	G *dag.DAG
+	// L is the grid parameter ℓ: the construction has L(L+1)/2 groups.
+	L int
+	// KPrime is the number of common nodes per diagonal (k').
+	KPrime int
+	// K is the uniform group size (k = k' + extras).
+	K int
+	// MisguideSize is the size of each steering intersection.
+	MisguideSize int
+
+	// Commons[x-2] lists the k' common source nodes of diagonal x,
+	// for x in [2, L+1].
+	Commons [][]dag.NodeID
+	// Groups maps each grid position to its k member nodes.
+	Groups map[GridPos][]dag.NodeID
+	// Targets maps each grid position to its target node t(i,j).
+	Targets map[GridPos]dag.NodeID
+	// S0Members are the k members of the entry group S0.
+	S0Members []dag.NodeID
+	// S0Targets[i-1] is the target s_i of S0 placed into bottom group (i,1).
+	S0Targets []dag.NodeID
+	// Misguides[j] is the intersection between the top group of column j
+	// and the bottom group of column j-1, for j in [2, L].
+	Misguides map[int][]dag.NodeID
+	// MisguideS0 is the intersection between S0 and group (L,1).
+	MisguideS0 []dag.NodeID
+}
+
+// NewGreedyGrid builds the Theorem 4 construction with grid parameter
+// l >= 2 and k' common nodes per diagonal (kprime >= 1). The misguidance
+// intersections have 3 nodes each. The required red pebble count is R().
+func NewGreedyGrid(l, kprime int) *GreedyGrid {
+	if l < 2 || kprime < 1 {
+		panic("gadgets: NewGreedyGrid needs l >= 2 and kprime >= 1")
+	}
+	const msize = 3
+	gg := &GreedyGrid{
+		L: l, KPrime: kprime, MisguideSize: msize,
+		Groups:    make(map[GridPos][]dag.NodeID),
+		Targets:   make(map[GridPos]dag.NodeID),
+		Misguides: make(map[int][]dag.NodeID),
+	}
+	g := dag.New(0)
+	gg.G = g
+
+	// Determine the maximum number of non-common extra members any group
+	// needs, so that k = k' + cExtra is uniform.
+	cExtra := 0
+	for _, pos := range gg.AllPositions() {
+		if e := gg.extraBudget(pos, msize); e > cExtra {
+			cExtra = e
+		}
+	}
+	gg.K = kprime + cExtra
+
+	// Common source nodes per diagonal x = 2..L+1.
+	for x := 2; x <= l+1; x++ {
+		c := g.AddNodes(kprime)
+		for i, v := range c {
+			g.SetLabel(v, fmt.Sprintf("C%d.%d", x, i))
+		}
+		gg.Commons = append(gg.Commons, c)
+	}
+	// Misguidance intersections.
+	for j := 2; j <= l; j++ {
+		m := g.AddNodes(msize)
+		for i, v := range m {
+			g.SetLabel(v, fmt.Sprintf("M%d.%d", j, i))
+		}
+		gg.Misguides[j] = m
+	}
+	gg.MisguideS0 = g.AddNodes(msize)
+	for i, v := range gg.MisguideS0 {
+		g.SetLabel(v, fmt.Sprintf("MS0.%d", i))
+	}
+
+	// S0: members are the S0 misguide nodes plus fillers up to k; its L
+	// targets go one into each bottom group, s_L computed... s_i is the
+	// target for bottom group (i,1).
+	gg.S0Members = append([]dag.NodeID(nil), gg.MisguideS0...)
+	fill := g.AddNodes(gg.K - len(gg.S0Members))
+	for i, v := range fill {
+		g.SetLabel(v, fmt.Sprintf("S0f.%d", i))
+	}
+	gg.S0Members = append(gg.S0Members, fill...)
+	for i := 1; i <= l; i++ {
+		s := g.AddLabeledNode(fmt.Sprintf("s%d", i))
+		for _, u := range gg.S0Members {
+			g.AddEdge(u, s)
+		}
+		gg.S0Targets = append(gg.S0Targets, s)
+	}
+
+	// Grid groups: create targets first (column-major so t(i,j) exists
+	// when (i,j+1) is assembled is NOT needed — targets are standalone
+	// nodes; membership edges are added after).
+	for _, pos := range gg.AllPositions() {
+		gg.Targets[pos] = g.AddLabeledNode(fmt.Sprintf("t(%d,%d)", pos.I, pos.J))
+	}
+	for _, pos := range gg.AllPositions() {
+		members := gg.assembleMembers(pos, msize)
+		if len(members) != gg.K {
+			panic(fmt.Sprintf("gadgets: group %v has %d members, want %d", pos, len(members), gg.K))
+		}
+		gg.Groups[pos] = members
+		for _, u := range members {
+			g.AddEdge(u, gg.Targets[pos])
+		}
+	}
+	return gg
+}
+
+// extraBudget counts the non-common, non-filler members of group pos.
+func (gg *GreedyGrid) extraBudget(pos GridPos, msize int) int {
+	e := 0
+	if pos.J >= 2 {
+		e++ // dependency target t(i, j-1)
+	}
+	if pos.J == 1 {
+		e++ // S0 target s_i
+	}
+	if gg.isTop(pos) && pos.I >= 2 && pos.I <= gg.L {
+		e += msize // misguide M_I (top of column I)
+	}
+	if pos.J == 1 && pos.I >= 1 && pos.I <= gg.L-1 {
+		e += msize // misguide M_{I+1} (bottom of column I)
+	}
+	if pos == (GridPos{gg.L, 1}) {
+		e += msize // S0 intersection
+	}
+	return e
+}
+
+// assembleMembers builds the member list of group pos: commons, the
+// dependency target, the S0 target, misguides, then distinct fillers.
+func (gg *GreedyGrid) assembleMembers(pos GridPos, msize int) []dag.NodeID {
+	g := gg.G
+	x := pos.I + pos.J
+	members := append([]dag.NodeID(nil), gg.Commons[x-2]...)
+	if pos.J >= 2 {
+		members = append(members, gg.Targets[GridPos{pos.I, pos.J - 1}])
+	}
+	if pos.J == 1 {
+		members = append(members, gg.S0Targets[pos.I-1])
+	}
+	if gg.isTop(pos) && pos.I >= 2 && pos.I <= gg.L {
+		members = append(members, gg.Misguides[pos.I]...)
+	}
+	if pos.J == 1 && pos.I >= 1 && pos.I <= gg.L-1 {
+		members = append(members, gg.Misguides[pos.I+1]...)
+	}
+	if pos == (GridPos{gg.L, 1}) {
+		members = append(members, gg.MisguideS0...)
+	}
+	for len(members) < gg.K {
+		f := g.AddLabeledNode(fmt.Sprintf("f(%d,%d).%d", pos.I, pos.J, len(members)))
+		members = append(members, f)
+	}
+	return members
+}
+
+// isTop reports whether pos is the top group of its column.
+func (gg *GreedyGrid) isTop(pos GridPos) bool { return pos.I+pos.J == gg.L+1 }
+
+// R returns the red pebble count the construction is studied with: k+1.
+func (gg *GreedyGrid) R() int { return gg.K + 1 }
+
+// AllPositions lists the grid positions in deterministic (column-major)
+// order.
+func (gg *GreedyGrid) AllPositions() []GridPos {
+	var out []GridPos
+	for i := 1; i <= gg.L; i++ {
+		for j := 1; i+j <= gg.L+1; j++ {
+			out = append(out, GridPos{i, j})
+		}
+	}
+	return out
+}
+
+// OptimalVisits returns the paper's optimal group visit sequence: after
+// S0, process each diagonal x = 2..L+1 from its bottom group (x-1, 1) up
+// to (1, x-1).
+func (gg *GreedyGrid) OptimalVisits() []GridPos {
+	var out []GridPos
+	for x := 2; x <= gg.L+1; x++ {
+		for i := x - 1; i >= 1; i-- {
+			out = append(out, GridPos{i, x - i})
+		}
+	}
+	return out
+}
+
+// GreedyExpectedVisits returns the group visit sequence the misguidance
+// forces on greedy algorithms: columns right-to-left, each bottom-to-top.
+func (gg *GreedyGrid) GreedyExpectedVisits() []GridPos {
+	var out []GridPos
+	for i := gg.L; i >= 1; i-- {
+		for j := 1; i+j <= gg.L+1; j++ {
+			out = append(out, GridPos{i, j})
+		}
+	}
+	return out
+}
+
+// VisitOrder expands a group visit sequence into a full node-level
+// compute order: S0's members and targets first, then for each visited
+// group its not-yet-ordered source members (ascending ID) followed by its
+// target. The result is a valid input for sched.Execute.
+func (gg *GreedyGrid) VisitOrder(visits []GridPos) []dag.NodeID {
+	g := gg.G
+	placed := make([]bool, g.N())
+	var order []dag.NodeID
+	add := func(v dag.NodeID) {
+		if !placed[v] {
+			placed[v] = true
+			order = append(order, v)
+		}
+	}
+	for _, v := range gg.S0Members {
+		add(v)
+	}
+	for _, s := range gg.S0Targets {
+		add(s)
+	}
+	for _, pos := range visits {
+		members := append([]dag.NodeID(nil), gg.Groups[pos]...)
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		for _, u := range members {
+			if g.IsSource(u) {
+				add(u)
+			}
+		}
+		add(gg.Targets[pos])
+	}
+	return order
+}
+
+// TargetPos maps target node IDs back to their grid position (for
+// recovering a solver's group visit sequence from its compute order).
+func (gg *GreedyGrid) TargetPos() map[dag.NodeID]GridPos {
+	out := make(map[dag.NodeID]GridPos, len(gg.Targets))
+	for pos, t := range gg.Targets {
+		out[t] = pos
+	}
+	return out
+}

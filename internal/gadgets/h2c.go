@@ -1,0 +1,104 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"rbpebble/internal/dag"
+)
+
+// H2C is the hard-to-compute gadget of Figure 2. For a designated node v
+// it adds three starter nodes u1, u2, u3, each reading the entire shared
+// group B of R-1 nodes, and makes u1, u2, u3 the inputs of v. Computing
+// any starter occupies all R red pebbles (R-1 on B plus the starter), so
+// when the last starter is computed the other two must have been stored;
+// computing v therefore costs at least 4 transfers (2 stores + 2 loads).
+//
+// The gadget gives source nodes an inherent constant cost and — because
+// re-deriving a starter from scratch costs at least 4 while a store/load
+// round trip of v costs 2 — ensures reasonable pebblings never delete and
+// recompute v (paper §3, "disabling the recomputation of nodes").
+type H2C struct {
+	G *dag.DAG
+	// S is the shared root source feeding every node of B.
+	S dag.NodeID
+	// B is the shared group of R-1 nodes.
+	B []dag.NodeID
+	// Starters[v] lists the three starter nodes added for protected node v.
+	Starters map[dag.NodeID][3]dag.NodeID
+}
+
+// MinTransferCost is the inherent transfer cost the gadget imposes on
+// computing each protected node (2 stores + 2 loads).
+const MinTransferCost = 4
+
+// AttachH2C augments g with one shared H2C gadget protecting each of the
+// given nodes (which must currently be sources of g): each protected node
+// v gains inputs u1, u2, u3. The group B has r-1 nodes, so the augmented
+// DAG is meant to be pebbled with the same r as the host construction
+// (the starters then need all r red pebbles). Per the paper this adds
+// 3 nodes per protected source plus r shared nodes in total.
+func AttachH2C(g *dag.DAG, protect []dag.NodeID, r int) *H2C {
+	if r < 2 {
+		panic("gadgets: AttachH2C needs r >= 2")
+	}
+	for _, v := range protect {
+		if !g.IsSource(v) {
+			panic(fmt.Sprintf("gadgets: AttachH2C: node %d is not a source", v))
+		}
+	}
+	h := &H2C{G: g, Starters: make(map[dag.NodeID][3]dag.NodeID, len(protect))}
+	h.S = g.AddLabeledNode("h2c.s")
+	h.B = g.AddNodes(r - 1)
+	for i, b := range h.B {
+		g.SetLabel(b, fmt.Sprintf("h2c.b%d", i))
+		g.AddEdge(h.S, b)
+	}
+	for _, v := range protect {
+		var us [3]dag.NodeID
+		for i := 0; i < 3; i++ {
+			u := g.AddLabeledNode(fmt.Sprintf("h2c.u%d(%d)", i+1, v))
+			for _, b := range h.B {
+				g.AddEdge(b, u)
+			}
+			us[i] = u
+			g.AddEdge(u, v)
+		}
+		h.Starters[v] = us
+	}
+	return h
+}
+
+// StrategyMoves returns a compute order that resolves the gadget for one
+// protected node v at minimal cost, assuming it runs first (B red):
+// the caller appends it before its own order. The order is: s, B, u1, u2,
+// u3 — the store/load shuffle is handled by the scheduler's eviction.
+func (h *H2C) StrategyOrder(v dag.NodeID) []dag.NodeID {
+	us, ok := h.Starters[v]
+	if !ok {
+		panic(fmt.Sprintf("gadgets: node %d is not protected by this H2C", v))
+	}
+	order := make([]dag.NodeID, 0, len(h.B)+4)
+	order = append(order, h.S)
+	order = append(order, h.B...)
+	order = append(order, us[0], us[1], us[2])
+	return order
+}
+
+// SharedOrderPrefix returns the order prefix computing the shared part
+// (s and B) once; follow it with the starters of each protected node at
+// the point its value is needed.
+func (h *H2C) SharedOrderPrefix() []dag.NodeID {
+	order := make([]dag.NodeID, 0, len(h.B)+1)
+	order = append(order, h.S)
+	order = append(order, h.B...)
+	return order
+}
+
+// StarterOrder returns just the three starters of v in computation order.
+func (h *H2C) StarterOrder(v dag.NodeID) []dag.NodeID {
+	us, ok := h.Starters[v]
+	if !ok {
+		panic(fmt.Sprintf("gadgets: node %d is not protected by this H2C", v))
+	}
+	return []dag.NodeID{us[0], us[1], us[2]}
+}

@@ -1,0 +1,73 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"rbpebble/internal/dag"
+)
+
+// H2CSeparate is the Appendix A.2 variant of the H2C gadget: every
+// protected node gets its own private root s and group B (nothing is
+// shared), so deriving each protected node is an independent process
+// that needs all R red pebbles and costs exactly MinTransferCost,
+// regardless of when other protected nodes are derived.
+type H2CSeparate struct {
+	G *dag.DAG
+	// S[v], B[v] and Starters[v] are the private gadget parts of v.
+	S        map[dag.NodeID]dag.NodeID
+	B        map[dag.NodeID][]dag.NodeID
+	Starters map[dag.NodeID][3]dag.NodeID
+}
+
+// AttachH2CSeparate protects each listed source of g with a private H2C
+// gadget sized for r red pebbles. It adds r+3 nodes per protected node.
+func AttachH2CSeparate(g *dag.DAG, protect []dag.NodeID, r int) *H2CSeparate {
+	if r < 2 {
+		panic("gadgets: AttachH2CSeparate needs r >= 2")
+	}
+	h := &H2CSeparate{
+		G:        g,
+		S:        make(map[dag.NodeID]dag.NodeID, len(protect)),
+		B:        make(map[dag.NodeID][]dag.NodeID, len(protect)),
+		Starters: make(map[dag.NodeID][3]dag.NodeID, len(protect)),
+	}
+	for _, v := range protect {
+		if !g.IsSource(v) {
+			panic(fmt.Sprintf("gadgets: AttachH2CSeparate: node %d is not a source", v))
+		}
+		s := g.AddLabeledNode(fmt.Sprintf("h2c.s(%d)", v))
+		b := g.AddNodes(r - 1)
+		for i, bn := range b {
+			g.SetLabel(bn, fmt.Sprintf("h2c.b%d(%d)", i, v))
+			g.AddEdge(s, bn)
+		}
+		var us [3]dag.NodeID
+		for i := 0; i < 3; i++ {
+			u := g.AddLabeledNode(fmt.Sprintf("h2c.u%d(%d)", i+1, v))
+			for _, bn := range b {
+				g.AddEdge(bn, u)
+			}
+			us[i] = u
+			g.AddEdge(u, v)
+		}
+		h.S[v] = s
+		h.B[v] = b
+		h.Starters[v] = us
+	}
+	return h
+}
+
+// Order returns the compute order deriving protected node v at minimal
+// cost: its private s, B, then the three starters (the caller appends v
+// itself).
+func (h *H2CSeparate) Order(v dag.NodeID) []dag.NodeID {
+	us, ok := h.Starters[v]
+	if !ok {
+		panic(fmt.Sprintf("gadgets: node %d is not protected", v))
+	}
+	order := make([]dag.NodeID, 0, len(h.B[v])+4)
+	order = append(order, h.S[v])
+	order = append(order, h.B[v]...)
+	order = append(order, us[0], us[1], us[2])
+	return order
+}

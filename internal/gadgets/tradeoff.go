@@ -1,0 +1,112 @@
+// Package gadgets builds the DAG constructions of Papp & Wattenhofer
+// (SPAA 2020): the constant-degree (CD) gadget of Figure 1, the
+// hard-to-compute (H2C) gadget of Figure 2, the single-source transform
+// of §3, the time-memory tradeoff DAG of Figure 3, and the
+// greedy-adversarial grid of Figure 8. Each builder returns the DAG
+// together with structured handles to its parts, and, where the paper
+// prescribes an optimal strategy, a compute order realizing it.
+package gadgets
+
+import (
+	"fmt"
+
+	"rbpebble/internal/dag"
+)
+
+// Tradeoff is the Figure 3 construction: two control groups of size d and
+// a chain of length chainLen. Chain node j is enabled by the previous
+// chain node and by all of control group A (j even) or B (j odd).
+//
+// In the oneshot model its optimal cost exhibits the maximal tradeoff
+// slope: opt(d+2+i) = 2(d-i)·n for i in [0,d] (paper §5, Figure 4).
+type Tradeoff struct {
+	G      *dag.DAG
+	D      int
+	GroupA []dag.NodeID
+	GroupB []dag.NodeID
+	Chain  []dag.NodeID
+}
+
+// NewTradeoff builds the Figure 3 DAG with control group size d >= 1 and
+// the given chain length >= 1.
+func NewTradeoff(d, chainLen int) *Tradeoff {
+	if d < 1 || chainLen < 1 {
+		panic("gadgets: NewTradeoff needs d >= 1 and chainLen >= 1")
+	}
+	g := dag.New(0)
+	t := &Tradeoff{G: g, D: d}
+	t.GroupA = g.AddNodes(d)
+	for _, v := range t.GroupA {
+		g.SetLabel(v, "A")
+	}
+	t.GroupB = g.AddNodes(d)
+	for _, v := range t.GroupB {
+		g.SetLabel(v, "B")
+	}
+	t.Chain = g.AddNodes(chainLen)
+	for j, c := range t.Chain {
+		g.SetLabel(c, fmt.Sprintf("c%d", j))
+		grp := t.GroupA
+		if j%2 == 1 {
+			grp = t.GroupB
+		}
+		for _, v := range grp {
+			g.AddEdge(v, c)
+		}
+		if j > 0 {
+			g.AddEdge(t.Chain[j-1], c)
+		}
+	}
+	return t
+}
+
+// MaxUsefulR returns 2d+2, beyond which the pebbling is free (both
+// control groups and two chain positions fit in fast memory).
+func (t *Tradeoff) MaxUsefulR() int { return 2*t.D + 2 }
+
+// MinR returns the minimum feasible red pebble count Δ+1 = d+2.
+func (t *Tradeoff) MinR() int { return t.D + 2 }
+
+// PredictedOptOneshot returns the paper's closed-form optimum for the
+// oneshot model with r red pebbles: 2(d-i)·n for r = d+2+i, i in [0,d],
+// and 0 for r >= 2d+2, where n is the chain length. It panics for
+// infeasible r < d+2.
+//
+// The formula counts the steady-state shuttle cost; the concrete
+// constructions save a few transfers at the boundary (the first
+// computation of each control node is free, and pebbles need not return
+// at the end), so measured optima are PredictedOptOneshot minus an O(d)
+// boundary term. Benchmarks report both.
+func (t *Tradeoff) PredictedOptOneshot(r int) int {
+	d, n := t.D, len(t.Chain)
+	if r < d+2 {
+		panic(fmt.Sprintf("gadgets: infeasible R=%d < %d", r, d+2))
+	}
+	if r >= 2*d+2 {
+		return 0
+	}
+	i := r - (d + 2)
+	return 2 * (d - i) * n
+}
+
+// StrategyOrder returns the natural compute order of the construction:
+// control sources immediately before their first use, then the chain in
+// sequence. Executing this order with Belady eviction realizes the
+// paper's prescribed strategy for every feasible R.
+func (t *Tradeoff) StrategyOrder() []dag.NodeID {
+	order := make([]dag.NodeID, 0, t.G.N())
+	order = append(order, t.GroupA...)
+	if len(t.Chain) > 0 {
+		order = append(order, t.Chain[0])
+	}
+	if len(t.Chain) > 1 {
+		order = append(order, t.GroupB...)
+		order = append(order, t.Chain[1:]...)
+	} else {
+		// Group B feeds nothing beyond chain[0]; still must be computed
+		// (its nodes are sinks... they are sources with no successors only
+		// when chainLen == 1, in which case they are source-sinks).
+		order = append(order, t.GroupB...)
+	}
+	return order
+}

@@ -1,0 +1,46 @@
+package gadgets
+
+import "rbpebble/internal/dag"
+
+// SingleSource applies the §3 "small number of source nodes"
+// transformation: it adds a new source s0 with an edge to every other
+// node of g and returns s0. The transformed DAG must be pebbled with
+// R' = R+1 red pebbles; a reasonable pebbling parks one red pebble on s0
+// forever, leaving R pebbles to pebble the rest exactly as before.
+//
+// The transformation is applied in place; pass a Clone if the original
+// must be preserved.
+func SingleSource(g *dag.DAG) dag.NodeID {
+	n := g.N()
+	s0 := g.AddLabeledNode("s0")
+	for v := 0; v < n; v++ {
+		g.AddEdge(s0, dag.NodeID(v))
+	}
+	return s0
+}
+
+// ConstantDegree rewrites g so that every node has indegree at most 2 by
+// replacing each high-indegree node's input set with a CD gadget of the
+// given height (Appendix B). The caller must pebble the result with
+// R' = R+1 red pebbles. It returns the gadgets created, keyed by the
+// original target node.
+//
+// Only nodes with indegree > 2 are transformed: their in-edges are
+// removed and replaced by a single edge from the gadget's Out node, with
+// the gadget reading the original inputs as its left group.
+func ConstantDegree(g *dag.DAG, h int) map[dag.NodeID]*CD {
+	out := make(map[dag.NodeID]*CD)
+	n := g.N() // snapshot: gadget nodes appended later have indegree <= 2
+	for v := 0; v < n; v++ {
+		node := dag.NodeID(v)
+		if g.InDegree(node) <= 2 {
+			continue
+		}
+		left := append([]dag.NodeID(nil), g.Preds(node)...)
+		g.RemoveInEdges(node)
+		cd := AttachCD(g, left, h)
+		g.AddEdge(cd.Out, node)
+		out[node] = cd
+	}
+	return out
+}

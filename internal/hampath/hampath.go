@@ -1,0 +1,107 @@
+// Package hampath decides the Hamiltonian Path problem exactly via the
+// Held-Karp bitmask dynamic program, O(2^n · n^2) time and O(2^n · n)
+// memory. It is the source-problem oracle for the paper's Theorem 2
+// reduction: pebbling the reduction DAG at the threshold cost is possible
+// iff the source graph has a Hamiltonian path.
+package hampath
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rbpebble/internal/ugraph"
+)
+
+// MaxN is the largest vertex count Solve accepts (the DP table has
+// 2^n · n entries).
+const MaxN = 24
+
+// Solve reports whether g has a Hamiltonian path and, if so, returns one
+// as a vertex sequence. Graphs with 0 vertices trivially have one (the
+// empty path); a single vertex is a path of length 0.
+func Solve(g *ugraph.Graph) (bool, []int) {
+	n := g.N()
+	if n > MaxN {
+		panic(fmt.Sprintf("hampath: n=%d exceeds MaxN=%d", n, MaxN))
+	}
+	if n == 0 {
+		return true, nil
+	}
+	if n == 1 {
+		return true, []int{0}
+	}
+	// adjacency bitmasks
+	adj := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			adj[u] |= 1 << uint(v)
+		}
+	}
+	size := 1 << uint(n)
+	// reach[mask] = bitset of possible path endpoints using exactly mask.
+	reach := make([]uint32, size)
+	for v := 0; v < n; v++ {
+		reach[1<<uint(v)] = 1 << uint(v)
+	}
+	for mask := 1; mask < size; mask++ {
+		ends := reach[mask]
+		if ends == 0 {
+			continue
+		}
+		for e := ends; e != 0; e &= e - 1 {
+			last := bits.TrailingZeros32(e & (^e + 1))
+			nexts := adj[last] &^ uint32(mask)
+			for nx := nexts; nx != 0; nx &= nx - 1 {
+				w := bits.TrailingZeros32(nx & (^nx + 1))
+				reach[mask|1<<uint(w)] |= 1 << uint(w)
+			}
+		}
+	}
+	full := size - 1
+	if reach[full] == 0 {
+		return false, nil
+	}
+	// Reconstruct a witness path backwards.
+	path := make([]int, 0, n)
+	mask := full
+	last := bits.TrailingZeros32(reach[full])
+	path = append(path, last)
+	for len(path) < n {
+		prevMask := mask &^ (1 << uint(last))
+		found := -1
+		cands := reach[prevMask] & adj[last]
+		if cands == 0 {
+			panic("hampath: reconstruction failed (internal inconsistency)")
+		}
+		found = bits.TrailingZeros32(cands)
+		path = append(path, found)
+		mask = prevMask
+		last = found
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return true, path
+}
+
+// Verify reports whether path is a Hamiltonian path of g: a permutation
+// of all vertices with consecutive vertices adjacent.
+func Verify(g *ugraph.Graph, path []int) bool {
+	if len(path) != g.N() {
+		return false
+	}
+	seen := make([]bool, g.N())
+	for _, v := range path {
+		if v < 0 || v >= g.N() || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package hampath
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rbpebble/internal/ugraph"
+)
+
+func TestTrivial(t *testing.T) {
+	if ok, _ := Solve(ugraph.New(0)); !ok {
+		t.Fatal("empty graph should have trivial HP")
+	}
+	ok, p := Solve(ugraph.New(1))
+	if !ok || len(p) != 1 {
+		t.Fatal("single vertex")
+	}
+	// Two isolated vertices: no HP.
+	if ok, _ := Solve(ugraph.New(2)); ok {
+		t.Fatal("disconnected graph has no HP")
+	}
+}
+
+func TestPathAndCycle(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		g := ugraph.Path(n)
+		ok, p := Solve(g)
+		if !ok || !Verify(g, p) {
+			t.Fatalf("Path(%d): ok=%v verify=%v", n, ok, Verify(g, p))
+		}
+	}
+	for n := 3; n <= 8; n++ {
+		g := ugraph.Cycle(n)
+		ok, p := Solve(g)
+		if !ok || !Verify(g, p) {
+			t.Fatalf("Cycle(%d) should have HP", n)
+		}
+	}
+}
+
+func TestStarHasNoHP(t *testing.T) {
+	// A star with >= 4 vertices has no Hamiltonian path (center would
+	// need degree >= 2 within the path for 2 leaves... any path visits
+	// the center once, allowing at most 2 leaves).
+	for n := 4; n <= 8; n++ {
+		if ok, _ := Solve(ugraph.Star(n)); ok {
+			t.Fatalf("Star(%d) should have no HP", n)
+		}
+	}
+	// Star(3) is itself a path.
+	if ok, _ := Solve(ugraph.Star(3)); !ok {
+		t.Fatal("Star(3) is a path")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := ugraph.Complete(8)
+	ok, p := Solve(g)
+	if !ok || !Verify(g, p) {
+		t.Fatal("complete graph must have HP")
+	}
+}
+
+func TestDisjointTriangles(t *testing.T) {
+	if ok, _ := Solve(ugraph.DisjointTriangles(2)); ok {
+		t.Fatal("disconnected triangles have no HP")
+	}
+}
+
+func TestPlantedPathFound(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, _ := ugraph.RandomWithHamPath(14, 0.05, seed)
+		ok, p := Solve(g)
+		if !ok {
+			t.Fatalf("seed %d: planted HP not found", seed)
+		}
+		if !Verify(g, p) {
+			t.Fatalf("seed %d: witness invalid", seed)
+		}
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	g := ugraph.Path(4)
+	if Verify(g, []int{0, 1, 2}) {
+		t.Fatal("short path accepted")
+	}
+	if Verify(g, []int{0, 1, 1, 2}) {
+		t.Fatal("repeated vertex accepted")
+	}
+	if Verify(g, []int{0, 2, 1, 3}) {
+		t.Fatal("non-adjacent step accepted")
+	}
+	if Verify(g, []int{0, 1, 2, 9}) {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if !Verify(g, []int{3, 2, 1, 0}) {
+		t.Fatal("reversed path rejected")
+	}
+}
+
+func TestTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n > MaxN")
+		}
+	}()
+	Solve(ugraph.New(MaxN + 1))
+}
+
+// Property: Solve agrees with brute-force permutation search on small
+// random graphs.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	brute := func(g *ugraph.Graph) bool {
+		n := g.N()
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var try func(i int) bool
+		try = func(i int) bool {
+			if i == n {
+				for j := 0; j+1 < n; j++ {
+					if !g.HasEdge(perm[j], perm[j+1]) {
+						return false
+					}
+				}
+				return true
+			}
+			for j := i; j < n; j++ {
+				perm[i], perm[j] = perm[j], perm[i]
+				if try(i + 1) {
+					return true
+				}
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+			return false
+		}
+		return try(0)
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		g := ugraph.Random(n, 0.4, seed)
+		got, witness := Solve(g)
+		if got && !Verify(g, witness) {
+			return false
+		}
+		return got == brute(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve16(b *testing.B) {
+	g, _ := ugraph.RandomWithHamPath(16, 0.1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := Solve(g); !ok {
+			b.Fatal("planted path lost")
+		}
+	}
+}
+
+func TestNamedGraphs(t *testing.T) {
+	// The Petersen graph is hypohamiltonian: no Hamiltonian cycle but a
+	// Hamiltonian path exists.
+	ok, p := Solve(ugraph.Petersen())
+	if !ok || !Verify(ugraph.Petersen(), p) {
+		t.Fatal("Petersen graph should have a Hamiltonian path")
+	}
+	// Hypercubes are Hamiltonian (Gray codes).
+	for d := 2; d <= 4; d++ {
+		g := ugraph.Hypercube(d)
+		ok, p := Solve(g)
+		if !ok || !Verify(g, p) {
+			t.Fatalf("Q_%d should have a Hamiltonian path", d)
+		}
+	}
+	// Grid graphs have boustrophedon paths.
+	g := ugraph.GridGraph(3, 4)
+	if ok, _ := Solve(g); !ok {
+		t.Fatal("grid graph should have a Hamiltonian path")
+	}
+	// Wheels are Hamiltonian.
+	if ok, _ := Solve(ugraph.Wheel(7)); !ok {
+		t.Fatal("wheel should have a Hamiltonian path")
+	}
+}

@@ -1,0 +1,209 @@
+package multilevel
+
+import (
+	"fmt"
+	"sort"
+
+	"rbpebble/internal/dag"
+)
+
+// Result summarizes an executed multilevel pebbling.
+type Result struct {
+	Cost     int
+	Steps    int
+	Complete bool
+	// TransfersPerLink[i] counts the moves across the level i <-> i+1
+	// link (promotes + demotes).
+	TransfersPerLink []int
+}
+
+// Execute pebbles g by computing the nodes in the given topological
+// order, managing placement with a Belady-style policy generalized to
+// the hierarchy: inputs are promoted level by level to level 0; when a
+// bounded level is full, the resident with the furthest next use is
+// demoted one level (values with no remaining use are deleted for
+// free). The returned moves are replayed through the legality checker
+// before the result is reported.
+func Execute(g *dag.DAG, h Hierarchy, order []dag.NodeID, oneshot bool) ([]Move, Result, error) {
+	st, err := NewState(g, h, oneshot)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	n := g.N()
+	if err := checkOrder(g, order); err != nil {
+		return nil, Result{}, err
+	}
+
+	// Next-use machinery (as in the two-level scheduler).
+	pos := make([]int, n)
+	for v := range pos {
+		pos[v] = -1
+	}
+	for i, v := range order {
+		pos[v] = i
+	}
+	uses := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, w := range g.Succs(dag.NodeID(u)) {
+			if pos[w] >= 0 {
+				uses[u] = append(uses[u], pos[w])
+			}
+		}
+		sort.Ints(uses[u])
+	}
+	useIdx := make([]int, n)
+	const never = int(^uint(0) >> 1)
+	nextUse := func(u, now int) int {
+		for useIdx[u] < len(uses[u]) && uses[u][useIdx[u]] <= now {
+			useIdx[u]++
+		}
+		if useIdx[u] < len(uses[u]) {
+			return uses[u][useIdx[u]]
+		}
+		return never
+	}
+	live := func(u, now int) bool {
+		return nextUse(u, now) != never || g.IsSink(dag.NodeID(u))
+	}
+
+	var moves []Move
+	apply := func(m Move) error {
+		if err := st.Apply(m); err != nil {
+			return err
+		}
+		moves = append(moves, m)
+		return nil
+	}
+
+	// freeSlot ensures bounded level lv has room, demoting (or deleting)
+	// the furthest-next-use unpinned resident; demotion may cascade.
+	var freeSlot func(lv, now int, pinned map[int]bool) error
+	freeSlot = func(lv, now int, pinned map[int]bool) error {
+		if lv >= len(h.Limits) || st.counts[lv] < h.Limits[lv] {
+			return nil
+		}
+		victim, victimUse := -1, -2
+		for v := 0; v < n; v++ {
+			if int(st.level[v]) != lv || pinned[v] {
+				continue
+			}
+			nu := nextUse(v, now)
+			score := nu
+			if nu == never && !g.IsSink(dag.NodeID(v)) {
+				score = never // dead first
+			} else if nu == never {
+				score = never - 1
+			}
+			if score > victimUse {
+				victim, victimUse = v, score
+			}
+		}
+		if victim < 0 {
+			return fmt.Errorf("multilevel: level %d full of pinned values", lv)
+		}
+		if !live(victim, now) {
+			return apply(Move{Kind: Delete, Node: dag.NodeID(victim)})
+		}
+		if err := freeSlot(lv+1, now, pinned); err != nil {
+			return err
+		}
+		return apply(Move{Kind: Demote, Node: dag.NodeID(victim), Level: lv})
+	}
+
+	// raise promotes u from its current level to level 0.
+	raise := func(u int, now int, pinned map[int]bool) error {
+		for int(st.level[u]) > 0 {
+			target := int(st.level[u]) - 1
+			if err := freeSlot(target, now, pinned); err != nil {
+				return err
+			}
+			if err := apply(Move{Kind: Promote, Node: dag.NodeID(u), Level: target}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i, v := range order {
+		preds := g.Preds(v)
+		pinned := make(map[int]bool, len(preds)+1)
+		for _, u := range preds {
+			pinned[int(u)] = true
+		}
+		for _, u := range g.SortedPreds(v) {
+			if st.level[u] == NoPebble {
+				return nil, Result{}, fmt.Errorf("multilevel: input %d of %d lost (order position %d)", u, v, i)
+			}
+			if err := raise(int(u), i, pinned); err != nil {
+				return nil, Result{}, err
+			}
+		}
+		if err := freeSlot(0, i, pinned); err != nil {
+			return nil, Result{}, err
+		}
+		if err := apply(Move{Kind: Compute, Node: v}); err != nil {
+			return nil, Result{}, err
+		}
+	}
+
+	res, err := Replay(g, h, moves, oneshot)
+	if err != nil {
+		return nil, Result{}, fmt.Errorf("multilevel: self-verification failed: %w", err)
+	}
+	return moves, res, nil
+}
+
+// Replay validates a move sequence from scratch and returns its result.
+func Replay(g *dag.DAG, h Hierarchy, moves []Move, oneshot bool) (Result, error) {
+	st, err := NewState(g, h, oneshot)
+	if err != nil {
+		return Result{}, err
+	}
+	perLink := make([]int, len(h.Limits))
+	for i, m := range moves {
+		if err := st.Apply(m); err != nil {
+			return Result{}, fmt.Errorf("move %d: %w", i, err)
+		}
+		if m.Kind == Promote || m.Kind == Demote {
+			perLink[m.Level]++
+		}
+	}
+	res := Result{
+		Cost:             st.Cost(),
+		Steps:            st.Steps(),
+		Complete:         st.Complete(),
+		TransfersPerLink: perLink,
+	}
+	if !res.Complete {
+		return res, fmt.Errorf("multilevel: pebbling incomplete")
+	}
+	return res, nil
+}
+
+func checkOrder(g *dag.DAG, order []dag.NodeID) error {
+	n := g.N()
+	posOf := make([]int, n)
+	for i := range posOf {
+		posOf[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("multilevel: order contains out-of-range node %d", v)
+		}
+		if posOf[v] >= 0 {
+			return fmt.Errorf("multilevel: order contains node %d twice", v)
+		}
+		posOf[v] = i
+	}
+	for v := 0; v < n; v++ {
+		if posOf[v] < 0 {
+			return fmt.Errorf("multilevel: order missing node %d", v)
+		}
+		for _, u := range g.Preds(dag.NodeID(v)) {
+			if posOf[u] > posOf[v] {
+				return fmt.Errorf("multilevel: order violates edge %d->%d", u, v)
+			}
+		}
+	}
+	return nil
+}

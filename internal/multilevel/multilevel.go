@@ -1,0 +1,279 @@
+// Package multilevel generalizes the red-blue pebble game to memory
+// hierarchies with more than two levels — the extension discussed by
+// Carpenter et al. (SPAA 2016) and cited in the paper's related work.
+//
+// A hierarchy has L levels: level 0 is the fastest (where computation
+// happens) and level L-1 is unbounded slow memory. Each bounded level i
+// holds at most Limits[i] values; moving a value between level i and
+// i+1 (either direction) costs Costs[i]. A node holds at most one
+// pebble, annotated with the level it resides at. Computing a node
+// requires all of its inputs at level 0 and places the result at
+// level 0.
+//
+// The classic red-blue game is the special case of two levels:
+// NewHierarchy([]int{R}, []int{1}).
+package multilevel
+
+import (
+	"errors"
+	"fmt"
+
+	"rbpebble/internal/dag"
+)
+
+// Hierarchy describes a multi-level memory system. With F = len(Limits)
+// bounded fast levels, the hierarchy has F+1 levels in total; level F is
+// unbounded. Costs[i] is the price of a transfer between level i and
+// level i+1, so a fetch from level j to level 0 costs
+// Costs[0]+...+Costs[j-1].
+type Hierarchy struct {
+	Limits []int
+	Costs  []int
+}
+
+// NewHierarchy validates and returns a hierarchy.
+func NewHierarchy(limits, costs []int) (Hierarchy, error) {
+	if len(limits) == 0 {
+		return Hierarchy{}, errors.New("multilevel: need at least one bounded level")
+	}
+	if len(costs) != len(limits) {
+		return Hierarchy{}, fmt.Errorf("multilevel: len(costs)=%d != len(limits)=%d", len(costs), len(limits))
+	}
+	for i, l := range limits {
+		if l < 1 {
+			return Hierarchy{}, fmt.Errorf("multilevel: limit of level %d must be positive, got %d", i, l)
+		}
+	}
+	for i, c := range costs {
+		if c < 0 {
+			return Hierarchy{}, fmt.Errorf("multilevel: cost of link %d must be non-negative, got %d", i, c)
+		}
+	}
+	return Hierarchy{Limits: limits, Costs: costs}, nil
+}
+
+// Levels returns the total number of levels (bounded levels + the
+// unbounded last level).
+func (h Hierarchy) Levels() int { return len(h.Limits) + 1 }
+
+// FetchCost returns the cost of moving a value from level j to level 0.
+func (h Hierarchy) FetchCost(j int) int {
+	c := 0
+	for i := 0; i < j; i++ {
+		c += h.Costs[i]
+	}
+	return c
+}
+
+// MoveKind enumerates the multilevel operations.
+type MoveKind int
+
+const (
+	// Promote moves a pebble from level Level+1 to Level.
+	Promote MoveKind = iota
+	// Demote moves a pebble from level Level to Level+1.
+	Demote
+	// Compute places a pebble for Node at level 0 (inputs must be at
+	// level 0; sources always computable).
+	Compute
+	// Delete removes Node's pebble.
+	Delete
+)
+
+// String names the move kind.
+func (k MoveKind) String() string {
+	switch k {
+	case Promote:
+		return "promote"
+	case Demote:
+		return "demote"
+	case Compute:
+		return "compute"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("MoveKind(%d)", int(k))
+	}
+}
+
+// Move is one operation. Level is the upper level index of the link a
+// Promote/Demote crosses (value moves between Level and Level+1); it is
+// ignored for Compute and Delete.
+type Move struct {
+	Kind  MoveKind
+	Node  dag.NodeID
+	Level int
+}
+
+// String renders the move.
+func (m Move) String() string {
+	switch m.Kind {
+	case Promote, Demote:
+		return fmt.Sprintf("%s(%d, L%d<->L%d)", m.Kind, m.Node, m.Level, m.Level+1)
+	default:
+		return fmt.Sprintf("%s(%d)", m.Kind, m.Node)
+	}
+}
+
+// State is a live multilevel pebbling position.
+type State struct {
+	g       *dag.DAG
+	h       Hierarchy
+	oneshot bool
+
+	level    []int8 // -1 = no pebble, else residence level
+	counts   []int  // pebbles per bounded level
+	computed []bool
+	cost     int
+	steps    int
+}
+
+// NoPebble marks a node without a pebble.
+const NoPebble = int8(-1)
+
+// NewState returns the empty starting state. With oneshot true, each
+// node may be computed at most once (the analogue of the oneshot model).
+func NewState(g *dag.DAG, h Hierarchy, oneshot bool) (*State, error) {
+	if _, err := NewHierarchy(h.Limits, h.Costs); err != nil {
+		return nil, err
+	}
+	if d := g.MaxInDegree(); h.Limits[0] < d+1 {
+		return nil, fmt.Errorf("multilevel: level-0 limit %d < Δ+1 = %d, no pebbling exists", h.Limits[0], d+1)
+	}
+	lv := make([]int8, g.N())
+	for i := range lv {
+		lv[i] = NoPebble
+	}
+	return &State{
+		g: g, h: h, oneshot: oneshot,
+		level:    lv,
+		counts:   make([]int, len(h.Limits)),
+		computed: make([]bool, g.N()),
+	}, nil
+}
+
+// Level returns the residence level of v's pebble, or NoPebble.
+func (s *State) Level(v dag.NodeID) int8 { return s.level[v] }
+
+// Cost returns the accumulated transfer cost.
+func (s *State) Cost() int { return s.cost }
+
+// Steps returns the number of applied moves.
+func (s *State) Steps() int { return s.steps }
+
+// CountAt returns the number of pebbles at bounded level i.
+func (s *State) CountAt(i int) int { return s.counts[i] }
+
+// Check reports whether m is legal.
+func (s *State) Check(m Move) error {
+	v := int(m.Node)
+	if v < 0 || v >= s.g.N() {
+		return fmt.Errorf("multilevel: node %d out of range", m.Node)
+	}
+	switch m.Kind {
+	case Promote:
+		if m.Level < 0 || m.Level >= len(s.h.Limits) {
+			return fmt.Errorf("multilevel: bad link level %d", m.Level)
+		}
+		if int(s.level[v]) != m.Level+1 {
+			return fmt.Errorf("multilevel: %s: node is at level %d", m, s.level[v])
+		}
+		if s.counts[m.Level] >= s.h.Limits[m.Level] {
+			return fmt.Errorf("multilevel: %s: level %d full", m, m.Level)
+		}
+		return nil
+	case Demote:
+		if m.Level < 0 || m.Level >= len(s.h.Limits) {
+			return fmt.Errorf("multilevel: bad link level %d", m.Level)
+		}
+		if int(s.level[v]) != m.Level {
+			return fmt.Errorf("multilevel: %s: node is at level %d", m, s.level[v])
+		}
+		if m.Level+1 < len(s.h.Limits) && s.counts[m.Level+1] >= s.h.Limits[m.Level+1] {
+			return fmt.Errorf("multilevel: %s: level %d full", m, m.Level+1)
+		}
+		return nil
+	case Compute:
+		if s.oneshot && s.computed[v] {
+			return fmt.Errorf("multilevel: %s: already computed (oneshot)", m)
+		}
+		if s.level[v] == 0 {
+			return fmt.Errorf("multilevel: %s: already at level 0", m)
+		}
+		for _, u := range s.g.Preds(m.Node) {
+			if s.level[u] != 0 {
+				return fmt.Errorf("multilevel: %s: input %d not at level 0", m, u)
+			}
+		}
+		if s.counts[0] >= s.h.Limits[0] {
+			return fmt.Errorf("multilevel: %s: level 0 full", m)
+		}
+		return nil
+	case Delete:
+		if s.level[v] == NoPebble {
+			return fmt.Errorf("multilevel: %s: no pebble", m)
+		}
+		return nil
+	default:
+		return fmt.Errorf("multilevel: unknown move kind %d", int(m.Kind))
+	}
+}
+
+// Apply executes m, updating cost and counts; the state is unchanged on
+// error.
+func (s *State) Apply(m Move) error {
+	if err := s.Check(m); err != nil {
+		return err
+	}
+	v := int(m.Node)
+	switch m.Kind {
+	case Promote:
+		s.adjustCount(m.Level+1, -1)
+		s.level[v] = int8(m.Level)
+		s.counts[m.Level]++
+		s.cost += s.h.Costs[m.Level]
+	case Demote:
+		s.counts[m.Level]--
+		s.level[v] = int8(m.Level + 1)
+		s.adjustCount(m.Level+1, +1)
+		s.cost += s.h.Costs[m.Level]
+	case Compute:
+		if s.level[v] != NoPebble {
+			// Replace the existing (deeper) pebble, mirroring the 2-level
+			// game's compute-over-blue.
+			s.adjustCount(int(s.level[v]), -1)
+		}
+		s.level[v] = 0
+		s.counts[0]++
+		s.computed[v] = true
+	case Delete:
+		s.adjustCount(int(s.level[v]), -1)
+		s.level[v] = NoPebble
+	}
+	s.steps++
+	return nil
+}
+
+// adjustCount updates the pebble count of a level if it is bounded.
+func (s *State) adjustCount(level, delta int) {
+	if level < len(s.h.Limits) {
+		s.counts[level] += delta
+	}
+}
+
+// MustApply panics on illegal moves.
+func (s *State) MustApply(m Move) {
+	if err := s.Apply(m); err != nil {
+		panic(err)
+	}
+}
+
+// Complete reports whether every sink holds a pebble at some level.
+func (s *State) Complete() bool {
+	for _, v := range s.g.Sinks() {
+		if s.level[v] == NoPebble {
+			return false
+		}
+	}
+	return true
+}

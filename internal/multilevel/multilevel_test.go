@@ -1,0 +1,240 @@
+package multilevel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/sched"
+)
+
+func twoLevel(r int) Hierarchy {
+	h, err := NewHierarchy([]int{r}, []int{1})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	cases := []struct {
+		limits, costs []int
+	}{
+		{nil, nil},
+		{[]int{4}, []int{1, 2}},
+		{[]int{0}, []int{1}},
+		{[]int{4}, []int{-1}},
+	}
+	for i, c := range cases {
+		if _, err := NewHierarchy(c.limits, c.costs); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	h, err := NewHierarchy([]int{8, 64}, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels() != 3 {
+		t.Fatalf("levels = %d", h.Levels())
+	}
+	if h.FetchCost(0) != 0 || h.FetchCost(1) != 1 || h.FetchCost(2) != 11 {
+		t.Fatal("FetchCost wrong")
+	}
+}
+
+func TestStateLegality(t *testing.T) {
+	g := dag.New(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	st, err := NewState(g, twoLevel(3), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute requires inputs at level 0.
+	if err := st.Apply(Move{Kind: Compute, Node: 2}); err == nil {
+		t.Fatal("compute without inputs accepted")
+	}
+	st.MustApply(Move{Kind: Compute, Node: 0})
+	st.MustApply(Move{Kind: Compute, Node: 1})
+	st.MustApply(Move{Kind: Compute, Node: 2})
+	if st.CountAt(0) != 3 {
+		t.Fatalf("count = %d", st.CountAt(0))
+	}
+	// Level 0 is full now.
+	if err := st.Apply(Move{Kind: Promote, Node: 0, Level: 0}); err == nil {
+		t.Fatal("promote with node at level 0 accepted")
+	}
+	st.MustApply(Move{Kind: Demote, Node: 0, Level: 0})
+	if st.Level(0) != 1 || st.Cost() != 1 {
+		t.Fatalf("demote: level=%d cost=%d", st.Level(0), st.Cost())
+	}
+	st.MustApply(Move{Kind: Promote, Node: 0, Level: 0})
+	if st.Level(0) != 0 || st.Cost() != 2 {
+		t.Fatal("promote failed")
+	}
+	// Oneshot: recompute banned after delete.
+	st.MustApply(Move{Kind: Delete, Node: 0})
+	if err := st.Apply(Move{Kind: Compute, Node: 0}); err == nil {
+		t.Fatal("oneshot recompute accepted")
+	}
+}
+
+func TestInfeasibleLimit(t *testing.T) {
+	g := daggen.Pyramid(2)
+	if _, err := NewState(g, twoLevel(2), true); err == nil {
+		t.Fatal("limit below Δ+1 accepted")
+	}
+}
+
+func TestExecuteMatchesTwoLevelEngine(t *testing.T) {
+	// On a two-level hierarchy with unit costs, the multilevel executor
+	// must reproduce the classic scheduler's Belady cost exactly.
+	for seed := int64(0); seed < 8; seed++ {
+		g := daggen.RandomLayered(4, 4, 2, seed)
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := pebble.MinFeasibleR(g)
+		_, classic, err := sched.Execute(g, pebble.NewModel(pebble.Oneshot), r, pebble.Convention{}, order, sched.Options{Policy: sched.Belady})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, multi, err := Execute(g, twoLevel(r), order, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Cost != classic.Cost.Transfers {
+			t.Fatalf("seed %d: multilevel %d != classic %d", seed, multi.Cost, classic.Cost.Transfers)
+		}
+	}
+}
+
+func TestThreeLevelCheaperThanSkippingMiddle(t *testing.T) {
+	// A hierarchy with a mid-size middle level and cheap L0<->L1 link
+	// must cost no more than the two-level system whose only fast level
+	// is the small L0 (every L1 hit saves an expensive fetch).
+	g := daggen.FFT(4)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pebble.MinFeasibleR(g)
+	_, two, err := Execute(g, Hierarchy{Limits: []int{r}, Costs: []int{10}}, order, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, three, err := Execute(g, Hierarchy{Limits: []int{r, 4 * r}, Costs: []int{1, 9}}, order, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Cost > two.Cost {
+		t.Fatalf("three-level %d > two-level %d", three.Cost, two.Cost)
+	}
+	if len(three.TransfersPerLink) != 2 {
+		t.Fatal("per-link accounting missing")
+	}
+	if three.TransfersPerLink[0] == 0 {
+		t.Fatal("no traffic on the fast link")
+	}
+}
+
+func TestLargerCacheNeverHurts(t *testing.T) {
+	g := daggen.Grid(5, 5)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for _, r := range []int{3, 4, 6, 10, 25} {
+		_, res, err := Execute(g, twoLevel(r), order, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost > prev {
+			t.Fatalf("cost increased with larger cache: %d -> %d at r=%d", prev, res.Cost, r)
+		}
+		prev = res.Cost
+	}
+	if prev != 0 {
+		t.Fatal("whole working set in cache should be free")
+	}
+}
+
+func TestExecuteOrderValidation(t *testing.T) {
+	g := daggen.Chain(3)
+	for _, order := range [][]dag.NodeID{
+		{2, 1, 0},
+		{0, 1},
+		{0, 1, 1},
+		{0, 1, 9},
+	} {
+		if _, _, err := Execute(g, twoLevel(2), order, true); err == nil {
+			t.Fatalf("order %v accepted", order)
+		}
+	}
+}
+
+func TestReplayRejectsCorruptTraces(t *testing.T) {
+	g := daggen.Chain(2)
+	h := twoLevel(2)
+	// Promote without a pebble.
+	if _, err := Replay(g, h, []Move{{Kind: Promote, Node: 0, Level: 0}}, true); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+	// Incomplete pebbling.
+	if _, err := Replay(g, h, []Move{{Kind: Compute, Node: 0}}, true); err == nil {
+		t.Fatal("incomplete trace accepted")
+	}
+}
+
+// Property: on random layered DAGs and random 3-level hierarchies, the
+// executor always produces a verified complete pebbling, and deeper
+// links carry no more traffic than shallower ones.
+func TestQuickExecuteLegal(t *testing.T) {
+	f := func(seed int64, a uint8) bool {
+		g := daggen.RandomLayered(3, 4, 2, seed)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		r := pebble.MinFeasibleR(g) + int(a%3)
+		h := Hierarchy{Limits: []int{r, r + 4}, Costs: []int{1, 5}}
+		_, res, err := Execute(g, h, order, true)
+		if err != nil || !res.Complete {
+			return false
+		}
+		// Traffic on the deep link cannot exceed the fast link's: every
+		// deep fetch passes through the fast link too.
+		return res.TransfersPerLink[1] <= res.TransfersPerLink[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveStrings(t *testing.T) {
+	if (Move{Kind: Promote, Node: 3, Level: 1}).String() == "" {
+		t.Fatal("empty move string")
+	}
+	if (Move{Kind: Compute, Node: 3}).String() != "compute(3)" {
+		t.Fatal("compute string wrong")
+	}
+	if MoveKind(9).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func BenchmarkExecuteThreeLevel(b *testing.B) {
+	g := daggen.FFT(5)
+	order, _ := g.TopoOrder()
+	h := Hierarchy{Limits: []int{6, 24}, Costs: []int{1, 10}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Execute(g, h, order, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

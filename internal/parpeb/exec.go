@@ -1,0 +1,295 @@
+package parpeb
+
+import (
+	"fmt"
+	"sort"
+
+	"rbpebble/internal/dag"
+)
+
+// Assignment maps each node to the processor that computes it.
+type Assignment []int
+
+// SingleProc assigns every node to processor 0.
+func SingleProc(n int) Assignment {
+	return make(Assignment, n)
+}
+
+// RoundRobin assigns nodes to processors cyclically along the compute
+// order — maximal parallelism, maximal communication.
+func RoundRobin(order []dag.NodeID, n, p int) Assignment {
+	a := make(Assignment, n)
+	for i, v := range order {
+		a[v] = i % p
+	}
+	return a
+}
+
+// Blocks splits the compute order into p contiguous blocks — minimal
+// cross-processor traffic for chain-like DAGs.
+func Blocks(order []dag.NodeID, n, p int) Assignment {
+	a := make(Assignment, n)
+	per := (len(order) + p - 1) / p
+	for i, v := range order {
+		a[v] = i / per
+	}
+	return a
+}
+
+// Validate checks the assignment against the machine.
+func (a Assignment) Validate(n, p int) error {
+	if len(a) != n {
+		return fmt.Errorf("parpeb: assignment covers %d nodes, want %d", len(a), n)
+	}
+	for v, proc := range a {
+		if proc < 0 || proc >= p {
+			return fmt.Errorf("parpeb: node %d assigned to invalid processor %d", v, proc)
+		}
+	}
+	return nil
+}
+
+// Result summarizes an executed parallel pebbling.
+type Result struct {
+	// Total is the sum of transfers over all processors.
+	Total int
+	// MaxProc is the largest per-processor transfer count.
+	MaxProc int
+	// PerProc is the transfer count of each processor.
+	PerProc []int
+	// CrossEdges counts DAG edges whose endpoints run on different
+	// processors (the communication demand of the assignment).
+	CrossEdges int
+	Steps      int
+	Complete   bool
+}
+
+// Execute runs the compute order with the given node-to-processor
+// assignment: each node is computed on its processor with inputs made
+// resident there first (communicated through slow memory when produced
+// elsewhere), using Belady eviction per processor. The move sequence is
+// replayed through the legality checker before the result is returned.
+func Execute(g *dag.DAG, cfg Config, order []dag.NodeID, assign Assignment) ([]Move, Result, error) {
+	if err := cfg.Validate(g); err != nil {
+		return nil, Result{}, err
+	}
+	if err := assign.Validate(g.N(), cfg.P); err != nil {
+		return nil, Result{}, err
+	}
+	if err := checkOrder(g, order); err != nil {
+		return nil, Result{}, err
+	}
+	st, err := NewState(g, cfg)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	n := g.N()
+
+	// Next-use positions per processor: node u is used on processor q at
+	// the order positions of its successors assigned to q.
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	usesOn := make([]map[int][]int, cfg.P) // usesOn[p][u] = positions
+	for p := 0; p < cfg.P; p++ {
+		usesOn[p] = make(map[int][]int)
+	}
+	for u := 0; u < n; u++ {
+		for _, w := range g.Succs(dag.NodeID(u)) {
+			p := assign[w]
+			usesOn[p][u] = append(usesOn[p][u], pos[w])
+		}
+	}
+	for p := 0; p < cfg.P; p++ {
+		for u := range usesOn[p] {
+			sort.Ints(usesOn[p][u])
+		}
+	}
+	const never = int(^uint(0) >> 1)
+	nextUseOn := func(p, u, now int) int {
+		us := usesOn[p][u]
+		for len(us) > 0 && us[0] <= now {
+			us = us[1:]
+		}
+		usesOn[p][u] = us
+		if len(us) > 0 {
+			return us[0]
+		}
+		return never
+	}
+	// liveAnywhere: does u still have an uncomputed successor (on any
+	// processor), or is it a sink?
+	pendingUses := make([]int, n)
+	for u := 0; u < n; u++ {
+		pendingUses[u] = len(g.Succs(dag.NodeID(u)))
+	}
+
+	var moves []Move
+	apply := func(m Move) error {
+		if err := st.Apply(m); err != nil {
+			return err
+		}
+		moves = append(moves, m)
+		return nil
+	}
+
+	// fastCopies counts how many processors hold u.
+	fastCopies := func(u int) int {
+		c := 0
+		for p := 0; p < cfg.P; p++ {
+			if st.fast[p].Get(u) {
+				c++
+			}
+		}
+		return c
+	}
+
+	evictOne := func(p, now int, pinned map[int]bool) error {
+		victim, victimUse := -1, -2
+		st.fast[p].ForEach(func(u int) bool {
+			if pinned[u] {
+				return true
+			}
+			nu := nextUseOn(p, u, now)
+			score := nu
+			if nu == never {
+				score = never // not needed on this processor again
+			}
+			if score > victimUse {
+				victim, victimUse = u, score
+			}
+			return true
+		})
+		if victim < 0 {
+			return fmt.Errorf("parpeb: processor %d full of pinned values", p)
+		}
+		node := dag.NodeID(victim)
+		// Preserve the last copy of a value still needed somewhere (or a
+		// sink) by writing it back first.
+		needed := pendingUses[victim] > 0 || g.IsSink(node)
+		if needed && !st.IsBlue(node) && fastCopies(victim) == 1 {
+			if err := apply(Move{Kind: Store, Proc: p, Node: node}); err != nil {
+				return err
+			}
+		}
+		return apply(Move{Kind: Drop, Proc: p, Node: node})
+	}
+
+	for i, v := range order {
+		p := assign[v]
+		preds := g.Preds(v)
+		pinned := make(map[int]bool, len(preds)+1)
+		for _, u := range preds {
+			pinned[int(u)] = true
+		}
+		for _, u := range g.SortedPreds(v) {
+			if st.IsFast(p, u) {
+				continue
+			}
+			// Communicate: ensure a blue copy exists (store at a producer),
+			// then load here.
+			if !st.IsBlue(u) {
+				q := -1
+				for cand := 0; cand < cfg.P; cand++ {
+					if st.IsFast(cand, u) {
+						q = cand
+						break
+					}
+				}
+				if q < 0 {
+					return nil, Result{}, fmt.Errorf("parpeb: input %d of %d lost (order position %d)", u, v, i)
+				}
+				if err := apply(Move{Kind: Store, Proc: q, Node: u}); err != nil {
+					return nil, Result{}, err
+				}
+			}
+			for st.counts[p] >= cfg.R {
+				if err := evictOne(p, i, pinned); err != nil {
+					return nil, Result{}, err
+				}
+			}
+			if err := apply(Move{Kind: Load, Proc: p, Node: u}); err != nil {
+				return nil, Result{}, err
+			}
+		}
+		for st.counts[p] >= cfg.R {
+			if err := evictOne(p, i, pinned); err != nil {
+				return nil, Result{}, err
+			}
+		}
+		if err := apply(Move{Kind: Compute, Proc: p, Node: v}); err != nil {
+			return nil, Result{}, err
+		}
+		for _, u := range preds {
+			pendingUses[u]--
+		}
+	}
+
+	res, err := Replay(g, cfg, moves)
+	if err != nil {
+		return nil, Result{}, fmt.Errorf("parpeb: self-verification failed: %w", err)
+	}
+	cross := 0
+	for u := 0; u < n; u++ {
+		for _, w := range g.Succs(dag.NodeID(u)) {
+			if assign[u] != assign[w] {
+				cross++
+			}
+		}
+	}
+	res.CrossEdges = cross
+	return moves, res, nil
+}
+
+// Replay validates a move sequence from scratch and returns its result.
+func Replay(g *dag.DAG, cfg Config, moves []Move) (Result, error) {
+	st, err := NewState(g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, m := range moves {
+		if err := st.Apply(m); err != nil {
+			return Result{}, fmt.Errorf("move %d: %w", i, err)
+		}
+	}
+	res := Result{
+		Total:    st.TotalCost(),
+		MaxProc:  st.MaxProcCost(),
+		PerProc:  st.PerProcCost(),
+		Steps:    st.Steps(),
+		Complete: st.Complete(),
+	}
+	if !res.Complete {
+		return res, fmt.Errorf("parpeb: pebbling incomplete")
+	}
+	return res, nil
+}
+
+func checkOrder(g *dag.DAG, order []dag.NodeID) error {
+	n := g.N()
+	posOf := make([]int, n)
+	for i := range posOf {
+		posOf[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("parpeb: order contains out-of-range node %d", v)
+		}
+		if posOf[v] >= 0 {
+			return fmt.Errorf("parpeb: order contains node %d twice", v)
+		}
+		posOf[v] = i
+	}
+	for v := 0; v < n; v++ {
+		if posOf[v] < 0 {
+			return fmt.Errorf("parpeb: order missing node %d", v)
+		}
+		for _, u := range g.Preds(dag.NodeID(v)) {
+			if posOf[u] > posOf[v] {
+				return fmt.Errorf("parpeb: order violates edge %d->%d", u, v)
+			}
+		}
+	}
+	return nil
+}

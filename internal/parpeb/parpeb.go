@@ -1,0 +1,262 @@
+// Package parpeb extends the red-blue pebble game to multiple processors
+// — the "multiple shades of red" generalization of Elango et al. (SPAA
+// 2014) cited in the paper's related work. Each of P processors owns a
+// private fast memory of capacity R ("red pebbles of shade p"); slow
+// memory is shared. A value computed on one processor reaches another
+// only through slow memory: the producer stores it (cost 1) and the
+// consumer loads it (cost 1) — the game's model of communication.
+//
+// Semantics differ from the sequential game in one deliberate way:
+// slow-memory copies are persistent (a Load does not consume the blue
+// copy, and a Store keeps the red copy), matching shared-memory
+// machines. With P=1 the game is therefore slightly *cheaper* than the
+// sequential red-blue game — never more expensive — which the tests
+// assert.
+package parpeb
+
+import (
+	"errors"
+	"fmt"
+
+	"rbpebble/internal/bitset"
+	"rbpebble/internal/dag"
+)
+
+// Config describes the machine: P processors, each with R slots of
+// private fast memory.
+type Config struct {
+	P int
+	R int
+	// Oneshot forbids computing the same node twice (globally), the
+	// analogue of the paper's oneshot model.
+	Oneshot bool
+}
+
+// Validate checks the machine description against the DAG.
+func (c Config) Validate(g *dag.DAG) error {
+	if c.P < 1 {
+		return errors.New("parpeb: need at least one processor")
+	}
+	if c.R < 1 {
+		return errors.New("parpeb: need positive fast-memory capacity")
+	}
+	if d := g.MaxInDegree(); c.R < d+1 {
+		return fmt.Errorf("parpeb: R=%d < Δ+1=%d, no pebbling exists", c.R, d+1)
+	}
+	return nil
+}
+
+// MoveKind enumerates the parallel-game operations.
+type MoveKind int
+
+const (
+	// Load copies a slow-memory value into processor Proc's fast memory.
+	Load MoveKind = iota
+	// Store writes processor Proc's fast copy back to slow memory (the
+	// fast copy remains).
+	Store
+	// Compute executes Node on processor Proc (inputs fast on Proc).
+	Compute
+	// Drop discards processor Proc's fast copy (free).
+	Drop
+)
+
+// String names the kind.
+func (k MoveKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Compute:
+		return "compute"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("MoveKind(%d)", int(k))
+	}
+}
+
+// Move is one operation by one processor.
+type Move struct {
+	Kind MoveKind
+	Proc int
+	Node dag.NodeID
+}
+
+// String renders the move.
+func (m Move) String() string { return fmt.Sprintf("p%d:%s(%d)", m.Proc, m.Kind, m.Node) }
+
+// State is a live parallel pebbling position.
+type State struct {
+	g   *dag.DAG
+	cfg Config
+
+	fast     []*bitset.Set // fast[p] = nodes resident on processor p
+	counts   []int
+	blue     *bitset.Set
+	computed *bitset.Set
+	perProc  []int // transfer cost charged to each processor
+	steps    int
+}
+
+// NewState returns the empty starting state.
+func NewState(g *dag.DAG, cfg Config) (*State, error) {
+	if err := cfg.Validate(g); err != nil {
+		return nil, err
+	}
+	s := &State{
+		g: g, cfg: cfg,
+		fast:     make([]*bitset.Set, cfg.P),
+		counts:   make([]int, cfg.P),
+		blue:     bitset.New(g.N()),
+		computed: bitset.New(g.N()),
+		perProc:  make([]int, cfg.P),
+	}
+	for p := range s.fast {
+		s.fast[p] = bitset.New(g.N())
+	}
+	return s, nil
+}
+
+// IsFast reports whether v is resident in processor p's fast memory.
+func (s *State) IsFast(p int, v dag.NodeID) bool { return s.fast[p].Get(int(v)) }
+
+// IsBlue reports whether v has a slow-memory copy.
+func (s *State) IsBlue(v dag.NodeID) bool { return s.blue.Get(int(v)) }
+
+// TotalCost returns the total number of transfers across processors.
+func (s *State) TotalCost() int {
+	t := 0
+	for _, c := range s.perProc {
+		t += c
+	}
+	return t
+}
+
+// MaxProcCost returns the largest per-processor transfer count — a proxy
+// for the communication critical path.
+func (s *State) MaxProcCost() int {
+	m := 0
+	for _, c := range s.perProc {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// PerProcCost returns a copy of the per-processor transfer counts.
+func (s *State) PerProcCost() []int { return append([]int(nil), s.perProc...) }
+
+// Steps returns the number of applied moves.
+func (s *State) Steps() int { return s.steps }
+
+// Check reports whether m is legal.
+func (s *State) Check(m Move) error {
+	if m.Proc < 0 || m.Proc >= s.cfg.P {
+		return fmt.Errorf("parpeb: %s: no such processor", m)
+	}
+	v := int(m.Node)
+	if v < 0 || v >= s.g.N() {
+		return fmt.Errorf("parpeb: %s: node out of range", m)
+	}
+	switch m.Kind {
+	case Load:
+		if !s.blue.Get(v) {
+			return fmt.Errorf("parpeb: %s: no slow-memory copy", m)
+		}
+		if s.fast[m.Proc].Get(v) {
+			return fmt.Errorf("parpeb: %s: already resident", m)
+		}
+		if s.counts[m.Proc] >= s.cfg.R {
+			return fmt.Errorf("parpeb: %s: fast memory full", m)
+		}
+		return nil
+	case Store:
+		if !s.fast[m.Proc].Get(v) {
+			return fmt.Errorf("parpeb: %s: not resident", m)
+		}
+		if s.blue.Get(v) {
+			return fmt.Errorf("parpeb: %s: slow copy already exists", m)
+		}
+		return nil
+	case Compute:
+		if s.cfg.Oneshot && s.computed.Get(v) {
+			return fmt.Errorf("parpeb: %s: already computed (oneshot)", m)
+		}
+		if s.fast[m.Proc].Get(v) {
+			return fmt.Errorf("parpeb: %s: already resident", m)
+		}
+		for _, u := range s.g.Preds(m.Node) {
+			if !s.fast[m.Proc].Get(int(u)) {
+				return fmt.Errorf("parpeb: %s: input %d not resident", m, u)
+			}
+		}
+		if s.counts[m.Proc] >= s.cfg.R {
+			return fmt.Errorf("parpeb: %s: fast memory full", m)
+		}
+		return nil
+	case Drop:
+		if !s.fast[m.Proc].Get(v) {
+			return fmt.Errorf("parpeb: %s: not resident", m)
+		}
+		return nil
+	default:
+		return fmt.Errorf("parpeb: unknown move kind %d", int(m.Kind))
+	}
+}
+
+// Apply executes m; the state is unchanged on error.
+func (s *State) Apply(m Move) error {
+	if err := s.Check(m); err != nil {
+		return err
+	}
+	v := int(m.Node)
+	switch m.Kind {
+	case Load:
+		s.fast[m.Proc].Set(v)
+		s.counts[m.Proc]++
+		s.perProc[m.Proc]++
+	case Store:
+		s.blue.Set(v)
+		s.perProc[m.Proc]++
+	case Compute:
+		s.fast[m.Proc].Set(v)
+		s.counts[m.Proc]++
+		s.computed.Set(v)
+	case Drop:
+		s.fast[m.Proc].Clear(v)
+		s.counts[m.Proc]--
+	}
+	s.steps++
+	return nil
+}
+
+// MustApply panics on illegal moves.
+func (s *State) MustApply(m Move) {
+	if err := s.Apply(m); err != nil {
+		panic(err)
+	}
+}
+
+// Complete reports whether every sink has a copy somewhere (slow memory
+// or any processor's fast memory).
+func (s *State) Complete() bool {
+	for _, v := range s.g.Sinks() {
+		if s.blue.Get(int(v)) {
+			continue
+		}
+		found := false
+		for p := 0; p < s.cfg.P; p++ {
+			if s.fast[p].Get(int(v)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package parpeb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/sched"
+)
+
+func topo(t *testing.T, g *dag.DAG) []dag.NodeID {
+	t.Helper()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return order
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := daggen.Pyramid(2)
+	for i, cfg := range []Config{
+		{P: 0, R: 4},
+		{P: 2, R: 0},
+		{P: 2, R: 2}, // < Δ+1
+	} {
+		if err := cfg.Validate(g); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := (Config{P: 2, R: 3}).Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateLegality(t *testing.T) {
+	g := dag.New(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	cfg := Config{P: 2, R: 3, Oneshot: true}
+	st, err := NewState(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute requires inputs resident on the SAME processor.
+	st.MustApply(Move{Kind: Compute, Proc: 0, Node: 0})
+	st.MustApply(Move{Kind: Compute, Proc: 1, Node: 1})
+	if err := st.Apply(Move{Kind: Compute, Proc: 0, Node: 2}); err == nil {
+		t.Fatal("compute with remote input accepted")
+	}
+	// Communicate node 1 from proc 1 to proc 0.
+	st.MustApply(Move{Kind: Store, Proc: 1, Node: 1})
+	st.MustApply(Move{Kind: Load, Proc: 0, Node: 1})
+	st.MustApply(Move{Kind: Compute, Proc: 0, Node: 2})
+	if st.TotalCost() != 2 {
+		t.Fatalf("communication cost = %d, want 2", st.TotalCost())
+	}
+	if st.PerProcCost()[0] != 1 || st.PerProcCost()[1] != 1 {
+		t.Fatalf("per-proc costs = %v", st.PerProcCost())
+	}
+	if !st.Complete() {
+		t.Fatal("should be complete")
+	}
+	// Oneshot: no recomputation anywhere.
+	st.MustApply(Move{Kind: Drop, Proc: 1, Node: 1})
+	if err := st.Apply(Move{Kind: Compute, Proc: 1, Node: 1}); err == nil {
+		t.Fatal("oneshot recompute accepted")
+	}
+	// Redundant store rejected; load of resident value rejected.
+	if err := st.Apply(Move{Kind: Store, Proc: 0, Node: 1}); err == nil {
+		t.Fatal("duplicate store accepted")
+	}
+	if err := st.Apply(Move{Kind: Load, Proc: 0, Node: 1}); err == nil {
+		t.Fatal("load of resident value accepted")
+	}
+}
+
+func TestSingleProcCheaperThanSequentialGame(t *testing.T) {
+	// With persistent slow-memory copies, the P=1 parallel game never
+	// costs more than the classic oneshot game on the same order.
+	for seed := int64(0); seed < 6; seed++ {
+		g := daggen.RandomLayered(4, 4, 2, seed)
+		order := topo(t, g)
+		r := pebble.MinFeasibleR(g)
+		_, classic, err := sched.Execute(g, pebble.NewModel(pebble.Oneshot), r, pebble.Convention{}, order, sched.Options{Policy: sched.Belady})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, par, err := Execute(g, Config{P: 1, R: r, Oneshot: true}, order, SingleProc(g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Total > classic.Cost.Transfers {
+			t.Fatalf("seed %d: P=1 parallel %d > sequential %d", seed, par.Total, classic.Cost.Transfers)
+		}
+	}
+}
+
+func TestCommunicationGrowsWithProcessors(t *testing.T) {
+	// Round-robin over more processors cuts more edges and must move
+	// more data on the FFT (every level talks to the previous one).
+	g := daggen.FFT(4)
+	order := topo(t, g)
+	r := 8
+	var prevCross int
+	for _, p := range []int{1, 2, 4} {
+		cfg := Config{P: p, R: r, Oneshot: true}
+		_, res, err := Execute(g, cfg, order, RoundRobin(order, g.N(), p))
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if !res.Complete {
+			t.Fatalf("P=%d incomplete", p)
+		}
+		if p > 1 && res.CrossEdges <= prevCross {
+			t.Fatalf("cross edges did not grow: %d -> %d", prevCross, res.CrossEdges)
+		}
+		prevCross = res.CrossEdges
+	}
+}
+
+func TestBlocksBeatRoundRobinOnChain(t *testing.T) {
+	// On a chain, contiguous blocks cut P-1 edges; round-robin cuts all
+	// of them. Block assignment must communicate far less.
+	g := daggen.Chain(60)
+	order := topo(t, g)
+	cfg := Config{P: 4, R: 2, Oneshot: true}
+	_, blocks, err := Execute(g, cfg, order, Blocks(order, g.N(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rr, err := Execute(g, cfg, order, RoundRobin(order, g.N(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks.Total >= rr.Total {
+		t.Fatalf("blocks %d >= round-robin %d", blocks.Total, rr.Total)
+	}
+	if blocks.CrossEdges != 3 {
+		t.Fatalf("chain blocks cut %d edges, want 3", blocks.CrossEdges)
+	}
+}
+
+func TestMaxProcLeTotal(t *testing.T) {
+	g := daggen.Grid(5, 5)
+	order := topo(t, g)
+	cfg := Config{P: 3, R: 4, Oneshot: true}
+	_, res, err := Execute(g, cfg, order, RoundRobin(order, g.N(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxProc > res.Total {
+		t.Fatal("max per-proc exceeds total")
+	}
+	sum := 0
+	for _, c := range res.PerProc {
+		sum += c
+	}
+	if sum != res.Total {
+		t.Fatalf("per-proc sum %d != total %d", sum, res.Total)
+	}
+}
+
+func TestAssignmentValidation(t *testing.T) {
+	g := daggen.Chain(4)
+	order := topo(t, g)
+	cfg := Config{P: 2, R: 2, Oneshot: true}
+	if _, _, err := Execute(g, cfg, order, Assignment{0, 1}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, _, err := Execute(g, cfg, order, Assignment{0, 1, 5, 0}); err == nil {
+		t.Fatal("invalid processor accepted")
+	}
+	if _, _, err := Execute(g, cfg, []dag.NodeID{3, 2, 1, 0}, SingleProc(4)); err == nil {
+		t.Fatal("anti-topological order accepted")
+	}
+}
+
+func TestReplayRejectsCorrupt(t *testing.T) {
+	g := daggen.Chain(2)
+	cfg := Config{P: 1, R: 2, Oneshot: true}
+	if _, err := Replay(g, cfg, []Move{{Kind: Load, Proc: 0, Node: 0}}); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+	if _, err := Replay(g, cfg, []Move{{Kind: Compute, Proc: 0, Node: 0}}); err == nil {
+		t.Fatal("incomplete trace accepted")
+	}
+}
+
+// Property: for random layered DAGs, random processor counts and both
+// assignment strategies, Execute produces verified complete pebblings
+// whose per-processor costs sum to the total.
+func TestQuickExecuteLegal(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := daggen.RandomLayered(3, 4, 2, seed)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		p := int(a%3) + 1
+		r := pebble.MinFeasibleR(g) + int(b%2)
+		cfg := Config{P: p, R: r, Oneshot: true}
+		for _, assign := range []Assignment{
+			RoundRobin(order, g.N(), p),
+			Blocks(order, g.N(), p),
+		} {
+			_, res, err := Execute(g, cfg, order, assign)
+			if err != nil || !res.Complete {
+				return false
+			}
+			sum := 0
+			for _, c := range res.PerProc {
+				sum += c
+			}
+			if sum != res.Total || res.MaxProc > res.Total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveStrings(t *testing.T) {
+	if (Move{Kind: Store, Proc: 1, Node: 7}).String() != "p1:store(7)" {
+		t.Fatal("move string wrong")
+	}
+	if MoveKind(9).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func BenchmarkExecuteFFT4Procs(b *testing.B) {
+	g := daggen.FFT(5)
+	order, _ := g.TopoOrder()
+	cfg := Config{P: 4, R: 8, Oneshot: true}
+	assign := RoundRobin(order, g.N(), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Execute(g, cfg, order, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package pebble
+
+import "rbpebble/internal/dag"
+
+// MinFeasibleR returns the smallest red-pebble count with which g can be
+// pebbled at all: Δ+1, where Δ is the maximum in-degree (paper §3). A node
+// with d inputs needs d red pebbles on its inputs plus one on itself.
+// Edgeless graphs need 1.
+func MinFeasibleR(g *dag.DAG) int {
+	return g.MaxInDegree() + 1
+}
+
+// CostUpperBound returns the paper's universal upper bound on the optimal
+// pebbling cost with any feasible R: (2Δ+1)·n transfers (plus n computes,
+// charged only under CompCost). It is achieved by the naive topological
+// strategy (solve.Topological).
+func CostUpperBound(g *dag.DAG, m Model) Cost {
+	d := g.MaxInDegree()
+	n := g.N()
+	return Cost{Transfers: (2*d + 1) * n, Computes: n}
+}
+
+// StepUpperBoundFactor returns a step bound for optimal pebblings as a
+// multiple of Δ·n per the paper's Lemma 1 analysis. For oneshot and nodel,
+// optimal pebblings use O(Δ·n) steps; for compcost the constant depends on
+// 1/ε. For the base model no polynomial bound exists (it may be
+// superpolynomial), so the return value is 0 meaning "unbounded".
+func StepUpperBoundFactor(m Model) int {
+	switch m.Kind {
+	case Oneshot, NoDel:
+		// ≤ (2Δ+1)n transfers + n computes + n deletes ≲ 5·Δ·n for Δ≥1.
+		return 5
+	case CompCost:
+		// p ≤ (2/ε)(2Δ+1+ε)n non-transfer steps + (2Δ+1+ε)n transfers.
+		return 5 * m.EpsDenom
+	default:
+		return 0
+	}
+}

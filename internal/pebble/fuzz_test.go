@@ -1,0 +1,97 @@
+package pebble
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rbpebble/internal/dag"
+)
+
+// TestReadTraceNeverPanics feeds the trace parser garbage and mutations;
+// it must never panic, and anything it accepts must replay cleanly or be
+// rejected by Run — also without panicking.
+func TestReadTraceNeverPanics(t *testing.T) {
+	valid := "model oneshot\nr 3\nconv false false\ncompute 0\ncompute 1\ncompute 2\ndelete 0\ncompute 3\n"
+	g := dag.New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+
+	rng := rand.New(rand.NewSource(13))
+	inputs := []string{valid, "", "model compcost 0\nr 1", "model base\nr -1\nload 0"}
+	for i := 0; i < 250; i++ {
+		b := []byte(valid)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			switch rng.Intn(3) {
+			case 0:
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			case 1:
+				b = b[:rng.Intn(len(b)+1)]
+				if len(b) == 0 {
+					b = []byte{'m'}
+				}
+			case 2:
+				p := rng.Intn(len(b))
+				b = append(b[:p], append([]byte("store 1\n"), b[p:]...)...)
+			}
+		}
+		inputs = append(inputs, string(b))
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadTrace/Run panicked on %q: %v", in, r)
+				}
+			}()
+			tr, err := ReadTrace(strings.NewReader(in))
+			if err != nil {
+				return
+			}
+			// Replaying may fail (illegal moves) but must not panic.
+			_, _ = tr.Run(g)
+		}()
+	}
+}
+
+// TestRandomMoveSequencesNeverCorruptState applies random (mostly
+// illegal) moves to a state and checks the invariants hold throughout:
+// red count matches the red set, never exceeds R, and cost only grows.
+func TestRandomMoveSequencesNeverCorruptState(t *testing.T) {
+	g := dag.New(6)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 4)
+	g.AddEdge(3, 5)
+	g.AddEdge(4, 5)
+	for _, kind := range AllKinds() {
+		rng := rand.New(rand.NewSource(int64(kind) + 1))
+		st, err := NewState(g, NewModel(kind), 3, Convention{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevCost := int64(0)
+		for i := 0; i < 3000; i++ {
+			m := Move{Kind: MoveKind(rng.Intn(4)), Node: dag.NodeID(rng.Intn(8) - 1)}
+			_ = st.Apply(m) // most are illegal; all must be safe
+			if st.RedCount() != st.RedSet().Count() {
+				t.Fatalf("%v: red count %d != set %d", kind, st.RedCount(), st.RedSet().Count())
+			}
+			if st.RedCount() > 3 {
+				t.Fatalf("%v: red limit violated", kind)
+			}
+			c := st.Cost().Scaled(st.Model())
+			if c < prevCost {
+				t.Fatalf("%v: cost decreased", kind)
+			}
+			prevCost = c
+			// No node may hold two pebbles.
+			for v := 0; v < g.N(); v++ {
+				if st.IsRed(dag.NodeID(v)) && st.IsBlue(dag.NodeID(v)) {
+					t.Fatalf("%v: node %d holds two pebbles", kind, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package pebble
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rbpebble/internal/dag"
+)
+
+func diamondTrace() *Trace {
+	return &Trace{
+		Model: NewModel(Oneshot),
+		R:     3,
+		Moves: []Move{
+			{Compute, 0}, {Compute, 1}, {Compute, 2},
+			{Delete, 0}, {Delete, 1},
+			{Compute, 3},
+		},
+	}
+}
+
+func TestTraceRun(t *testing.T) {
+	g := diamond()
+	tr := diamondTrace()
+	res, err := tr.Run(g)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Complete {
+		t.Fatal("trace incomplete")
+	}
+	if res.Cost.Transfers != 0 || res.Cost.Computes != 4 {
+		t.Fatalf("cost = %v", res.Cost)
+	}
+	if res.MaxRed != 3 {
+		t.Fatalf("MaxRed = %d", res.MaxRed)
+	}
+	if res.Computes != 4 || res.Deletes != 2 || res.Loads != 0 || res.Stores != 0 {
+		t.Fatalf("op counts = %+v", res)
+	}
+	if res.Steps != 6 {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+}
+
+func TestTraceRunRejectsIllegal(t *testing.T) {
+	g := diamond()
+	tr := &Trace{Model: NewModel(Oneshot), R: 3, Moves: []Move{{Compute, 2}}}
+	if _, err := tr.Run(g); err == nil {
+		t.Fatal("illegal trace accepted")
+	}
+	if !strings.Contains(tr.Moves[0].String(), "compute(2)") {
+		t.Fatal("move String wrong")
+	}
+}
+
+func TestTraceRunRejectsIncomplete(t *testing.T) {
+	g := diamond()
+	tr := &Trace{Model: NewModel(Oneshot), R: 3, Moves: []Move{{Compute, 0}}}
+	if _, err := tr.Run(g); err == nil {
+		t.Fatal("incomplete trace accepted")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	g := diamond()
+	rec, err := NewRecorder(g, NewModel(Oneshot), 3, Convention{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range diamondTrace().Moves {
+		rec.MustApply(m)
+	}
+	tr := rec.Trace()
+	if len(tr.Moves) != 6 {
+		t.Fatalf("recorded %d moves", len(tr.Moves))
+	}
+	res, err := tr.Run(g)
+	if err != nil || !res.Complete {
+		t.Fatalf("recorded trace replay: %v", err)
+	}
+	// Failed applies are not recorded.
+	if err := rec.Apply(Move{Compute, 0}); err == nil {
+		t.Fatal("oneshot recompute accepted")
+	}
+	if len(rec.Trace().Moves) != 6 {
+		t.Fatal("failed move was recorded")
+	}
+}
+
+func TestTraceTextRoundTrip(t *testing.T) {
+	for _, m := range []Model{
+		NewModel(Base), NewModel(Oneshot), NewModel(NoDel),
+		{Kind: CompCost, EpsDenom: 42},
+	} {
+		tr := diamondTrace()
+		tr.Model = m
+		tr.Convention = Convention{SourcesStartBlue: false, SinksMustBeBlue: true}
+		var buf bytes.Buffer
+		if err := tr.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		tr2, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("ReadTrace(%s): %v", m, err)
+		}
+		if tr2.Model != tr.Model || tr2.R != tr.R || tr2.Convention != tr.Convention {
+			t.Fatalf("header mismatch: %+v vs %+v", tr2, tr)
+		}
+		if len(tr2.Moves) != len(tr.Moves) {
+			t.Fatalf("moves %d vs %d", len(tr2.Moves), len(tr.Moves))
+		}
+		for i := range tr.Moves {
+			if tr2.Moves[i] != tr.Moves[i] {
+				t.Fatalf("move %d: %v vs %v", i, tr2.Moves[i], tr.Moves[i])
+			}
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"model base",              // missing r
+		"r 3",                     // missing model
+		"model unknown\nr 3",      // bad model
+		"model compcost\nr 3",     // missing epsdenom
+		"model base\nr x",         // bad r
+		"model base\nr 3\nfly 1",  // unknown directive
+		"model base\nr 3\nload x", // bad node
+		"model base\nr 3\nload -1",
+		"model base\nr 3\nconv yes maybe",
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadTrace(%q) succeeded", c)
+		}
+	}
+}
+
+func TestResultValue(t *testing.T) {
+	res := Result{Cost: Cost{Transfers: 3, Computes: 10}}
+	m := Model{Kind: CompCost, EpsDenom: 10}
+	if res.Value(m) != 4 {
+		t.Fatalf("Value = %v", res.Value(m))
+	}
+}
+
+func TestTraceWithSourcesStartBlue(t *testing.T) {
+	g := diamond()
+	tr := &Trace{
+		Model:      NewModel(Oneshot),
+		R:          3,
+		Convention: Convention{SourcesStartBlue: true},
+		Moves: []Move{
+			{Load, 0}, {Load, 1}, {Compute, 2},
+			{Delete, 0}, {Delete, 1},
+			{Compute, 3},
+		},
+	}
+	res, err := tr.Run(g)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cost.Transfers != 2 {
+		t.Fatalf("transfers = %d", res.Cost.Transfers)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	g := dag.New(2)
+	g.AddEdge(0, 1)
+	st, err := NewState(g, NewModel(Base), 2, Convention{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.MustApply(Move{Compute, 0})
+		st.MustApply(Move{Store, 0})
+		st.MustApply(Move{Load, 0})
+		st.MustApply(Move{Delete, 0})
+	}
+}

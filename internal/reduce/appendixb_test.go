@@ -1,0 +1,108 @@
+package reduce
+
+import (
+	"sort"
+	"testing"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/gadgets"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/sched"
+	"rbpebble/internal/solve"
+	"rbpebble/internal/ugraph"
+)
+
+// Appendix B: replacing every input group of the Theorem 2 reduction by
+// a CD gadget yields a constant-indegree DAG that — pebbled with R+1 red
+// pebbles — preserves the permutation cost structure in the oneshot
+// model (CD layers are computed for free once the left group is red).
+
+// cdOrder expands a vertex permutation into a compute order for the
+// constant-degree version: for each visited group, its not-yet-computed
+// contacts, the gadget's layers, then the target.
+func cdOrder(r *HamPath, cds map[dag.NodeID]*gadgets.CD, perm []int) []dag.NodeID {
+	placed := make(map[dag.NodeID]bool)
+	var order []dag.NodeID
+	add := func(v dag.NodeID) {
+		if !placed[v] {
+			placed[v] = true
+			order = append(order, v)
+		}
+	}
+	for _, a := range perm {
+		grp := r.Group(a)
+		sort.Slice(grp, func(i, j int) bool { return grp[i] < grp[j] })
+		for _, v := range grp {
+			add(v)
+		}
+		for _, layer := range cds[r.Targets[a]].Layers {
+			for _, v := range layer {
+				add(v)
+			}
+		}
+		add(r.Targets[a])
+	}
+	return order
+}
+
+func TestAppendixBConstantDegreeHamPath(t *testing.T) {
+	for _, src := range []*ugraph.Graph{ugraph.Path(4), ugraph.Cycle(4)} {
+		r := NewHamPath(src)
+		tg := r.G // transform in place (reduction not reused)
+		cds := gadgets.ConstantDegree(tg, 3)
+		if err := tg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tg.MaxInDegree() > 2 {
+			t.Fatalf("Δ after transform = %d", tg.MaxInDegree())
+		}
+		if len(cds) != src.N() {
+			t.Fatalf("transformed %d targets, want %d", len(cds), src.N())
+		}
+		// With R' = R+1, each permutation's oneshot cost equals the
+		// original closed form: the gadget layers pebble for free.
+		perms := [][]int{{0, 1, 2, 3}, {0, 2, 1, 3}, {3, 1, 2, 0}}
+		for _, perm := range perms {
+			order := cdOrder(r, cds, perm)
+			_, res, err := sched.Execute(tg, pebble.NewModel(pebble.Oneshot), r.R+1,
+				pebble.Convention{}, order, sched.Options{Policy: sched.Belady})
+			if err != nil {
+				t.Fatalf("perm %v: %v", perm, err)
+			}
+			want := r.PermutationCostOneshot(perm)
+			if res.Cost.Transfers != want {
+				t.Fatalf("perm %v: constant-degree cost %d != formula %d",
+					perm, res.Cost.Transfers, want)
+			}
+		}
+	}
+}
+
+// The base model degenerates without the H2C gadget: source contacts
+// recompute for free, so the optimal cost no longer depends on the edge
+// structure at all — this is exactly why Appendix A.2 adds H2C gadgets
+// for the base-model reduction.
+func TestBaseModelDegeneratesWithoutH2C(t *testing.T) {
+	costs := map[string]int{}
+	for name, src := range map[string]*ugraph.Graph{
+		"path(3)":     ugraph.Path(3),     // has HP
+		"complete(3)": ugraph.Complete(3), // has HP
+		"empty(3)":    ugraph.New(3),      // no edges at all
+	} {
+		r := NewHamPath(src)
+		opt, err := solve.Exact(solve.Problem{G: r.G, Model: pebble.NewModel(pebble.Base), R: r.R},
+			solve.ExactOptions{MaxStates: 4_000_000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		costs[name] = opt.Result.Cost.Transfers
+	}
+	// All three instances cost the same in base: N-1 target stores,
+	// independent of adjacency — the reduction cannot decide HP here.
+	if costs["path(3)"] != costs["complete(3)"] || costs["path(3)"] != costs["empty(3)"] {
+		t.Fatalf("base-model costs differ: %v (expected degeneracy)", costs)
+	}
+	if costs["path(3)"] != 2 {
+		t.Fatalf("base-model cost = %d, want N-1 = 2", costs["path(3)"])
+	}
+}

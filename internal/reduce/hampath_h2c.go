@@ -1,0 +1,107 @@
+package reduce
+
+import (
+	"sort"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/gadgets"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/sched"
+)
+
+// HamPathH2C is the Appendix A.2 adaptation of the Theorem 2 reduction
+// for the base and compcost models: every contact node is protected by a
+// private H2C gadget, so sources can no longer be recomputed for free
+// and the oneshot cost structure (which decides Hamiltonian Path)
+// reapplies, shifted by the gadgets' constant derivation cost.
+type HamPathH2C struct {
+	*HamPath
+	H2C *gadgets.H2CSeparate
+}
+
+// NewHamPathH2C builds the protected reduction. R stays the source
+// graph's N (each starter then needs all R pebbles).
+func NewHamPathH2C(src *HamPath) *HamPathH2C {
+	// Protect every contact (all current sources of the reduction DAG).
+	contacts := src.G.Sources()
+	h := gadgets.AttachH2CSeparate(src.G, contacts, src.R)
+	return &HamPathH2C{HamPath: src, H2C: h}
+}
+
+// NumContacts returns the number of protected contact nodes.
+func (r *HamPathH2C) NumContacts() int {
+	n := r.Source.N()
+	return n*(n-1) - r.Source.M()
+}
+
+// AdjacentPairs counts consecutive pairs of the permutation that are
+// adjacent in the source graph — the quantity a pebbling of this
+// instance optimizes. A Hamiltonian path realizes the maximum N-1.
+func (r *HamPathH2C) AdjacentPairs(perm []int) int {
+	adj := 0
+	for i := 1; i < len(perm); i++ {
+		if r.Source.HasEdge(perm[i-1], perm[i]) {
+			adj++
+		}
+	}
+	return adj
+}
+
+// MinDerivationCost lower-bounds the gadget overhead: each protected
+// contact costs at least MinTransferCost transfers to derive, once.
+func (r *HamPathH2C) MinDerivationCost() int {
+	return gadgets.MinTransferCost * r.NumContacts()
+}
+
+// OrderH2C expands a vertex permutation into a compute order realizing
+// the efficient strategy: a derivation phase computes every contact
+// through its gadget first (each derivation needs all R pebbles, so
+// nothing else survives it), then a visit phase computes the targets in
+// permutation order, re-loading each group's contacts from slow memory.
+// Hoisting the derivations is what lets consecutive adjacent visits keep
+// their shared contact in fast memory — interleaving derivations with
+// visits would flush it and destroy the adjacency saving.
+func (r *HamPathH2C) OrderH2C(perm []int) []dag.NodeID {
+	placed := make(map[dag.NodeID]bool)
+	var order []dag.NodeID
+	add := func(v dag.NodeID) {
+		if !placed[v] {
+			placed[v] = true
+			order = append(order, v)
+		}
+	}
+	// Phase 1: derive every contact, gadget by gadget.
+	var contacts []dag.NodeID
+	n := r.Source.N()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && !placed[r.Contact[a][b]] {
+				placed[r.Contact[a][b]] = true
+				contacts = append(contacts, r.Contact[a][b])
+			}
+		}
+	}
+	for v := range placed {
+		delete(placed, v)
+	}
+	sort.Slice(contacts, func(i, j int) bool { return contacts[i] < contacts[j] })
+	for _, c := range contacts {
+		for _, u := range r.H2C.Order(c) {
+			add(u)
+		}
+		add(c)
+	}
+	// Phase 2: visit the groups (contacts are loaded by the scheduler).
+	for _, a := range perm {
+		add(r.Targets[a])
+	}
+	return order
+}
+
+// PebbleBase executes the permutation in the base model (the scheduler's
+// no-recompute pebblings are base-legal) and returns the verified
+// result.
+func (r *HamPathH2C) PebbleBase(perm []int) (*pebble.Trace, pebble.Result, error) {
+	return sched.Execute(r.G, pebble.NewModel(pebble.Base), r.R, pebble.Convention{},
+		r.OrderH2C(perm), sched.Options{Policy: sched.Belady})
+}

@@ -1,0 +1,250 @@
+package reduce
+
+import (
+	"fmt"
+	"sort"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/sched"
+	"rbpebble/internal/ugraph"
+)
+
+// VertexCover is the Theorem 3 reduction instance. For each vertex a of
+// the source graph it builds a first-level group V(a,1) with N-1 targets
+// t(a,1,b) and a second-level group V(a,2) with one target t(a,2); the
+// two groups share kPrime common source nodes, and for every source edge
+// (a,b) the target t(a,1,b) is a member of V(b,2). All groups have
+// uniform size K; pebble with R = K+1.
+//
+// Visiting V(a,1) and V(a,2) consecutively lets the common nodes live
+// their whole life in fast memory (cost 0); splitting them costs 2·kPrime.
+// Vertices whose pairs must split form a vertex cover, so the optimal
+// pebbling cost is 2·kPrime·|VCmin| + O(N²).
+type VertexCover struct {
+	Source *ugraph.Graph
+	G      *dag.DAG
+	KPrime int
+	K      int
+	R      int
+	// Commons[a] lists the kPrime common nodes shared by V(a,1), V(a,2).
+	Commons [][]dag.NodeID
+	// First[a] and Second[a] are the full member lists of V(a,1), V(a,2).
+	First, Second [][]dag.NodeID
+	// T1[a][b] is the target t(a,1,b) (b != a); T2[a] is t(a,2).
+	T1 [][]dag.NodeID
+	T2 []dag.NodeID
+}
+
+// NewVertexCover builds the reduction with kPrime common nodes per
+// vertex. The paper takes kPrime = ω(N²) so the commons dominate; any
+// kPrime >= 1 yields a structurally faithful instance (benchmarks sweep
+// it).
+func NewVertexCover(src *ugraph.Graph, kPrime int) *VertexCover {
+	n := src.N()
+	if n < 2 || kPrime < 1 {
+		panic("reduce: NewVertexCover needs n >= 2 and kPrime >= 1")
+	}
+	g := dag.New(0)
+	r := &VertexCover{Source: src, G: g, KPrime: kPrime}
+	// Uniform group size: commons + worst-case extras. First-level groups
+	// hold only commons (+ fillers). Second-level groups hold commons +
+	// deg(a) in-targets (+ fillers). K = kPrime + maxDeg.
+	maxDeg := 0
+	for a := 0; a < n; a++ {
+		if d := src.Degree(a); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	r.K = kPrime + maxDeg
+	r.R = r.K + 1
+
+	r.Commons = make([][]dag.NodeID, n)
+	r.First = make([][]dag.NodeID, n)
+	r.Second = make([][]dag.NodeID, n)
+	r.T1 = make([][]dag.NodeID, n)
+	r.T2 = make([]dag.NodeID, n)
+
+	for a := 0; a < n; a++ {
+		r.Commons[a] = g.AddNodes(kPrime)
+		for i, v := range r.Commons[a] {
+			g.SetLabel(v, fmt.Sprintf("c%d.%d", a, i))
+		}
+		r.T1[a] = make([]dag.NodeID, n)
+		for b := range r.T1[a] {
+			r.T1[a][b] = -1
+		}
+		for b := 0; b < n; b++ {
+			if b != a {
+				r.T1[a][b] = g.AddLabeledNode(fmt.Sprintf("t%d,1,%d", a, b))
+			}
+		}
+		r.T2[a] = g.AddLabeledNode(fmt.Sprintf("t%d,2", a))
+	}
+
+	for a := 0; a < n; a++ {
+		// First-level members: commons + fillers.
+		first := append([]dag.NodeID(nil), r.Commons[a]...)
+		for len(first) < r.K {
+			first = append(first, g.AddLabeledNode(fmt.Sprintf("f%d,1.%d", a, len(first))))
+		}
+		r.First[a] = first
+		for _, v := range first {
+			for b := 0; b < n; b++ {
+				if b != a {
+					g.AddEdge(v, r.T1[a][b])
+				}
+			}
+		}
+		// Second-level members: commons + neighbors' first-level targets
+		// pointing at a + fillers.
+		second := append([]dag.NodeID(nil), r.Commons[a]...)
+		for _, b := range src.Neighbors(a) {
+			second = append(second, r.T1[b][a])
+		}
+		for len(second) < r.K {
+			second = append(second, g.AddLabeledNode(fmt.Sprintf("f%d,2.%d", a, len(second))))
+		}
+		r.Second[a] = second
+		for _, v := range second {
+			g.AddEdge(v, r.T2[a])
+		}
+	}
+	return r
+}
+
+// Visit identifies one group of the reduction: level 1 or 2 of vertex A.
+type Visit struct {
+	A     int
+	Level int
+}
+
+// VisitsForCover returns the paper's optimal visit sequence given a
+// vertex cover: first-level groups of the cover, then both groups of
+// each independent-set vertex consecutively, then the cover's
+// second-level groups.
+func (r *VertexCover) VisitsForCover(cover []int) []Visit {
+	n := r.Source.N()
+	inCover := make([]bool, n)
+	for _, v := range cover {
+		inCover[v] = true
+	}
+	var visits []Visit
+	for a := 0; a < n; a++ {
+		if inCover[a] {
+			visits = append(visits, Visit{a, 1})
+		}
+	}
+	for a := 0; a < n; a++ {
+		if !inCover[a] {
+			visits = append(visits, Visit{a, 1}, Visit{a, 2})
+		}
+	}
+	for a := 0; a < n; a++ {
+		if inCover[a] {
+			visits = append(visits, Visit{a, 2})
+		}
+	}
+	return visits
+}
+
+// Order expands a visit sequence into a node-level compute order: each
+// group's not-yet-computed source members (ascending), then its targets.
+func (r *VertexCover) Order(visits []Visit) []dag.NodeID {
+	placed := make(map[dag.NodeID]bool)
+	var order []dag.NodeID
+	addSources := func(members []dag.NodeID) {
+		ms := append([]dag.NodeID(nil), members...)
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		for _, v := range ms {
+			if r.G.IsSource(v) && !placed[v] {
+				placed[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	for _, vis := range visits {
+		switch vis.Level {
+		case 1:
+			addSources(r.First[vis.A])
+			for b := 0; b < r.Source.N(); b++ {
+				if t := r.T1[vis.A][b]; t >= 0 && !placed[t] {
+					placed[t] = true
+					order = append(order, t)
+				}
+			}
+		case 2:
+			addSources(r.Second[vis.A])
+			if !placed[r.T2[vis.A]] {
+				placed[r.T2[vis.A]] = true
+				order = append(order, r.T2[vis.A])
+			}
+		default:
+			panic("reduce: bad visit level")
+		}
+	}
+	return order
+}
+
+// Pebble executes a visit sequence in the oneshot model with Belady
+// eviction and returns the verified result.
+func (r *VertexCover) Pebble(visits []Visit) (*pebble.Trace, pebble.Result, error) {
+	return sched.Execute(r.G, pebble.NewModel(pebble.Oneshot), r.R, pebble.Convention{},
+		r.Order(visits), sched.Options{Policy: sched.Belady})
+}
+
+// CommonCost returns the dominant cost term of a pebbling whose
+// non-consecutive pairs form a cover of the given size: 2·kPrime·size.
+func (r *VertexCover) CommonCost(coverSize int) int { return 2 * r.KPrime * coverSize }
+
+// ExtraCostBound bounds the O(N²) non-common terms: at most 2 per
+// first-level target plus 1 per second-level target.
+func (r *VertexCover) ExtraCostBound() int {
+	n := r.Source.N()
+	return 2*n*(n-1) + n
+}
+
+// ExtractCover recovers a vertex cover from a visit sequence: the
+// vertices whose first- and second-level visits are not consecutive. For
+// any dependency-respecting sequence the result is a valid cover — for
+// each source edge (a,b), V(a,1) precedes V(b,2), so the pairs of a and
+// b cannot both be consecutive.
+func (r *VertexCover) ExtractCover(visits []Visit) []int {
+	pos := make(map[Visit]int, len(visits))
+	for i, v := range visits {
+		pos[v] = i
+	}
+	var cover []int
+	for a := 0; a < r.Source.N(); a++ {
+		p1, ok1 := pos[Visit{a, 1}]
+		p2, ok2 := pos[Visit{a, 2}]
+		if !ok1 || !ok2 || p2 != p1+1 {
+			cover = append(cover, a)
+		}
+	}
+	return cover
+}
+
+// VisitsFromTrace recovers the group visit sequence from a compute order
+// (the order in which targets appear; a group is visited at its first
+// target computation).
+func (r *VertexCover) VisitsFromTrace(order []dag.NodeID) []Visit {
+	owner := make(map[dag.NodeID]Visit)
+	for a := 0; a < r.Source.N(); a++ {
+		for b := 0; b < r.Source.N(); b++ {
+			if t := r.T1[a][b]; b != a && t >= 0 {
+				owner[t] = Visit{a, 1}
+			}
+		}
+		owner[r.T2[a]] = Visit{a, 2}
+	}
+	seen := make(map[Visit]bool)
+	var visits []Visit
+	for _, v := range order {
+		if vis, ok := owner[v]; ok && !seen[vis] {
+			seen[vis] = true
+			visits = append(visits, vis)
+		}
+	}
+	return visits
+}

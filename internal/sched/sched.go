@@ -1,0 +1,324 @@
+// Package sched converts a compute order into a complete, legal pebbling
+// by managing red-pebble evictions with a pluggable cache-replacement
+// policy. In the oneshot model a pebbling is exactly a topological compute
+// order plus an eviction policy (paper §8); this package is the executor
+// for that decomposition, and its Belady policy is the optimal eviction
+// for a fixed order.
+//
+// The produced schedules never recompute nodes, so the same trace is legal
+// in all four model variants (Delete moves are replaced by Store under
+// nodel).
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+)
+
+// Policy selects which red pebble to evict when fast memory is full.
+type Policy int
+
+const (
+	// Belady evicts the red pebble whose next use is furthest in the
+	// future (never-used first) — the MIN algorithm, optimal for a fixed
+	// compute order.
+	Belady Policy = iota
+	// LRU evicts the least recently used red pebble.
+	LRU
+	// FIFO evicts the red pebble that has been red the longest.
+	FIFO
+	// Random evicts a uniformly random red pebble (seeded; deterministic
+	// per Options.Seed).
+	Random
+	// EvictAllStore stores every unpinned red pebble after each compute.
+	// This is the paper's §3 naive strategy whose cost realizes the
+	// (2Δ+1)·n universal upper bound.
+	EvictAllStore
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Belady:
+		return "belady"
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	case EvictAllStore:
+		return "evict-all-store"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AllPolicies lists the eviction policies (for ablation sweeps).
+func AllPolicies() []Policy { return []Policy{Belady, LRU, FIFO, Random, EvictAllStore} }
+
+// Options configures Execute.
+type Options struct {
+	Policy Policy
+	// Seed drives the Random policy.
+	Seed int64
+}
+
+const never = int(^uint(0) >> 1) // max int: "no future use"
+
+// Execute runs the compute order under the model/R/convention, managing
+// evictions with the configured policy, and returns the trace it built
+// together with its independently verified result.
+//
+// The order must contain every node exactly once (every non-source node,
+// under SourcesStartBlue) and must respect the DAG's edges. Nodes are
+// never recomputed; a red pebble with a future use is evicted by Store,
+// one without by Delete (always Store under nodel).
+func Execute(g *dag.DAG, model pebble.Model, r int, conv pebble.Convention, order []dag.NodeID, opts Options) (*pebble.Trace, pebble.Result, error) {
+	switch opts.Policy {
+	case Belady, LRU, FIFO, Random, EvictAllStore:
+	default:
+		return nil, pebble.Result{}, fmt.Errorf("sched: unknown policy %d", int(opts.Policy))
+	}
+	if err := checkOrder(g, conv, order); err != nil {
+		return nil, pebble.Result{}, err
+	}
+	rec, err := pebble.NewRecorder(g, model, r, conv)
+	if err != nil {
+		return nil, pebble.Result{}, err
+	}
+
+	n := g.N()
+	// pos[v] = index of v in the compute order (never for absent nodes,
+	// i.e. sources under SourcesStartBlue).
+	pos := make([]int, n)
+	for v := range pos {
+		pos[v] = never
+	}
+	for i, v := range order {
+		pos[v] = i
+	}
+	// uses[u] = ascending positions at which u is needed as an input.
+	uses := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, w := range g.Succs(dag.NodeID(u)) {
+			if pos[w] != never {
+				uses[u] = append(uses[u], pos[w])
+			}
+		}
+		sort.Ints(uses[u])
+	}
+	useIdx := make([]int, n) // pointer into uses[u]: first use > current time
+
+	nextUse := func(u int, now int) int {
+		for useIdx[u] < len(uses[u]) && uses[u][useIdx[u]] <= now {
+			useIdx[u]++
+		}
+		if useIdx[u] < len(uses[u]) {
+			return uses[u][useIdx[u]]
+		}
+		return never
+	}
+	// live reports whether u's value is still needed after time now: a
+	// future input use, or u is a sink (which must retain a pebble).
+	live := func(u int, now int) bool {
+		return nextUse(u, now) != never || g.IsSink(dag.NodeID(u))
+	}
+
+	lastTouch := make([]int, n) // LRU clock
+	bornAt := make([]int, n)    // FIFO clock
+	clock := 0
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// redList tracks current red nodes for policy scans.
+	redList := make(map[int]struct{}, r)
+
+	evictOne := func(now int, pinned map[int]struct{}) error {
+		// Gather candidates deterministically (sorted IDs).
+		cands := make([]int, 0, len(redList))
+		for u := range redList {
+			if _, pin := pinned[u]; !pin {
+				cands = append(cands, u)
+			}
+		}
+		if len(cands) == 0 {
+			return fmt.Errorf("sched: no evictable red pebble (R=%d too small for pinned set)", r)
+		}
+		sort.Ints(cands)
+		var victim int
+		switch opts.Policy {
+		case Belady, EvictAllStore:
+			// Furthest next use; never-used (dead) first.
+			best, bestUse := -1, -1
+			for _, u := range cands {
+				nu := nextUse(u, now)
+				score := nu
+				if nu == never && !g.IsSink(dag.NodeID(u)) {
+					score = never // dead: perfect victim
+				} else if nu == never {
+					// Sink with no further input use: needed only at the
+					// very end; treat as far-future but preferable to keep
+					// over a dead node (equal score is fine: ties break by
+					// lower ID via scan order).
+					score = never - 1
+				}
+				if score > bestUse {
+					best, bestUse = u, score
+				}
+			}
+			victim = best
+		case LRU:
+			best, bestT := -1, never
+			for _, u := range cands {
+				if lastTouch[u] < bestT {
+					best, bestT = u, lastTouch[u]
+				}
+			}
+			victim = best
+		case FIFO:
+			best, bestT := -1, never
+			for _, u := range cands {
+				if bornAt[u] < bestT {
+					best, bestT = u, bornAt[u]
+				}
+			}
+			victim = best
+		case Random:
+			victim = cands[rng.Intn(len(cands))]
+		default:
+			return fmt.Errorf("sched: unknown policy %d", int(opts.Policy))
+		}
+		// Store if the value is still needed (or deletes are banned),
+		// otherwise delete for free.
+		if live(victim, now) || model.Kind == pebble.NoDel {
+			if err := rec.Apply(pebble.Move{Kind: pebble.Store, Node: dag.NodeID(victim)}); err != nil {
+				return err
+			}
+		} else {
+			if err := rec.Apply(pebble.Move{Kind: pebble.Delete, Node: dag.NodeID(victim)}); err != nil {
+				return err
+			}
+		}
+		delete(redList, victim)
+		return nil
+	}
+
+	for i, v := range order {
+		preds := g.Preds(v)
+		pinned := make(map[int]struct{}, len(preds)+1)
+		needSlots := 1 // for v itself
+		for _, u := range preds {
+			pinned[int(u)] = struct{}{}
+			if !rec.IsRed(u) {
+				needSlots++
+			}
+		}
+		for rec.RedCount() > r-needSlots {
+			if err := evictOne(i, pinned); err != nil {
+				return nil, pebble.Result{}, fmt.Errorf("sched: order position %d (node %d): %w", i, v, err)
+			}
+		}
+		// Load missing inputs.
+		for _, u := range preds {
+			if !rec.IsRed(u) {
+				if err := rec.Apply(pebble.Move{Kind: pebble.Load, Node: u}); err != nil {
+					return nil, pebble.Result{}, fmt.Errorf("sched: order position %d: input %d of %d not recoverable: %w", i, u, v, err)
+				}
+				redList[int(u)] = struct{}{}
+				bornAt[int(u)] = clock
+				clock++
+			}
+			lastTouch[int(u)] = clock
+			clock++
+		}
+		if err := rec.Apply(pebble.Move{Kind: pebble.Compute, Node: v}); err != nil {
+			return nil, pebble.Result{}, fmt.Errorf("sched: order position %d: %w", i, err)
+		}
+		redList[int(v)] = struct{}{}
+		bornAt[int(v)] = clock
+		lastTouch[int(v)] = clock
+		clock++
+
+		if opts.Policy == EvictAllStore {
+			// Naive §3 strategy: store everything after each compute,
+			// in deterministic ID order.
+			all := make([]int, 0, len(redList))
+			for u := range redList {
+				all = append(all, u)
+			}
+			sort.Ints(all)
+			for _, u := range all {
+				if err := rec.Apply(pebble.Move{Kind: pebble.Store, Node: dag.NodeID(u)}); err != nil {
+					return nil, pebble.Result{}, err
+				}
+				delete(redList, u)
+			}
+		}
+	}
+
+	// Final convention pass: make sinks blue if required.
+	if conv.SinksMustBeBlue {
+		for _, v := range g.Sinks() {
+			if rec.IsRed(v) {
+				if err := rec.Apply(pebble.Move{Kind: pebble.Store, Node: v}); err != nil {
+					return nil, pebble.Result{}, err
+				}
+				delete(redList, int(v))
+			}
+		}
+	}
+
+	tr := rec.Trace()
+	res, err := tr.Run(g)
+	if err != nil {
+		return nil, pebble.Result{}, fmt.Errorf("sched: self-verification failed: %w", err)
+	}
+	return tr, res, nil
+}
+
+// checkOrder validates that order is a permutation of the computable nodes
+// respecting the edge relation.
+func checkOrder(g *dag.DAG, conv pebble.Convention, order []dag.NodeID) error {
+	n := g.N()
+	seen := make([]bool, n)
+	posOf := make([]int, n)
+	for i := range posOf {
+		posOf[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("sched: order contains out-of-range node %d", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("sched: order contains node %d twice", v)
+		}
+		if conv.SourcesStartBlue && g.IsSource(v) {
+			return fmt.Errorf("sched: order contains source %d, not computable under SourcesStartBlue", v)
+		}
+		seen[v] = true
+		posOf[v] = i
+	}
+	for v := 0; v < n; v++ {
+		if conv.SourcesStartBlue && g.IsSource(dag.NodeID(v)) {
+			continue
+		}
+		if !seen[v] {
+			return fmt.Errorf("sched: order missing node %d", v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if posOf[v] < 0 {
+			continue
+		}
+		for _, u := range g.Preds(dag.NodeID(v)) {
+			if posOf[u] >= 0 && posOf[u] > posOf[v] {
+				return fmt.Errorf("sched: order violates edge %d->%d", u, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/pebble"
+)
+
+func topo(t *testing.T, g *dag.DAG) []dag.NodeID {
+	t.Helper()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return order
+}
+
+func TestExecuteChainZeroCost(t *testing.T) {
+	// A chain with R=2 pebbles needs no transfers at all: compute next,
+	// delete previous.
+	g := daggen.Chain(20)
+	for _, kind := range []pebble.ModelKind{pebble.Base, pebble.Oneshot} {
+		tr, res, err := Execute(g, pebble.NewModel(kind), 2, pebble.Convention{}, topo(t, g), Options{Policy: Belady})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Cost.Transfers != 0 {
+			t.Fatalf("%v: chain transfers = %d, want 0", kind, res.Cost.Transfers)
+		}
+		if len(tr.Moves) == 0 || !res.Complete {
+			t.Fatalf("%v: bad trace", kind)
+		}
+	}
+}
+
+func TestExecuteChainNoDel(t *testing.T) {
+	// Under nodel the previous chain node must be stored instead of
+	// deleted: cost n-2 stores (last two nodes stay red with R=2... the
+	// final node and its predecessor's pebble: the pred of the last node
+	// is evicted only if needed; with R=2 computing node i+1 needs i red,
+	// so node i-1 must be stored. n-2 stores total).
+	n := 20
+	g := daggen.Chain(n)
+	_, res, err := Execute(g, pebble.NewModel(pebble.NoDel), 2, pebble.Convention{}, topo(t, g), Options{Policy: Belady})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Transfers != n-2 {
+		t.Fatalf("nodel chain transfers = %d, want %d", res.Cost.Transfers, n-2)
+	}
+	if res.Deletes != 0 {
+		t.Fatal("nodel trace contains deletes")
+	}
+}
+
+func TestExecuteRespectsUpperBound(t *testing.T) {
+	// Every policy must stay within the universal (2Δ+1)·n bound on every
+	// workload.
+	graphs := map[string]*dag.DAG{
+		"pyramid": daggen.Pyramid(5),
+		"fft":     daggen.FFT(3),
+		"grid":    daggen.Grid(4, 4),
+		"tree":    daggen.BinaryTree(4),
+		"layered": daggen.RandomLayered(4, 5, 3, 7),
+		"stencil": daggen.Stencil1D(6, 4),
+	}
+	for name, g := range graphs {
+		r := pebble.MinFeasibleR(g)
+		bound := pebble.CostUpperBound(g, pebble.NewModel(pebble.Oneshot))
+		for _, p := range AllPolicies() {
+			_, res, err := Execute(g, pebble.NewModel(pebble.Oneshot), r, pebble.Convention{}, topo(t, g), Options{Policy: p, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, p, err)
+			}
+			if res.Cost.Transfers > bound.Transfers {
+				t.Fatalf("%s/%s: cost %d exceeds (2Δ+1)n = %d", name, p, res.Cost.Transfers, bound.Transfers)
+			}
+			if res.MaxRed > r {
+				t.Fatalf("%s/%s: red limit violated", name, p)
+			}
+		}
+	}
+}
+
+func TestBeladyBeatsOrTiesOthers(t *testing.T) {
+	// Belady is optimal for a fixed order; it must never lose to LRU/FIFO
+	// on the same order.
+	for seed := int64(0); seed < 10; seed++ {
+		g := daggen.RandomLayered(4, 6, 3, seed)
+		r := pebble.MinFeasibleR(g) + 1
+		order := topo(t, g)
+		costs := map[Policy]int{}
+		for _, p := range []Policy{Belady, LRU, FIFO} {
+			_, res, err := Execute(g, pebble.NewModel(pebble.Oneshot), r, pebble.Convention{}, order, Options{Policy: p})
+			if err != nil {
+				t.Fatalf("seed %d policy %s: %v", seed, p, err)
+			}
+			costs[p] = res.Cost.Transfers
+		}
+		if costs[Belady] > costs[LRU] || costs[Belady] > costs[FIFO] {
+			t.Fatalf("seed %d: belady=%d lru=%d fifo=%d", seed, costs[Belady], costs[LRU], costs[FIFO])
+		}
+	}
+}
+
+func TestExecuteLargeRIsFree(t *testing.T) {
+	// With R = n, nothing is ever evicted: zero transfers in oneshot.
+	g := daggen.FFT(3)
+	_, res, err := Execute(g, pebble.NewModel(pebble.Oneshot), g.N(), pebble.Convention{}, topo(t, g), Options{Policy: Belady})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Transfers != 0 {
+		t.Fatalf("R=n transfers = %d", res.Cost.Transfers)
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	g := daggen.Chain(3)
+	m := pebble.NewModel(pebble.Base)
+	cases := []struct {
+		name  string
+		order []dag.NodeID
+		want  string
+	}{
+		{"reversed", []dag.NodeID{2, 1, 0}, "violates edge"},
+		{"missing", []dag.NodeID{0, 1}, "missing node"},
+		{"dup", []dag.NodeID{0, 1, 1}, "twice"},
+		{"range", []dag.NodeID{0, 1, 9}, "out-of-range"},
+	}
+	for _, c := range cases {
+		_, _, err := Execute(g, m, 2, pebble.Convention{}, c.order, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSourcesStartBlueOrder(t *testing.T) {
+	g := daggen.Chain(3)
+	m := pebble.NewModel(pebble.Base)
+	conv := pebble.Convention{SourcesStartBlue: true}
+	// Including the source is an error.
+	if _, _, err := Execute(g, m, 2, conv, []dag.NodeID{0, 1, 2}, Options{}); err == nil {
+		t.Fatal("order with source accepted under SourcesStartBlue")
+	}
+	// Excluding it works; the source is loaded (1 transfer).
+	_, res, err := Execute(g, m, 2, conv, []dag.NodeID{1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Transfers != 1 {
+		t.Fatalf("transfers = %d, want 1 (load source)", res.Cost.Transfers)
+	}
+}
+
+func TestSinksMustBeBlue(t *testing.T) {
+	g := daggen.Chain(3)
+	m := pebble.NewModel(pebble.Oneshot)
+	conv := pebble.Convention{SinksMustBeBlue: true}
+	_, res, err := Execute(g, m, 2, conv, topo(t, g), Options{Policy: Belady})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chain costs 0 normally; the final store adds exactly 1.
+	if res.Cost.Transfers != 1 {
+		t.Fatalf("transfers = %d, want 1", res.Cost.Transfers)
+	}
+}
+
+func TestEvictAllStoreMatchesNaiveBound(t *testing.T) {
+	// The naive strategy stores everything after each compute: for the
+	// input-group DAG every target computation costs about 2Δ+1.
+	g, _, _ := daggen.InputGroups(4, 3)
+	r := pebble.MinFeasibleR(g)
+	_, res, err := Execute(g, pebble.NewModel(pebble.Oneshot), r, pebble.Convention{}, topo(t, g), Options{Policy: EvictAllStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := pebble.CostUpperBound(g, pebble.NewModel(pebble.Oneshot))
+	if res.Cost.Transfers > bound.Transfers {
+		t.Fatalf("naive cost %d exceeds bound %d", res.Cost.Transfers, bound.Transfers)
+	}
+	if res.Stores == 0 {
+		t.Fatal("EvictAllStore produced no stores")
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	g := daggen.RandomLayered(4, 5, 3, 3)
+	r := pebble.MinFeasibleR(g)
+	order := topo(t, g)
+	m := pebble.NewModel(pebble.Oneshot)
+	tr1, _, err1 := Execute(g, m, r, pebble.Convention{}, order, Options{Policy: Random, Seed: 11})
+	tr2, _, err2 := Execute(g, m, r, pebble.Convention{}, order, Options{Policy: Random, Seed: 11})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(tr1.Moves) != len(tr2.Moves) {
+		t.Fatal("same seed, different trace length")
+	}
+	for i := range tr1.Moves {
+		if tr1.Moves[i] != tr2.Moves[i] {
+			t.Fatal("same seed, different trace")
+		}
+	}
+}
+
+func TestAllModelsProduceLegalTraces(t *testing.T) {
+	g := daggen.Pyramid(4)
+	order := topo(t, g)
+	r := pebble.MinFeasibleR(g) + 1
+	for _, kind := range pebble.AllKinds() {
+		m := pebble.NewModel(kind)
+		tr, res, err := Execute(g, m, r, pebble.Convention{}, order, Options{Policy: Belady})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		// Re-verify independently.
+		res2, err := tr.Run(g)
+		if err != nil || !res2.Complete {
+			t.Fatalf("%v: replay failed: %v", kind, err)
+		}
+		if res2.Cost != res.Cost {
+			t.Fatalf("%v: replay cost %v != %v", kind, res2.Cost, res.Cost)
+		}
+		if kind == pebble.NoDel && res.Deletes > 0 {
+			t.Fatalf("nodel trace has deletes")
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range AllPolicies() {
+		if p.String() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+	if Policy(99).String() == "" {
+		t.Fatal("unknown policy should render")
+	}
+	// Unknown policy errors out of Execute.
+	g := daggen.Chain(2)
+	_, _, err := Execute(g, pebble.NewModel(pebble.Base), 2, pebble.Convention{}, []dag.NodeID{0, 1}, Options{Policy: Policy(99)})
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// Property: on random layered DAGs, all policies produce complete legal
+// traces whose cost respects the universal bound, for all models.
+func TestQuickAllPoliciesLegal(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		layers := int(a%4) + 2
+		width := int(b%4) + 2
+		g := daggen.RandomLayered(layers, width, 2, seed)
+		r := pebble.MinFeasibleR(g)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		for _, kind := range pebble.AllKinds() {
+			for _, p := range []Policy{Belady, LRU, FIFO, Random} {
+				_, res, err := Execute(g, pebble.NewModel(kind), r, pebble.Convention{}, order, Options{Policy: p, Seed: seed})
+				if err != nil || !res.Complete {
+					return false
+				}
+				if res.Cost.Transfers > pebble.CostUpperBound(g, pebble.NewModel(kind)).Transfers {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExecuteBelady(b *testing.B) {
+	g := daggen.FFT(6)
+	order, _ := g.TopoOrder()
+	r := 8
+	m := pebble.NewModel(pebble.Oneshot)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Execute(g, m, r, pebble.Convention{}, order, Options{Policy: Belady}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

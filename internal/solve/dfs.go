@@ -1,0 +1,140 @@
+package solve
+
+import (
+	"errors"
+	"fmt"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+)
+
+// ExactDFSOptions configures the depth-first exact solver.
+type ExactDFSOptions struct {
+	// MaxVisits caps the number of node expansions (0 = 4,000,000).
+	MaxVisits int
+	// InitialBound, if nonzero, seeds the branch-and-bound with a known
+	// achievable scaled cost (e.g. from TopoBelady). Otherwise the solver
+	// computes one itself.
+	InitialBound int64
+}
+
+// ErrVisitLimit is returned when ExactDFS exceeds its visit budget.
+var ErrVisitLimit = errors.New("solve: DFS visit limit exceeded")
+
+// ExactDFS finds a provably minimum-cost pebbling by depth-first branch
+// and bound with per-state memoization. It is an independent second
+// implementation of the exact optimum (the first being the Dijkstra
+// search in Exact) — the two cross-validate each other in the tests and
+// their search behavior differs enough to serve as an ablation
+// (best-first with a global frontier vs. depth-first with an upper
+// bound).
+//
+// Supported models: oneshot and nodel, whose optimal pebblings have
+// O(Δ·n) steps (Lemma 1), giving the recursion a sound depth bound. The
+// base model admits no polynomial step bound; compcost admits one but
+// its ε-granular costs make bound pruning ineffective — use Exact
+// (best-first) for those models.
+func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
+	if p.Model.Kind != pebble.Oneshot && p.Model.Kind != pebble.NoDel {
+		return Solution{}, fmt.Errorf("solve: ExactDFS supports oneshot and nodel only, got %s", p.Model)
+	}
+	maxVisits := opts.MaxVisits
+	if maxVisits == 0 {
+		maxVisits = 4_000_000
+	}
+	start, err := pebble.NewState(p.G, p.Model, p.R, p.Convention)
+	if err != nil {
+		return Solution{}, err
+	}
+
+	// Seed the bound with an achievable solution so pruning bites early.
+	bound := opts.InitialBound
+	var bestMoves []pebble.Move
+	if bound == 0 {
+		seed, err := TopoBelady(p)
+		if err != nil {
+			return Solution{}, err
+		}
+		bound = seed.Result.Cost.Scaled(p.Model) + 1 // strict improvement wanted
+		bestMoves = seed.Trace.Moves
+	}
+
+	// Depth bound from Lemma 1: optimal pebblings in these models have
+	// O(Δ·n) steps; a loose constant keeps the bound sound.
+	n := p.G.N()
+	delta := p.G.MaxInDegree()
+	if delta == 0 {
+		delta = 1
+	}
+	factor := pebble.StepUpperBoundFactor(p.Model)
+	maxDepth := factor*delta*n + n + 8
+
+	// memo[key] = best scaled cost at which this state was ever entered;
+	// re-entering at >= cost is pointless.
+	memo := make(map[string]int64)
+	visits := 0
+	var limitErr error
+
+	var moves []pebble.Move
+	var rec func(st *pebble.State) bool // returns false on budget exhaustion
+	rec = func(st *pebble.State) bool {
+		if limitErr != nil {
+			return false
+		}
+		visits++
+		if visits > maxVisits {
+			limitErr = fmt.Errorf("%w: %d", ErrVisitLimit, maxVisits)
+			return false
+		}
+		cost := st.Cost().Scaled(p.Model)
+		if cost >= bound {
+			return true
+		}
+		if st.Complete() {
+			bound = cost
+			bestMoves = append([]pebble.Move(nil), moves...)
+			return true
+		}
+		if st.Steps() >= maxDepth {
+			return true
+		}
+		key := st.Key()
+		if old, ok := memo[key]; ok && old <= cost {
+			return true
+		}
+		memo[key] = cost
+
+		for v := 0; v < n; v++ {
+			node := dag.NodeID(v)
+			for _, kind := range [4]pebble.MoveKind{pebble.Compute, pebble.Load, pebble.Delete, pebble.Store} {
+				m := pebble.Move{Kind: kind, Node: node}
+				if st.Check(m) != nil {
+					continue
+				}
+				if prunedMove(p, st, m) {
+					continue
+				}
+				next := st.Clone()
+				if err := next.Apply(m); err != nil {
+					panic("solve: Check passed but Apply failed: " + err.Error())
+				}
+				moves = append(moves, m)
+				ok := rec(next)
+				moves = moves[:len(moves)-1]
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(start)
+	if limitErr != nil {
+		return Solution{}, limitErr
+	}
+	if bestMoves == nil {
+		return Solution{}, errors.New("solve: DFS found no complete pebbling (infeasible instance?)")
+	}
+	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: bestMoves}
+	return verify(p, tr), nil
+}

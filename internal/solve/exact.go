@@ -1,0 +1,182 @@
+package solve
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+)
+
+// ErrStateLimit is returned by Exact when the search exceeds
+// ExactOptions.MaxStates before proving an optimum.
+var ErrStateLimit = errors.New("solve: state limit exceeded")
+
+// ExactOptions configures the exact solver.
+type ExactOptions struct {
+	// MaxStates caps the number of expanded states (0 means the default
+	// of 2,000,000). The search fails with ErrStateLimit beyond it.
+	MaxStates int
+	// DisablePruning turns off the safe dominance prunes (for the
+	// ablation benchmark; the result is identical, only slower).
+	DisablePruning bool
+}
+
+// Exact finds a provably minimum-cost pebbling by uniform-cost search
+// (Dijkstra) over the state space (red set, blue set, computed set). It
+// works for every model variant but scales only to small DAGs — which is
+// the paper's point: the problem is NP-hard (PSPACE-hard in base).
+//
+// The returned solution is replay-verified. Exact returns ErrStateLimit
+// if the state budget is exhausted first.
+func Exact(p Problem, opts ExactOptions) (Solution, error) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 2_000_000
+	}
+	start, err := pebble.NewState(p.G, p.Model, p.R, p.Convention)
+	if err != nil {
+		return Solution{}, err
+	}
+	if start.Complete() {
+		// Degenerate: no sinks to pebble (empty graph) or sources start
+		// blue and are the only sinks.
+		tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention}
+		return verify(p, tr), nil
+	}
+
+	type item struct {
+		st     *pebble.State
+		parent int // index into nodes, -1 for root
+		move   pebble.Move
+	}
+	var nodes []item
+	nodes = append(nodes, item{st: start, parent: -1})
+
+	pq := &costHeap{}
+	heap.Push(pq, costEntry{idx: 0, cost: 0})
+	best := map[string]int64{start.Key(): 0}
+	expanded := 0
+
+	g := p.G
+	n := g.N()
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(costEntry)
+		st := nodes[cur.idx].st
+		curCost := st.Cost().Scaled(p.Model)
+		if curCost > best[st.Key()] {
+			continue // stale entry
+		}
+		if st.Complete() {
+			// Reconstruct the move sequence.
+			var rev []pebble.Move
+			for i := cur.idx; nodes[i].parent >= 0; i = nodes[i].parent {
+				rev = append(rev, nodes[i].move)
+			}
+			moves := make([]pebble.Move, len(rev))
+			for i := range rev {
+				moves[i] = rev[len(rev)-1-i]
+			}
+			tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: moves}
+			return verify(p, tr), nil
+		}
+		expanded++
+		if expanded > maxStates {
+			return Solution{}, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
+		}
+
+		for v := 0; v < n; v++ {
+			node := dag.NodeID(v)
+			for _, kind := range [4]pebble.MoveKind{pebble.Compute, pebble.Load, pebble.Store, pebble.Delete} {
+				m := pebble.Move{Kind: kind, Node: node}
+				if st.Check(m) != nil {
+					continue
+				}
+				if !opts.DisablePruning && prunedMove(p, st, m) {
+					continue
+				}
+				next := st.Clone()
+				if err := next.Apply(m); err != nil {
+					panic("solve: Check passed but Apply failed: " + err.Error())
+				}
+				key := next.Key()
+				c := next.Cost().Scaled(p.Model)
+				if old, ok := best[key]; ok && old <= c {
+					continue
+				}
+				best[key] = c
+				nodes = append(nodes, item{st: next, parent: cur.idx, move: m})
+				heap.Push(pq, costEntry{idx: len(nodes) - 1, cost: c})
+			}
+		}
+	}
+	return Solution{}, errors.New("solve: state space exhausted without completing (unreachable for feasible R)")
+}
+
+// prunedMove applies dominance rules that cannot exclude every optimal
+// solution. All rules are specific to the oneshot model, where a node's
+// value exists only once: recomputation is impossible, so every node must
+// be computed exactly once, and a deleted value can never return.
+//
+//   - Deleting a pebble from a sink makes the instance unwinnable (the
+//     sink cannot be recomputed and a node holds only one pebble).
+//   - Deleting a node that still has uncomputed successors likewise makes
+//     those successors uncomputable.
+//   - Storing a dead node (all successors computed, not a sink) is wasted
+//     cost: Delete frees the red slot for free.
+//
+// In base and compcost the analogous prunes are NOT safe: deleting a red
+// sink and recomputing it later (cost 0 or ε) can beat storing it
+// (cost 1).
+func prunedMove(p Problem, st *pebble.State, m pebble.Move) bool {
+	if p.Model.Kind != pebble.Oneshot {
+		return false
+	}
+	g := p.G
+	switch m.Kind {
+	case pebble.Delete:
+		if g.IsSink(m.Node) {
+			return true
+		}
+		for _, w := range g.Succs(m.Node) {
+			if !st.WasComputed(w) {
+				return true
+			}
+		}
+		return false
+	case pebble.Store:
+		if g.IsSink(m.Node) {
+			return false
+		}
+		for _, w := range g.Succs(m.Node) {
+			if !st.WasComputed(w) {
+				return false
+			}
+		}
+		return true // dead non-sink: Delete dominates Store
+	default:
+		return false
+	}
+}
+
+// costEntry and costHeap implement the priority queue for Exact.
+type costEntry struct {
+	idx  int
+	cost int64
+}
+
+type costHeap []costEntry
+
+func (h costHeap) Len() int            { return len(h) }
+func (h costHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h costHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x interface{}) { *h = append(*h, x.(costEntry)) }
+func (h *costHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,307 @@
+package solve
+
+import (
+	"fmt"
+	"sort"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/sched"
+)
+
+// GreedyRule enumerates the natural greedy node-selection heuristics from
+// §8 of the paper. At each step the rule picks the next node to compute
+// from the candidates; ties break toward the smallest node ID.
+//
+// Candidates follow the paper's convention: a (non-source) node is a
+// candidate once all of its non-source inputs have been computed. Source
+// inputs never gate candidacy because sources are computable for free at
+// any time — "visiting an input group" computes them on demand as part of
+// realizing the chosen node.
+type GreedyRule int
+
+const (
+	// MostRedInputs selects the candidate with the largest number of red
+	// pebbles among its inputs.
+	MostRedInputs GreedyRule = iota
+	// FewestBlueInputs selects the candidate with the smallest number of
+	// blue pebbles among its inputs.
+	FewestBlueInputs
+	// RedRatio selects the candidate with the largest red-pebbles to
+	// inputs ratio.
+	RedRatio
+)
+
+// String names the rule.
+func (r GreedyRule) String() string {
+	switch r {
+	case MostRedInputs:
+		return "most-red-inputs"
+	case FewestBlueInputs:
+		return "fewest-blue-inputs"
+	case RedRatio:
+		return "red-ratio"
+	default:
+		return fmt.Sprintf("GreedyRule(%d)", int(r))
+	}
+}
+
+// AllGreedyRules lists the three rules of §8.
+func AllGreedyRules() []GreedyRule {
+	return []GreedyRule{MostRedInputs, FewestBlueInputs, RedRatio}
+}
+
+// Greedy runs the greedy strategy: it repeatedly selects the next
+// non-source node to compute using the rule, realizes each computation by
+// computing/loading its inputs with liveness-aware evictions, and returns
+// the resulting pebbling executed with Belady (optimal) eviction — the
+// "clever greedy" of the paper, which knows the cheapest way to realize
+// each chosen computation but not the global order.
+//
+// The paper's Theorem 4 shows this class of algorithms can be a Θ̃(√n)
+// factor worse than optimal in the oneshot model regardless of how the
+// red-pebble movements are chosen.
+func Greedy(p Problem, rule GreedyRule) (Solution, error) {
+	order, err := GreedyOrder(p, rule)
+	if err != nil {
+		return Solution{}, err
+	}
+	tr, res, err := sched.Execute(p.G, p.Model, p.R, p.Convention, order, sched.Options{Policy: sched.Belady})
+	if err != nil {
+		return Solution{}, fmt.Errorf("solve: greedy order execution failed: %w", err)
+	}
+	return Solution{Trace: tr, Result: res}, nil
+}
+
+// GreedyOrder simulates the greedy selection and returns the full compute
+// order it induces, with source nodes interleaved at their point of first
+// use. The simulation maintains the true pebble state so the rule sees
+// the red/blue pebble counts it would see in a real run.
+func GreedyOrder(p Problem, rule GreedyRule) ([]dag.NodeID, error) {
+	g := p.G
+	n := g.N()
+	st, err := pebble.NewState(g, p.Model, p.R, p.Convention)
+	if err != nil {
+		return nil, err
+	}
+
+	computed := make([]bool, n) // has Compute been issued (or source pre-blue)
+	isSource := make([]bool, n)
+	for v := 0; v < n; v++ {
+		isSource[v] = g.IsSource(dag.NodeID(v))
+	}
+	// Nodes the final order must contain: all nodes, except sources under
+	// SourcesStartBlue (which are loaded, not computed).
+	needCompute := make([]bool, n)
+	remaining := 0
+	for v := 0; v < n; v++ {
+		if p.Convention.SourcesStartBlue && isSource[v] {
+			computed[v] = true // value exists (blue) from the start
+			continue
+		}
+		needCompute[v] = true
+		remaining++
+	}
+	// pendingUses[u] = uncomputed successors of u (liveness for evictions).
+	pendingUses := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Succs(dag.NodeID(v)) {
+			if needCompute[w] {
+				pendingUses[v]++
+			}
+		}
+	}
+
+	// enabled: non-source candidate nodes per the paper's rule.
+	enabled := func(v int) bool {
+		if computed[v] || !needCompute[v] || isSource[v] {
+			return false
+		}
+		for _, u := range g.Preds(dag.NodeID(v)) {
+			if !isSource[u] && !computed[u] {
+				return false
+			}
+		}
+		return true
+	}
+
+	score := func(v int) float64 {
+		preds := g.Preds(dag.NodeID(v))
+		red, blue := 0, 0
+		for _, u := range preds {
+			if st.IsRed(u) {
+				red++
+			} else if st.IsBlue(u) {
+				blue++
+			}
+		}
+		switch rule {
+		case MostRedInputs:
+			return float64(red)
+		case FewestBlueInputs:
+			return -float64(blue)
+		case RedRatio:
+			if len(preds) == 0 {
+				return 1
+			}
+			return float64(red) / float64(len(preds))
+		default:
+			return 0
+		}
+	}
+
+	evictOne := func(pinned map[int]struct{}) error {
+		// Prefer dead red pebbles (free delete), else store the red pebble
+		// with the fewest pending uses; smallest ID breaks ties.
+		type cand struct {
+			v    int
+			uses int
+		}
+		var cands []cand
+		rs := st.RedSet()
+		rs.ForEach(func(u int) bool {
+			if _, pin := pinned[u]; !pin {
+				cands = append(cands, cand{u, pendingUses[u]})
+			}
+			return true
+		})
+		if len(cands) == 0 {
+			return fmt.Errorf("solve: greedy cannot free a red pebble (R too small)")
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].uses != cands[j].uses {
+				return cands[i].uses < cands[j].uses
+			}
+			return cands[i].v < cands[j].v
+		})
+		victim := cands[0]
+		node := dag.NodeID(victim.v)
+		if victim.uses == 0 && !g.IsSink(node) && p.Model.Kind != pebble.NoDel {
+			return st.Apply(pebble.Move{Kind: pebble.Delete, Node: node})
+		}
+		return st.Apply(pebble.Move{Kind: pebble.Store, Node: node})
+	}
+
+	var order []dag.NodeID
+	// realize makes node u red: compute (sources / first time) or load.
+	// Inputs of non-source u must already be red.
+	realize := func(u dag.NodeID, pinned map[int]struct{}) error {
+		if st.IsRed(u) {
+			return nil
+		}
+		if st.RedCount() >= p.R {
+			if err := evictOne(pinned); err != nil {
+				return err
+			}
+		}
+		if st.IsBlue(u) {
+			if err := st.Apply(pebble.Move{Kind: pebble.Load, Node: u}); err != nil {
+				return err
+			}
+			return nil
+		}
+		if err := st.Apply(pebble.Move{Kind: pebble.Compute, Node: u}); err != nil {
+			return err
+		}
+		if needCompute[u] && !computed[u] {
+			computed[u] = true
+			remaining--
+			order = append(order, u)
+			for _, q := range g.Preds(u) {
+				pendingUses[q]--
+			}
+		}
+		return nil
+	}
+
+	for remaining > 0 {
+		best, bestScore := -1, 0.0
+		for v := 0; v < n; v++ {
+			if !enabled(v) {
+				continue
+			}
+			s := score(v)
+			if best == -1 || s > bestScore {
+				best, bestScore = v, s
+			}
+		}
+		if best == -1 {
+			// No non-source candidate left; only uncomputed sources remain
+			// (e.g. isolated source-sinks). Compute them directly.
+			progress := false
+			for v := 0; v < n; v++ {
+				if needCompute[v] && !computed[v] && isSource[v] {
+					if err := realize(dag.NodeID(v), map[int]struct{}{}); err != nil {
+						return nil, err
+					}
+					progress = true
+				}
+			}
+			if !progress {
+				return nil, fmt.Errorf("solve: greedy stuck with %d nodes uncomputed", remaining)
+			}
+			continue
+		}
+		v := dag.NodeID(best)
+
+		// Realize the chosen computation: bring every input to red
+		// (computing uncomputed sources on demand), then compute v.
+		preds := g.Preds(v)
+		pinned := make(map[int]struct{}, len(preds)+1)
+		for _, u := range preds {
+			pinned[int(u)] = struct{}{}
+		}
+		// Deterministic input order: sorted.
+		sp := g.SortedPreds(v)
+		for _, u := range sp {
+			if err := realize(u, pinned); err != nil {
+				return nil, fmt.Errorf("solve: greedy input %d of %d: %w", u, v, err)
+			}
+		}
+		if st.RedCount() >= p.R {
+			if err := evictOne(pinned); err != nil {
+				return nil, err
+			}
+		}
+		if err := realize(v, pinned); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Topological is the naive §3 baseline: compute nodes in deterministic
+// topological order, storing every red pebble after each computation. Its
+// cost realizes the universal upper bound of (2Δ+1)·n and it is the
+// reference "worst reasonable strategy" for the benchmark tables.
+func Topological(p Problem) (Solution, error) {
+	return topoWithPolicy(p, sched.EvictAllStore)
+}
+
+// TopoBelady computes in deterministic topological order with Belady
+// eviction: the strongest order-oblivious heuristic in the suite, used as
+// a practical baseline in the benchmarks.
+func TopoBelady(p Problem) (Solution, error) {
+	return topoWithPolicy(p, sched.Belady)
+}
+
+func topoWithPolicy(p Problem, policy sched.Policy) (Solution, error) {
+	full, err := p.G.TopoOrder()
+	if err != nil {
+		return Solution{}, err
+	}
+	order := full
+	if p.Convention.SourcesStartBlue {
+		order = make([]dag.NodeID, 0, len(full))
+		for _, v := range full {
+			if !p.G.IsSource(v) {
+				order = append(order, v)
+			}
+		}
+	}
+	tr, res, err := sched.Execute(p.G, p.Model, p.R, p.Convention, order, sched.Options{Policy: policy})
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{Trace: tr, Result: res}, nil
+}

@@ -1,0 +1,75 @@
+package solve
+
+import "fmt"
+
+// PortfolioOptions configures the portfolio solver.
+type PortfolioOptions struct {
+	// Samples for the random-order heuristic (0 = 32).
+	Samples int
+	// Seed drives the randomized components.
+	Seed int64
+	// ExactBudget, if positive, additionally tries the exact solver with
+	// this state budget and returns its (provably optimal) answer when
+	// it finishes within budget.
+	ExactBudget int
+}
+
+// Portfolio runs the library's heuristics — topological+Belady, the
+// three greedy rules, and random-order sampling — and returns the
+// cheapest verified pebbling, labeled with the winning strategy. With a
+// positive ExactBudget it also attempts exact search and, on success,
+// returns the proven optimum.
+//
+// This is the recommended entry point for users who just want a good
+// schedule for a workload DAG.
+func Portfolio(p Problem, opts PortfolioOptions) (Solution, string, error) {
+	if opts.ExactBudget > 0 {
+		if sol, err := Exact(p, ExactOptions{MaxStates: opts.ExactBudget}); err == nil {
+			return sol, "exact", nil
+		}
+		// Budget exceeded (or unsupported scale): fall through to
+		// heuristics.
+	}
+	samples := opts.Samples
+	if samples == 0 {
+		samples = 32
+	}
+	type entry struct {
+		name string
+		run  func() (Solution, error)
+	}
+	entries := []entry{
+		{"topo+belady", func() (Solution, error) { return TopoBelady(p) }},
+		{"random-orders", func() (Solution, error) {
+			return RandomOrders(p, RandomOrdersOptions{Samples: samples, Seed: opts.Seed})
+		}},
+	}
+	for _, rule := range AllGreedyRules() {
+		rule := rule
+		entries = append(entries, entry{"greedy/" + rule.String(), func() (Solution, error) {
+			return Greedy(p, rule)
+		}})
+	}
+	var (
+		best     Solution
+		bestName string
+		bestCost int64
+		found    bool
+		lastErr  error
+	)
+	for _, e := range entries {
+		sol, err := e.run()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c := sol.Result.Cost.Scaled(p.Model)
+		if !found || c < bestCost {
+			best, bestName, bestCost, found = sol, e.name, c, true
+		}
+	}
+	if !found {
+		return Solution{}, "", fmt.Errorf("solve: every portfolio strategy failed: %w", lastErr)
+	}
+	return best, bestName, nil
+}

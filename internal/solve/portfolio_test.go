@@ -1,0 +1,81 @@
+package solve
+
+import (
+	"testing"
+
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/gadgets"
+	"rbpebble/internal/pebble"
+)
+
+func TestPortfolioBeatsEveryMember(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := daggen.RandomLayered(4, 5, 3, seed)
+		p := prob(g, pebble.Oneshot, pebble.MinFeasibleR(g))
+		sol, name, err := Portfolio(p, PortfolioOptions{Samples: 8, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "" || !sol.Result.Complete {
+			t.Fatal("portfolio returned unnamed or incomplete solution")
+		}
+		tb, err := TopoBelady(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Result.Cost.Transfers > tb.Result.Cost.Transfers {
+			t.Fatalf("seed %d: portfolio %d worse than member topo+belady %d",
+				seed, sol.Result.Cost.Transfers, tb.Result.Cost.Transfers)
+		}
+	}
+}
+
+func TestPortfolioExactBudget(t *testing.T) {
+	g := daggen.Pyramid(2)
+	p := prob(g, pebble.Oneshot, 3)
+	sol, name, err := Portfolio(p, PortfolioOptions{ExactBudget: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "exact" {
+		t.Fatalf("winner = %q, want exact", name)
+	}
+	opt, err := Exact(p, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Result.Cost != opt.Result.Cost {
+		t.Fatal("exact-budget portfolio not optimal")
+	}
+	// A tiny budget falls back to heuristics without failing.
+	_, name2, err := Portfolio(p, PortfolioOptions{ExactBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name2 == "exact" {
+		t.Fatal("exceeded budget still claimed exact")
+	}
+}
+
+func TestPortfolioOnAdversarialGrid(t *testing.T) {
+	// On the Theorem 4 grid, the greedy members are misguided but
+	// topo+belady or sampling may do better; the portfolio must return
+	// the min of its members, and never exceed the universal bound.
+	gg := gadgets.NewGreedyGrid(3, 8)
+	p := Problem{G: gg.G, Model: pebble.NewModel(pebble.Oneshot), R: gg.R()}
+	sol, _, err := Portfolio(p, PortfolioOptions{Samples: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Greedy(p, MostRedInputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Result.Cost.Transfers > greedy.Result.Cost.Transfers {
+		t.Fatal("portfolio worse than its greedy member")
+	}
+	ub := pebble.CostUpperBound(gg.G, p.Model)
+	if sol.Result.Cost.Transfers > ub.Transfers {
+		t.Fatal("portfolio above universal bound")
+	}
+}

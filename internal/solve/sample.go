@@ -1,0 +1,92 @@
+package solve
+
+import (
+	"math/rand"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/sched"
+)
+
+// RandomOrdersOptions configures the sampling heuristic.
+type RandomOrdersOptions struct {
+	// Samples is the number of random topological orders to try
+	// (0 = 64).
+	Samples int
+	// Seed drives the sampling.
+	Seed int64
+}
+
+// RandomOrders is a randomized heuristic for instances too large for the
+// exact solvers: it samples random topological orders uniformly (random
+// ready-node selection), executes each with Belady eviction, and keeps
+// the cheapest verified pebbling. It also always evaluates the
+// deterministic topological order, so it never loses to TopoBelady.
+func RandomOrders(p Problem, opts RandomOrdersOptions) (Solution, error) {
+	samples := opts.Samples
+	if samples == 0 {
+		samples = 64
+	}
+	best, err := TopoBelady(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	bestCost := best.Result.Cost.Scaled(p.Model)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for s := 0; s < samples; s++ {
+		order := randomTopoOrder(p.G, p.Convention, rng)
+		tr, res, err := sched.Execute(p.G, p.Model, p.R, p.Convention, order, sched.Options{Policy: sched.Belady})
+		if err != nil {
+			return Solution{}, err
+		}
+		if c := res.Cost.Scaled(p.Model); c < bestCost {
+			best, bestCost = Solution{Trace: tr, Result: res}, c
+		}
+	}
+	return best, nil
+}
+
+// randomTopoOrder returns a topological order chosen by repeatedly
+// picking a uniformly random ready node (excluding sources under
+// SourcesStartBlue).
+func randomTopoOrder(g *dag.DAG, conv pebble.Convention, rng *rand.Rand) []dag.NodeID {
+	n := g.N()
+	indeg := make([]int, n)
+	skip := make([]bool, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = g.InDegree(dag.NodeID(v))
+		if conv.SourcesStartBlue && g.IsSource(dag.NodeID(v)) {
+			skip[v] = true
+		}
+	}
+	if conv.SourcesStartBlue {
+		for v := 0; v < n; v++ {
+			if skip[v] {
+				for _, w := range g.Succs(dag.NodeID(v)) {
+					indeg[w]--
+				}
+			}
+		}
+	}
+	var ready []dag.NodeID
+	for v := 0; v < n; v++ {
+		if !skip[v] && indeg[v] == 0 {
+			ready = append(ready, dag.NodeID(v))
+		}
+	}
+	order := make([]dag.NodeID, 0, n)
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		v := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, w := range g.Succs(v) {
+			indeg[w]--
+			if indeg[w] == 0 && !skip[w] {
+				ready = append(ready, w)
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,94 @@
+package solve
+
+// This file implements the Held-Karp dynamic program over visit orders
+// used by the paper's reductions: both the Hamiltonian-Path reduction
+// (Theorem 2) and the group-structured constructions reduce optimal
+// pebbling to finding a minimum-cost order in which to visit input
+// groups, with a pairwise transition cost. That is exactly the
+// minimum-cost Hamiltonian path problem on a complete weighted digraph,
+// solvable exactly in O(2^k · k^2) for k groups.
+
+import "fmt"
+
+const inf64 = int64(1) << 62
+
+// MinVisitOrder solves the minimum-cost visit-order problem: start[i] is
+// the cost of visiting group i first, trans[i][j] the cost of visiting j
+// immediately after i. It returns the minimum total cost of visiting all
+// k groups exactly once and one order achieving it.
+//
+// Panics if k > 24 (the bitmask DP would need too much memory) or if the
+// matrices are malformed.
+func MinVisitOrder(start []int64, trans [][]int64) (int64, []int) {
+	k := len(start)
+	if k == 0 {
+		return 0, nil
+	}
+	if k > 24 {
+		panic(fmt.Sprintf("solve: MinVisitOrder supports at most 24 groups, got %d", k))
+	}
+	if len(trans) != k {
+		panic("solve: trans must be k x k")
+	}
+	for i := range trans {
+		if len(trans[i]) != k {
+			panic("solve: trans must be k x k")
+		}
+	}
+
+	size := 1 << k
+	// dp[mask][last] = min cost visiting exactly mask, ending at last.
+	dp := make([][]int64, size)
+	parent := make([][]int8, size)
+	for m := range dp {
+		dp[m] = make([]int64, k)
+		parent[m] = make([]int8, k)
+		for j := range dp[m] {
+			dp[m][j] = inf64
+			parent[m][j] = -1
+		}
+	}
+	for i := 0; i < k; i++ {
+		dp[1<<i][i] = start[i]
+	}
+	for mask := 1; mask < size; mask++ {
+		for last := 0; last < k; last++ {
+			c := dp[mask][last]
+			if c == inf64 || mask&(1<<last) == 0 {
+				continue
+			}
+			for next := 0; next < k; next++ {
+				if mask&(1<<next) != 0 {
+					continue
+				}
+				nm := mask | 1<<next
+				nc := c + trans[last][next]
+				if nc < dp[nm][next] {
+					dp[nm][next] = nc
+					parent[nm][next] = int8(last)
+				}
+			}
+		}
+	}
+	full := size - 1
+	bestCost, bestLast := inf64, -1
+	for last := 0; last < k; last++ {
+		if dp[full][last] < bestCost {
+			bestCost, bestLast = dp[full][last], last
+		}
+	}
+	// Reconstruct.
+	orderRev := make([]int, 0, k)
+	mask, last := full, bestLast
+	for last >= 0 {
+		orderRev = append(orderRev, last)
+		pl := parent[mask][last]
+		mask &^= 1 << last
+		last = int(pl)
+	}
+	order := make([]int, k)
+	for i := range orderRev {
+		order[k-1-i] = orderRev[i]
+	}
+	return bestCost, order
+}

@@ -1,0 +1,75 @@
+package ugraph
+
+// Petersen returns the Petersen graph (10 vertices, 15 edges): outer
+// cycle 0-4, inner pentagram 5-9, spokes i—i+5. It is hypohamiltonian —
+// no Hamiltonian cycle, but it does contain a Hamiltonian path — making
+// it a classic stress instance for the Theorem 2 reduction.
+func Petersen() *Graph {
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer cycle
+		g.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.AddEdge(i, 5+i)         // spokes
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube graph Q_d on 2^d
+// vertices: u and v are adjacent iff they differ in exactly one bit.
+// Q_d is Hamiltonian for every d >= 2 (Gray codes).
+func Hypercube(d int) *Graph {
+	if d < 1 {
+		panic("ugraph: Hypercube needs d >= 1")
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// GridGraph returns the rows x cols grid graph (king-less, rook-less:
+// only horizontal and vertical neighbors). It has a Hamiltonian path for
+// all sizes (boustrophedon).
+func GridGraph(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("ugraph: GridGraph needs positive dimensions")
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Wheel returns the wheel graph W_n: a cycle of n-1 vertices (1..n-1)
+// plus a hub (0) adjacent to all of them. Hamiltonian for n >= 4.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic("ugraph: Wheel needs n >= 4")
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		g.AddEdge(i, next)
+	}
+	return g
+}

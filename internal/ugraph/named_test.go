@@ -1,0 +1,81 @@
+package ugraph
+
+import "testing"
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 || g.M() != 15 {
+		t.Fatalf("Petersen: n=%d m=%d", g.N(), g.M())
+	}
+	// 3-regular.
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("Petersen degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	// Girth 5: no triangles, no 4-cycles through edge (0,1) spot checks.
+	for _, e := range g.Edges() {
+		for w := 0; w < 10; w++ {
+			if w != e[0] && w != e[1] && g.HasEdge(e[0], w) && g.HasEdge(e[1], w) {
+				t.Fatalf("Petersen has a triangle at %v + %d", e, w)
+			}
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		g := Hypercube(d)
+		n := 1 << uint(d)
+		if g.N() != n || g.M() != d*n/2 {
+			t.Fatalf("Q_%d: n=%d m=%d", d, g.N(), g.M())
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != d {
+				t.Fatalf("Q_%d degree(%d) = %d", d, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestGridGraph(t *testing.T) {
+	g := GridGraph(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("grid: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(5) != 4 {
+		t.Fatal("grid degrees wrong")
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(6)
+	if g.N() != 6 || g.M() != 10 {
+		t.Fatalf("wheel: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 5 {
+		t.Fatal("hub degree wrong")
+	}
+	for v := 1; v < 6; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("rim degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestNamedPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Hypercube(0) },
+		func() { GridGraph(0, 3) },
+		func() { Wheel(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

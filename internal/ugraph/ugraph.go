@@ -1,0 +1,223 @@
+// Package ugraph provides the undirected simple graphs that serve as
+// sources for the paper's reductions: Hamiltonian Path instances
+// (Theorem 2) and Vertex Cover instances (Theorem 3), plus generators
+// for both planted and adversarial families.
+package ugraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected simple graph on vertices 0..n-1.
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+	m   int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("ugraph: negative vertex count")
+	}
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u, v}; duplicates are ignored.
+// It panics on out-of-range vertices or self-loops.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		panic(fmt.Sprintf("ugraph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("ugraph: self-loop at %d", u))
+	}
+	if _, ok := g.adj[u][v]; ok {
+		return
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.m++
+}
+
+// RemoveEdge deletes the edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return
+	}
+	if _, ok := g.adj[u][v]; !ok {
+		return
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.m--
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Neighbors returns the neighbors of v in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edges returns all edges as ordered pairs (u < v), sorted.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string { return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, g.m) }
+
+// Path returns the path graph 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("ugraph: Cycle needs n >= 3")
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Random returns an Erdős–Rényi G(n, p) graph, deterministic per seed.
+func Random(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomWithHamPath returns a graph containing a planted Hamiltonian path
+// (a random permutation) plus G(n,p) noise edges. The returned
+// permutation is one witness path.
+func RandomWithHamPath(n int, p float64, seed int64) (*Graph, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(perm[i], perm[i+1])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g, perm
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on the left,
+// a..a+b-1 on the right. Its minimum vertex cover has size min(a, b)
+// (König), making it a convenient Vertex Cover test family.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddEdge(i, a+j)
+		}
+	}
+	return g
+}
+
+// DisjointTriangles returns k disjoint triangles (3k vertices); the
+// minimum vertex cover has size exactly 2k and greedy-by-degree achieves
+// it, while the matching-based 2-approximation returns 3k... making the
+// family useful for approximation-quality experiments.
+func DisjointTriangles(k int) *Graph {
+	g := New(3 * k)
+	for i := 0; i < k; i++ {
+		g.AddEdge(3*i, 3*i+1)
+		g.AddEdge(3*i+1, 3*i+2)
+		g.AddEdge(3*i, 3*i+2)
+	}
+	return g
+}

@@ -1,0 +1,195 @@
+package ugraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge missing")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(0, 9) || g.HasEdge(-1, 0) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatal("degree wrong")
+	}
+	nb := g.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.RemoveEdge(1, 0)
+	if g.M() != 0 || g.HasEdge(0, 1) {
+		t.Fatal("RemoveEdge failed")
+	}
+	g.RemoveEdge(0, 1) // absent: no-op
+	g.RemoveEdge(-1, 5)
+	if g.M() != 0 {
+		t.Fatal("no-op removal changed m")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { New(-1) },
+		func() { New(2).AddEdge(0, 0) },
+		func() { New(2).AddEdge(0, 5) },
+		func() { Cycle(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	e := g.Edges()
+	want := [][2]int{{0, 1}, {1, 3}, {2, 3}}
+	if len(e) != len(want) {
+		t.Fatalf("edges = %v", e)
+	}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("edges = %v", e)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Path(4)
+	c := g.Clone()
+	c.AddEdge(0, 3)
+	if g.HasEdge(0, 3) || g.M() == c.M() {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Path(5); g.M() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatal("Path wrong")
+	}
+	if g := Cycle(5); g.M() != 5 || g.Degree(0) != 2 {
+		t.Fatal("Cycle wrong")
+	}
+	if g := Complete(5); g.M() != 10 || g.Degree(3) != 4 {
+		t.Fatal("Complete wrong")
+	}
+	if g := Star(5); g.M() != 4 || g.Degree(0) != 4 || g.Degree(1) != 1 {
+		t.Fatal("Star wrong")
+	}
+	if g := CompleteBipartite(2, 3); g.M() != 6 || g.Degree(0) != 3 || g.Degree(2) != 2 {
+		t.Fatal("CompleteBipartite wrong")
+	}
+	if g := DisjointTriangles(3); g.N() != 9 || g.M() != 9 || g.Degree(4) != 2 {
+		t.Fatal("DisjointTriangles wrong")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(20, 0.3, 7)
+	b := Random(20, 0.3, 7)
+	if a.M() != b.M() {
+		t.Fatal("same seed different graphs")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed different edges")
+		}
+	}
+	if Random(10, 0, 1).M() != 0 || Random(10, 1, 1).M() != 45 {
+		t.Fatal("p extremes wrong")
+	}
+}
+
+func TestRandomWithHamPath(t *testing.T) {
+	g, perm := RandomWithHamPath(12, 0.1, 3)
+	if len(perm) != 12 {
+		t.Fatal("witness length wrong")
+	}
+	for i := 0; i+1 < len(perm); i++ {
+		if !g.HasEdge(perm[i], perm[i+1]) {
+			t.Fatalf("planted path edge %d-%d missing", perm[i], perm[i+1])
+		}
+	}
+}
+
+// Property: degree sums to 2m on random graphs.
+func TestQuickDegreeSum(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		g := Random(n, 0.4, seed)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Edges/HasEdge/RemoveEdge agree with a reference model.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := New(n)
+		ref := map[[2]int]bool{}
+		key := func(u, v int) [2]int {
+			if u > v {
+				u, v = v, u
+			}
+			return [2]int{u, v}
+		}
+		for op := 0; op < 100; op++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				g.AddEdge(u, v)
+				ref[key(u, v)] = true
+			} else {
+				g.RemoveEdge(u, v)
+				delete(ref, key(u, v))
+			}
+		}
+		if g.M() != len(ref) {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !ref[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

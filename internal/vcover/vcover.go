@@ -1,0 +1,159 @@
+// Package vcover solves the Vertex Cover problem: an exact
+// branch-and-bound solver, the classic maximal-matching 2-approximation,
+// and a greedy heuristic. Vertex Cover is the source problem of the
+// paper's Theorem 3 inapproximability reduction: pebbling the reduction
+// DAG costs 2k'·|VC| + O(N²), so a δ-approximation for oneshot pebbling
+// yields a δ-approximation for Vertex Cover — impossible for δ < 2 under
+// the unique games conjecture.
+package vcover
+
+import (
+	"sort"
+
+	"rbpebble/internal/ugraph"
+)
+
+// Exact returns a minimum vertex cover of g via branch and bound on the
+// highest-degree vertex: either the vertex is in the cover, or all of its
+// neighbors are. Exponential in the worst case but fast on the moderate
+// instances used by the reduction experiments.
+func Exact(g *ugraph.Graph) []int {
+	work := g.Clone()
+	bestSize := g.N() + 1
+	var best []int
+	var cur []int
+
+	var rec func()
+	rec = func() {
+		if len(cur) >= bestSize {
+			return
+		}
+		// Find a vertex of maximum remaining degree.
+		maxV, maxD := -1, 0
+		for v := 0; v < work.N(); v++ {
+			if d := work.Degree(v); d > maxD {
+				maxV, maxD = v, d
+			}
+		}
+		if maxV == -1 { // no edges left: cur is a cover
+			if len(cur) < bestSize {
+				bestSize = len(cur)
+				best = append([]int(nil), cur...)
+			}
+			return
+		}
+		// Lower bound: a maximal matching in the remainder needs one
+		// endpoint each.
+		if len(cur)+matchingLowerBound(work) >= bestSize {
+			return
+		}
+		// Branch 1: take maxV.
+		removedV := removeVertex(work, maxV)
+		cur = append(cur, maxV)
+		rec()
+		cur = cur[:len(cur)-1]
+		restore(work, removedV)
+		// Branch 2: take all neighbors of maxV.
+		nbrs := work.Neighbors(maxV)
+		if len(cur)+len(nbrs) < bestSize {
+			var removed [][2]int
+			for _, u := range nbrs {
+				removed = append(removed, removeVertex(work, u)...)
+				cur = append(cur, u)
+			}
+			rec()
+			cur = cur[:len(cur)-len(nbrs)]
+			restore(work, removed)
+		}
+	}
+	rec()
+	sort.Ints(best)
+	if best == nil {
+		best = []int{}
+	}
+	return best
+}
+
+// removeVertex removes all edges incident to v and returns them for
+// restoration.
+func removeVertex(g *ugraph.Graph, v int) [][2]int {
+	nbrs := g.Neighbors(v)
+	removed := make([][2]int, 0, len(nbrs))
+	for _, u := range nbrs {
+		removed = append(removed, [2]int{v, u})
+		g.RemoveEdge(v, u)
+	}
+	return removed
+}
+
+func restore(g *ugraph.Graph, edges [][2]int) {
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+}
+
+// matchingLowerBound returns the size of a greedily built maximal
+// matching, a lower bound on the vertex cover of the remaining graph.
+func matchingLowerBound(g *ugraph.Graph) int {
+	used := make([]bool, g.N())
+	size := 0
+	for _, e := range g.Edges() {
+		if !used[e[0]] && !used[e[1]] {
+			used[e[0]], used[e[1]] = true, true
+			size++
+		}
+	}
+	return size
+}
+
+// TwoApprox returns a vertex cover at most twice the minimum, by taking
+// both endpoints of a greedily built maximal matching.
+func TwoApprox(g *ugraph.Graph) []int {
+	used := make([]bool, g.N())
+	var cover []int
+	for _, e := range g.Edges() {
+		if !used[e[0]] && !used[e[1]] {
+			used[e[0]], used[e[1]] = true, true
+			cover = append(cover, e[0], e[1])
+		}
+	}
+	sort.Ints(cover)
+	return cover
+}
+
+// GreedyDegree repeatedly adds the highest-degree remaining vertex. No
+// constant-factor guarantee (Θ(log n) in the worst case) but often good
+// in practice.
+func GreedyDegree(g *ugraph.Graph) []int {
+	work := g.Clone()
+	var cover []int
+	for work.M() > 0 {
+		maxV, maxD := -1, 0
+		for v := 0; v < work.N(); v++ {
+			if d := work.Degree(v); d > maxD {
+				maxV, maxD = v, d
+			}
+		}
+		removeVertex(work, maxV)
+		cover = append(cover, maxV)
+	}
+	sort.Ints(cover)
+	return cover
+}
+
+// Verify reports whether cover covers every edge of g.
+func Verify(g *ugraph.Graph, cover []int) bool {
+	in := make([]bool, g.N())
+	for _, v := range cover {
+		if v < 0 || v >= g.N() {
+			return false
+		}
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if !in[e[0]] && !in[e[1]] {
+			return false
+		}
+	}
+	return true
+}

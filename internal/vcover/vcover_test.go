@@ -1,0 +1,127 @@
+package vcover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rbpebble/internal/ugraph"
+)
+
+func TestExactKnownSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *ugraph.Graph
+		want int
+	}{
+		{"empty", ugraph.New(5), 0},
+		{"single-edge", ugraph.Path(2), 1},
+		{"path4", ugraph.Path(4), 2}, // cover {1,2}
+		{"path5", ugraph.Path(5), 2}, // cover {1,3}
+		{"cycle5", ugraph.Cycle(5), 3},
+		{"cycle6", ugraph.Cycle(6), 3},
+		{"K5", ugraph.Complete(5), 4},
+		{"star6", ugraph.Star(6), 1},
+		{"K23", ugraph.CompleteBipartite(2, 3), 2}, // König: min(a,b)
+		{"K44", ugraph.CompleteBipartite(4, 4), 4},
+		{"triangles3", ugraph.DisjointTriangles(3), 6},
+	}
+	for _, c := range cases {
+		cover := Exact(c.g)
+		if !Verify(c.g, cover) {
+			t.Errorf("%s: exact cover invalid", c.name)
+		}
+		if len(cover) != c.want {
+			t.Errorf("%s: |VC| = %d, want %d", c.name, len(cover), c.want)
+		}
+	}
+}
+
+func TestTwoApproxGuarantee(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := ugraph.Random(12, 0.3, seed)
+		opt := Exact(g)
+		apx := TwoApprox(g)
+		if !Verify(g, apx) {
+			t.Fatalf("seed %d: 2-approx cover invalid", seed)
+		}
+		if len(apx) > 2*len(opt) {
+			t.Fatalf("seed %d: 2-approx %d > 2*opt %d", seed, len(apx), 2*len(opt))
+		}
+	}
+}
+
+func TestGreedyDegreeValid(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := ugraph.Random(15, 0.25, seed)
+		cover := GreedyDegree(g)
+		if !Verify(g, cover) {
+			t.Fatalf("seed %d: greedy cover invalid", seed)
+		}
+		if len(cover) < len(Exact(g)) {
+			t.Fatalf("seed %d: greedy beat optimum (exact solver wrong)", seed)
+		}
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	g := ugraph.Path(3)
+	if Verify(g, []int{}) {
+		t.Fatal("empty cover accepted on nonempty graph")
+	}
+	if Verify(g, []int{0}) {
+		t.Fatal("partial cover accepted")
+	}
+	if Verify(g, []int{99}) {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if !Verify(g, []int{1}) {
+		t.Fatal("valid cover {1} rejected")
+	}
+}
+
+// Property: Exact is a valid cover and matches brute force on small
+// graphs.
+func TestQuickExactAgainstBruteForce(t *testing.T) {
+	brute := func(g *ugraph.Graph) int {
+		n := g.N()
+		best := n
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			ok := true
+			for _, e := range g.Edges() {
+				if mask&(1<<uint(e[0])) == 0 && mask&(1<<uint(e[1])) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				c := 0
+				for i := 0; i < n; i++ {
+					if mask&(1<<uint(i)) != 0 {
+						c++
+					}
+				}
+				if c < best {
+					best = c
+				}
+			}
+		}
+		return best
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		g := ugraph.Random(n, 0.4, seed)
+		cover := Exact(g)
+		return Verify(g, cover) && len(cover) == brute(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExact20(b *testing.B) {
+	g := ugraph.Random(20, 0.3, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(g)
+	}
+}

@@ -1,0 +1,111 @@
+package rbpebble_test
+
+import (
+	"testing"
+
+	"rbpebble"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := rbpebble.Pyramid(3)
+	if g.N() != 10 {
+		t.Fatalf("pyramid nodes = %d", g.N())
+	}
+	p := rbpebble.Problem{
+		G:     g,
+		Model: rbpebble.NewModel(rbpebble.Oneshot),
+		R:     rbpebble.MinFeasibleR(g),
+	}
+	heur, err := rbpebble.TopoBelady(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := rbpebble.Exact(p, rbpebble.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Result.Cost.Transfers > heur.Result.Cost.Transfers {
+		t.Fatal("optimum above heuristic")
+	}
+	ub := rbpebble.CostUpperBound(g, p.Model)
+	if heur.Result.Cost.Transfers > ub.Transfers {
+		t.Fatal("heuristic above universal bound")
+	}
+}
+
+func TestFacadeReductions(t *testing.T) {
+	src := rbpebble.RandomUGraph(6, 0.5, 1)
+	hp := rbpebble.NewHamPathReduction(src)
+	if hp.G.N() == 0 || hp.R != src.N() {
+		t.Fatal("reduction malformed")
+	}
+	hasHP, witness := rbpebble.SolveHamPath(src)
+	if hasHP {
+		_, res, err := hp.Pebble(witness, rbpebble.NewModel(rbpebble.Oneshot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost.Transfers != hp.ThresholdOneshot() {
+			t.Fatalf("witness cost %d != threshold %d", res.Cost.Transfers, hp.ThresholdOneshot())
+		}
+	}
+	vc := rbpebble.ExactVertexCover(src)
+	vcr := rbpebble.NewVertexCoverReduction(src, 5)
+	_, res, err := vcr.Pebble(vcr.VisitsForCover(vc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("reduction pebbling incomplete")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	g := rbpebble.FFT(3)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rbpebble.NewHierarchy([]int{4, 16}, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ml, err := rbpebble.ExecuteMultilevel(g, h, order, true)
+	if err != nil || !ml.Complete {
+		t.Fatalf("multilevel: %v", err)
+	}
+	cfg := rbpebble.ParallelConfig{P: 2, R: 4, Oneshot: true}
+	_, pp, err := rbpebble.ExecuteParallel(g, cfg, order, rbpebble.RoundRobinAssignment(order, g.N(), 2))
+	if err != nil || !pp.Complete {
+		t.Fatalf("parallel: %v", err)
+	}
+	if pp.MaxProc > pp.Total {
+		t.Fatal("parallel accounting inconsistent")
+	}
+	_, bl, err := rbpebble.ExecuteParallel(g, cfg, order, rbpebble.BlockAssignment(order, g.N(), 2))
+	if err != nil || !bl.Complete {
+		t.Fatalf("parallel blocks: %v", err)
+	}
+}
+
+func TestFacadeGadgets(t *testing.T) {
+	tr := rbpebble.NewTradeoff(3, 10)
+	if tr.PredictedOptOneshot(tr.MaxUsefulR()) != 0 {
+		t.Fatal("tradeoff prediction wrong at max R")
+	}
+	gg := rbpebble.NewGreedyGrid(3, 6)
+	if gg.R() != gg.K+1 {
+		t.Fatal("grid R wrong")
+	}
+	sol, err := rbpebble.Greedy(rbpebble.Problem{
+		G: gg.G, Model: rbpebble.NewModel(rbpebble.Oneshot), R: gg.R(),
+	}, rbpebble.MostRedInputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Result.Complete {
+		t.Fatal("greedy incomplete on grid")
+	}
+}
