@@ -20,11 +20,13 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		run      = flag.String("run", "", "run only experiments whose ID contains this substring")
-		parallel = flag.Bool("parallel", false, "compute experiments concurrently")
+		list         = flag.Bool("list", false, "list experiment IDs and exit")
+		run          = flag.String("run", "", "run only experiments whose ID contains this substring")
+		parallel     = flag.Bool("parallel", false, "compute experiments concurrently")
+		exactWorkers = flag.Int("exact-workers", 0, "expand exact searches with this many hash-sharded workers (>1)")
 	)
 	flag.Parse()
+	experiments.ExactParallelism = *exactWorkers
 
 	var reports []*experiments.Report
 	if *parallel {

@@ -1,0 +1,3 @@
+module rbpebble
+
+go 1.24

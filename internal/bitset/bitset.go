@@ -108,6 +108,60 @@ func (s *Set) AppendKey(dst []byte) []byte {
 	return dst
 }
 
+// WordLen returns the number of 64-bit words backing the set:
+// ceil(Len()/64).
+func (s *Set) WordLen() int { return len(s.words) }
+
+// AppendWords appends the backing words to dst and returns the extended
+// slice. Together with LoadWords it gives solvers a zero-allocation
+// packed encoding of set contents (word i holds bits 64i..64i+63).
+func (s *Set) AppendWords(dst []uint64) []uint64 {
+	return append(dst, s.words...)
+}
+
+// LoadWords overwrites the set contents from a packed word slice
+// produced by AppendWords on a set of the same capacity. It panics if
+// len(src) != WordLen().
+func (s *Set) LoadWords(src []uint64) {
+	if len(src) != len(s.words) {
+		panic("bitset: LoadWords length mismatch")
+	}
+	copy(s.words, src)
+}
+
+// Or sets s to the union s ∪ t. The sets must have the same capacity.
+func (s *Set) Or(t *Set) {
+	if s.n != t.n {
+		panic("bitset: Or capacity mismatch")
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersects reports whether s and t share any set bit. The sets must
+// have the same capacity.
+func (s *Set) Intersects(t *Set) bool {
+	if s.n != t.n {
+		panic("bitset: Intersects capacity mismatch")
+	}
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CopyFrom overwrites the set contents from t, which must have the same
+// capacity.
+func (s *Set) CopyFrom(t *Set) {
+	if s.n != t.n {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(s.words, t.words)
+}
+
 // ForEach calls fn for every set bit in increasing order; fn returning
 // false stops the iteration.
 func (s *Set) ForEach(fn func(i int) bool) {

@@ -215,3 +215,49 @@ func BenchmarkKey(b *testing.B) {
 		_ = s.Key()
 	}
 }
+
+func TestWordOps(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		s.Set(i)
+	}
+	if s.WordLen() != 3 {
+		t.Fatalf("WordLen = %d", s.WordLen())
+	}
+	words := s.AppendWords(nil)
+	if len(words) != 3 {
+		t.Fatalf("AppendWords len = %d", len(words))
+	}
+	u := New(130)
+	u.LoadWords(words)
+	if !u.Equal(s) {
+		t.Fatal("LoadWords round-trip mismatch")
+	}
+	v := New(130)
+	v.CopyFrom(s)
+	if !v.Equal(s) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	w := New(130)
+	w.Set(64)
+	if !w.Intersects(s) {
+		t.Fatal("Intersects missed shared bit")
+	}
+	w.Clear(64)
+	w.Set(65)
+	if w.Intersects(s) {
+		t.Fatal("Intersects false positive")
+	}
+	w.Or(s)
+	for _, i := range []int{0, 63, 64, 65, 100, 129} {
+		if !w.Get(i) {
+			t.Fatalf("Or lost bit %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LoadWords length mismatch not caught")
+		}
+	}()
+	u.LoadWords(words[:2])
+}

@@ -20,6 +20,14 @@ import (
 	"text/tabwriter"
 )
 
+// ExactParallelism, when set > 1, makes every exact solve inside the
+// harness expand states with that many hash-sharded workers (forwarded
+// to solve.ExactOptions.Parallel). The regenerated costs are identical
+// — only wall-clock time changes. Experiments that publish search-effort
+// counters (Ablation B) always solve serially so their states-expanded
+// columns stay comparable. The rbexp CLI exposes this as -exact-workers.
+var ExactParallelism int
+
 // Report is one regenerated table or figure.
 type Report struct {
 	// ID names the artifact in the paper ("Table 1", "Figure 4", ...).

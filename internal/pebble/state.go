@@ -91,6 +91,8 @@ type State struct {
 	redCount int
 	cost     Cost
 	steps    int
+
+	sinks []dag.NodeID // cached g.Sinks(), shared across Clones: Complete is solver-hot
 }
 
 // NewState returns the initial state for pebbling g with R red pebbles
@@ -115,6 +117,7 @@ func NewState(g *dag.DAG, model Model, r int, conv Convention) (*State, error) {
 		red:      bitset.New(g.N()),
 		blue:     bitset.New(g.N()),
 		computed: bitset.New(g.N()),
+		sinks:    g.Sinks(),
 	}
 	if conv.SourcesStartBlue {
 		for _, v := range g.Sources() {
@@ -186,6 +189,108 @@ func (s *State) Key() string {
 	return string(buf)
 }
 
+// PackedKey is the packed binary encoding of a pebbling position: the
+// red, blue and computed bitset words concatenated, PackedWords() words
+// in total. Unlike Key it allocates nothing when appended to a reused
+// buffer, and is the representation solvers store in their visited
+// tables.
+type PackedKey []uint64
+
+// PackedWords returns the length of this state's packed encoding.
+func (s *State) PackedWords() int { return 3 * s.red.WordLen() }
+
+// AppendPacked appends the packed encoding of (red, blue, computed) to
+// dst and returns the extended slice.
+func (s *State) AppendPacked(dst PackedKey) PackedKey {
+	dst = s.red.AppendWords(dst)
+	dst = s.blue.AppendWords(dst)
+	dst = s.computed.AppendWords(dst)
+	return dst
+}
+
+// RestorePacked overwrites the pebble configuration from a packed key
+// previously produced by AppendPacked on a state of the same graph. The
+// red count is recomputed; cost and steps are reset to zero (solvers
+// that jump between stored positions track path costs externally). It
+// panics if k has the wrong length.
+func (s *State) RestorePacked(k PackedKey) {
+	w := s.red.WordLen()
+	if len(k) != 3*w {
+		panic("pebble: RestorePacked length mismatch")
+	}
+	s.red.LoadWords(k[:w])
+	s.blue.LoadWords(k[w : 2*w])
+	s.computed.LoadWords(k[2*w:])
+	s.redCount = s.red.Count()
+	s.cost = Cost{}
+	s.steps = 0
+}
+
+// Undo records what a single Apply changed so that the move can be
+// reverted in place by State.Undo. The zero value is not meaningful;
+// obtain Undo tokens from ApplyForUndo.
+type Undo struct {
+	move        Move
+	wasBlue     bool // Compute/Delete: the node held a blue pebble before
+	wasComputed bool // Compute: the computed bit was already set before
+}
+
+// ApplyForUndo executes the move like Apply and returns an Undo token
+// that reverts it. It lets search loops explore a candidate move on a
+// scratch state without cloning: Apply, inspect, Undo.
+func (s *State) ApplyForUndo(m Move) (Undo, error) {
+	v := int(m.Node)
+	u := Undo{move: m}
+	if m.Kind == Compute || m.Kind == Delete {
+		// Record before Apply mutates the bits.
+		if v >= 0 && v < s.g.N() {
+			u.wasBlue = s.blue.Get(v)
+			u.wasComputed = s.computed.Get(v)
+		}
+	}
+	if err := s.Apply(m); err != nil {
+		return Undo{}, err
+	}
+	return u, nil
+}
+
+// Undo reverts a move previously applied with ApplyForUndo. Tokens must
+// be undone in reverse application order (stack discipline); undoing in
+// any other order corrupts the state.
+func (s *State) Undo(u Undo) {
+	v := int(u.move.Node)
+	switch u.move.Kind {
+	case Load:
+		s.red.Clear(v)
+		s.redCount--
+		s.blue.Set(v)
+		s.cost.Transfers--
+	case Store:
+		s.blue.Clear(v)
+		s.red.Set(v)
+		s.redCount++
+		s.cost.Transfers--
+	case Compute:
+		s.red.Clear(v)
+		s.redCount--
+		if u.wasBlue {
+			s.blue.Set(v)
+		}
+		if !u.wasComputed {
+			s.computed.Clear(v)
+		}
+		s.cost.Computes--
+	case Delete:
+		if u.wasBlue {
+			s.blue.Set(v)
+		} else {
+			s.red.Set(v)
+			s.redCount++
+		}
+	}
+	s.steps--
+}
+
 // Check reports whether the move m is legal in the current state, without
 // applying it. A nil return means Apply(m) would succeed.
 func (s *State) Check(m Move) error {
@@ -236,6 +341,45 @@ func (s *State) Check(m Move) error {
 		return nil
 	default:
 		return fmt.Errorf("pebble: unknown move kind %d", int(m.Kind))
+	}
+}
+
+// CanApply reports whether move m is legal in the current state. It is
+// the allocation-free twin of Check for solver hot loops: Check explains
+// why a move is illegal (building an error), CanApply only answers.
+func (s *State) CanApply(m Move) bool {
+	v := int(m.Node)
+	if v < 0 || v >= s.g.N() {
+		return false
+	}
+	switch m.Kind {
+	case Load:
+		return s.blue.Get(v) && s.redCount < s.r
+	case Store:
+		return s.red.Get(v)
+	case Compute:
+		if s.conv.SourcesStartBlue && s.g.IsSource(m.Node) {
+			return false
+		}
+		if s.model.Kind == Oneshot && s.computed.Get(v) {
+			return false
+		}
+		if s.red.Get(v) || s.redCount >= s.r {
+			return false
+		}
+		for _, u := range s.g.Preds(m.Node) {
+			if !s.red.Get(int(u)) {
+				return false
+			}
+		}
+		return true
+	case Delete:
+		if s.model.Kind == NoDel {
+			return false
+		}
+		return s.red.Get(v) || s.blue.Get(v)
+	default:
+		return false
 	}
 }
 
@@ -290,7 +434,7 @@ func (s *State) MustApply(m Move) {
 // Complete reports whether the pebbling goal is reached: every sink holds
 // a pebble (a blue one, under SinksMustBeBlue).
 func (s *State) Complete() bool {
-	for _, v := range s.g.Sinks() {
+	for _, v := range s.sinks {
 		if s.conv.SinksMustBeBlue {
 			if !s.blue.Get(int(v)) {
 				return false

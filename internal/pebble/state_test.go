@@ -442,3 +442,83 @@ func TestTable1Rows(t *testing.T) {
 		t.Fatal("oneshot compute row wrong")
 	}
 }
+
+func TestPackedRoundTrip(t *testing.T) {
+	g := diamond()
+	st, err := NewState(g, NewModel(Oneshot), 3, Convention{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Move{
+		{Kind: Compute, Node: 0},
+		{Kind: Compute, Node: 1},
+		{Kind: Store, Node: 0},
+	} {
+		st.MustApply(m)
+	}
+	key := st.AppendPacked(nil)
+	if len(key) != st.PackedWords() {
+		t.Fatalf("key len %d != PackedWords %d", len(key), st.PackedWords())
+	}
+	fresh, err := NewState(g, NewModel(Oneshot), 3, Convention{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.RestorePacked(key)
+	for v := 0; v < g.N(); v++ {
+		n := dag.NodeID(v)
+		if fresh.IsRed(n) != st.IsRed(n) || fresh.IsBlue(n) != st.IsBlue(n) ||
+			fresh.WasComputed(n) != st.WasComputed(n) {
+			t.Fatalf("node %d differs after RestorePacked", v)
+		}
+	}
+	if fresh.RedCount() != st.RedCount() {
+		t.Fatalf("RedCount %d != %d", fresh.RedCount(), st.RedCount())
+	}
+}
+
+func TestApplyForUndoRoundTrip(t *testing.T) {
+	g := diamond()
+	for _, kind := range []ModelKind{Base, Oneshot, NoDel, CompCost} {
+		st, err := NewState(g, NewModel(kind), 3, Convention{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drive into a mid-game position.
+		st.MustApply(Move{Kind: Compute, Node: 0})
+		st.MustApply(Move{Kind: Compute, Node: 1})
+		st.MustApply(Move{Kind: Store, Node: 1})
+		before := st.AppendPacked(nil)
+		beforeCost, beforeSteps, beforeRed := st.Cost(), st.Steps(), st.RedCount()
+		// Apply and undo every currently legal move; the state must be
+		// byte-identical afterwards.
+		for v := 0; v < g.N(); v++ {
+			for _, mk := range []MoveKind{Load, Store, Compute, Delete} {
+				m := Move{Kind: mk, Node: dag.NodeID(v)}
+				if !st.CanApply(m) {
+					if st.Check(m) == nil {
+						t.Fatalf("%v %v: CanApply false but Check nil", kind, m)
+					}
+					continue
+				}
+				if st.Check(m) != nil {
+					t.Fatalf("%v %v: CanApply true but Check errors", kind, m)
+				}
+				u, err := st.ApplyForUndo(m)
+				if err != nil {
+					t.Fatalf("%v %v: %v", kind, m, err)
+				}
+				st.Undo(u)
+				after := st.AppendPacked(nil)
+				for i := range before {
+					if before[i] != after[i] {
+						t.Fatalf("%v %v: packed state differs after undo", kind, m)
+					}
+				}
+				if st.Cost() != beforeCost || st.Steps() != beforeSteps || st.RedCount() != beforeRed {
+					t.Fatalf("%v %v: cost/steps/red differ after undo", kind, m)
+				}
+			}
+		}
+	}
+}

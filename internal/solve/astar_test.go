@@ -1,0 +1,138 @@
+package solve
+
+import (
+	"testing"
+
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/pebble"
+)
+
+// TestAStarMatchesDijkstra is the admissibility regression guard: with
+// the heuristic on, Exact must return costs identical to heuristic-off
+// Dijkstra on small DAGs, across all four models and every convention
+// combination. An inadmissible lower bound (or an unsafe dead-state or
+// dead-pebble rule) would show up here as a cost mismatch.
+func TestAStarMatchesDijkstra(t *testing.T) {
+	instances := []struct {
+		name string
+		p    Problem
+	}{}
+	conventions := []pebble.Convention{
+		{},
+		{SourcesStartBlue: true},
+		{SinksMustBeBlue: true},
+		{SourcesStartBlue: true, SinksMustBeBlue: true},
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		g := daggen.RandomLayered(3, 3, 2, seed)
+		r := pebble.MinFeasibleR(g)
+		for _, kind := range pebble.AllKinds() {
+			m := pebble.NewModel(kind)
+			for _, conv := range conventions {
+				instances = append(instances, struct {
+					name string
+					p    Problem
+				}{
+					name: "layered/" + m.String() + "/" + convName(conv),
+					p:    Problem{G: g, Model: m, R: r, Convention: conv},
+				})
+			}
+		}
+	}
+	extra := []struct {
+		name string
+		p    Problem
+	}{
+		{"pyramid3", Problem{G: daggen.Pyramid(3), Model: pebble.NewModel(pebble.Oneshot), R: 3}},
+		{"grid33", Problem{G: daggen.Grid(3, 3), Model: pebble.NewModel(pebble.Base), R: 3}},
+		{"fft2", Problem{G: daggen.FFT(2), Model: pebble.NewModel(pebble.CompCost), R: 3}},
+	}
+	instances = append(instances, extra...)
+
+	for _, in := range instances {
+		var sOn, sOff ExactStats
+		astar, err := Exact(in.p, ExactOptions{Stats: &sOn})
+		if err != nil {
+			t.Fatalf("%s: A*: %v", in.name, err)
+		}
+		dijkstra, err := Exact(in.p, ExactOptions{Heuristic: HeuristicOff, Stats: &sOff})
+		if err != nil {
+			t.Fatalf("%s: Dijkstra: %v", in.name, err)
+		}
+		a := astar.Result.Cost.Scaled(in.p.Model)
+		d := dijkstra.Result.Cost.Scaled(in.p.Model)
+		if a != d {
+			t.Errorf("%s: A* cost %d != Dijkstra cost %d (inadmissible heuristic or unsafe prune)",
+				in.name, a, d)
+		}
+		if sOn.Expanded > sOff.Expanded {
+			// Not a strict invariant of A*, but with an admissible bound
+			// and this tie-breaking a blow-up signals a regression.
+			t.Logf("%s: A* expanded %d > Dijkstra %d", in.name, sOn.Expanded, sOff.Expanded)
+		}
+	}
+}
+
+// TestParallelMatchesSerial checks that hash-sharded parallel expansion
+// proves the same optimal cost as the sequential search.
+func TestParallelMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := daggen.RandomLayered(3, 3, 2, seed)
+		r := pebble.MinFeasibleR(g)
+		for _, kind := range []pebble.ModelKind{pebble.Base, pebble.Oneshot, pebble.NoDel} {
+			p := Problem{G: g, Model: pebble.NewModel(kind), R: r}
+			serial, err := Exact(p, ExactOptions{})
+			if err != nil {
+				t.Fatalf("seed %d %v serial: %v", seed, kind, err)
+			}
+			for _, workers := range []int{2, 4} {
+				par, err := Exact(p, ExactOptions{Parallel: workers})
+				if err != nil {
+					t.Fatalf("seed %d %v parallel(%d): %v", seed, kind, workers, err)
+				}
+				if par.Result.Cost.Scaled(p.Model) != serial.Result.Cost.Scaled(p.Model) {
+					t.Errorf("seed %d %v parallel(%d): cost %v != serial %v",
+						seed, kind, workers, par.Result.Cost, serial.Result.Cost)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelStateLimit checks the budget error surfaces from the
+// sharded search too.
+func TestParallelStateLimit(t *testing.T) {
+	g := daggen.Pyramid(3)
+	_, err := Exact(Problem{G: g, Model: pebble.NewModel(pebble.Base), R: 3},
+		ExactOptions{MaxStates: 5, Parallel: 2})
+	if err == nil {
+		t.Fatal("want ErrStateLimit")
+	}
+}
+
+// TestExactStatsPopulated checks the stats out-parameter.
+func TestExactStatsPopulated(t *testing.T) {
+	var st ExactStats
+	g := daggen.Pyramid(2)
+	_, err := Exact(Problem{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 3},
+		ExactOptions{Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expanded <= 0 || st.Pushed <= 0 || st.Distinct <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func convName(c pebble.Convention) string {
+	switch {
+	case c.SourcesStartBlue && c.SinksMustBeBlue:
+		return "srcBlue+sinkBlue"
+	case c.SourcesStartBlue:
+		return "srcBlue"
+	case c.SinksMustBeBlue:
+		return "sinkBlue"
+	default:
+		return "default"
+	}
+}

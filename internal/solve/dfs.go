@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"rbpebble/internal/dag"
 	"rbpebble/internal/pebble"
 )
 
@@ -23,11 +22,17 @@ var ErrVisitLimit = errors.New("solve: DFS visit limit exceeded")
 
 // ExactDFS finds a provably minimum-cost pebbling by depth-first branch
 // and bound with per-state memoization. It is an independent second
-// implementation of the exact optimum (the first being the Dijkstra
+// implementation of the exact optimum (the first being the best-first
 // search in Exact) — the two cross-validate each other in the tests and
 // their search behavior differs enough to serve as an ablation
 // (best-first with a global frontier vs. depth-first with an upper
 // bound).
+//
+// The recursion shares the best-first solver's machinery: moves are
+// generated from the red frontier, each candidate is applied and undone
+// on the single live state (no cloning), the memo table is keyed on the
+// packed state encoding, and the admissible lower bound prunes branches
+// whose cost-so-far plus bound cannot beat the incumbent.
 //
 // Supported models: oneshot and nodel, whose optimal pebblings have
 // O(Δ·n) steps (Lemma 1), giving the recursion a sound depth bound. The
@@ -69,15 +74,17 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 	factor := pebble.StepUpperBoundFactor(p.Model)
 	maxDepth := factor*delta*n + n + 8
 
-	// memo[key] = best scaled cost at which this state was ever entered;
-	// re-entering at >= cost is pointless.
-	memo := make(map[string]int64)
+	c := newSearchCtx(p, ExactOptions{}, start)
+	// memo.best[ref] = best scaled cost at which this state was ever
+	// entered; re-entering at >= cost is pointless.
+	memo := newStateTable(start.PackedWords(), 1024)
 	visits := 0
 	var limitErr error
 
 	var moves []pebble.Move
-	var rec func(st *pebble.State) bool // returns false on budget exhaustion
-	rec = func(st *pebble.State) bool {
+	st := start // mutated in place by apply/undo along the recursion
+	var rec func() bool
+	rec = func() bool { // returns false on budget exhaustion
 		if limitErr != nil {
 			return false
 		}
@@ -98,37 +105,40 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 		if st.Steps() >= maxDepth {
 			return true
 		}
-		key := st.Key()
-		if old, ok := memo[key]; ok && old <= cost {
+		if h, dead := c.lb.estimate(st); dead || cost+h >= bound {
+			return true // no completion from here can beat the incumbent
+		}
+		c.keyBuf = st.AppendPacked(c.keyBuf[:0])
+		ref, _ := memo.lookupOrAdd(c.keyBuf, hashKey(c.keyBuf))
+		if memo.best[ref] <= cost {
 			return true
 		}
-		memo[key] = cost
+		memo.best[ref] = cost
 
-		for v := 0; v < n; v++ {
-			node := dag.NodeID(v)
-			for _, kind := range [4]pebble.MoveKind{pebble.Compute, pebble.Load, pebble.Delete, pebble.Store} {
-				m := pebble.Move{Kind: kind, Node: node}
-				if st.Check(m) != nil {
-					continue
-				}
-				if prunedMove(p, st, m) {
-					continue
-				}
-				next := st.Clone()
-				if err := next.Apply(m); err != nil {
-					panic("solve: Check passed but Apply failed: " + err.Error())
-				}
-				moves = append(moves, m)
-				ok := rec(next)
-				moves = moves[:len(moves)-1]
-				if !ok {
-					return false
-				}
+		// Generate this level's moves above the caller's live prefix;
+		// deeper levels append beyond end and truncate back.
+		base := len(c.moveBuf)
+		c.appendMoves(st, c.keyBuf)
+		end := len(c.moveBuf)
+		ok := true
+		for i := base; i < end; i++ {
+			m := c.moveBuf[i]
+			undo, err := st.ApplyForUndo(m)
+			if err != nil {
+				panic("solve: appendMoves emitted illegal move: " + err.Error())
+			}
+			moves = append(moves, m)
+			ok = rec()
+			moves = moves[:len(moves)-1]
+			st.Undo(undo)
+			if !ok {
+				break
 			}
 		}
-		return true
+		c.moveBuf = c.moveBuf[:base]
+		return ok
 	}
-	rec(start)
+	rec()
 	if limitErr != nil {
 		return Solution{}, limitErr
 	}

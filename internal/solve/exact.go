@@ -1,10 +1,11 @@
 package solve
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
 
+	"rbpebble/internal/bitset"
 	"rbpebble/internal/dag"
 	"rbpebble/internal/pebble"
 )
@@ -21,12 +22,55 @@ type ExactOptions struct {
 	// DisablePruning turns off the safe dominance prunes (for the
 	// ablation benchmark; the result is identical, only slower).
 	DisablePruning bool
+	// Heuristic selects the A* lower bound. The zero value
+	// (HeuristicAuto) enables the admissible model-aware bound;
+	// HeuristicOff reverts to plain Dijkstra. Either way the returned
+	// cost is the exact optimum.
+	Heuristic Heuristic
+	// Parallel, when > 1, expands states with that many workers, with
+	// the state space sharded by state hash (each worker owns its
+	// shard's open list and visited table). The proven optimal cost is
+	// identical to the sequential search; only the witness trace may
+	// differ. Values <= 1 run the sequential search.
+	Parallel int
+	// Stats, when non-nil, receives search counters (states expanded,
+	// pushed, distinct) after the solve, successful or not.
+	Stats *ExactStats
 }
 
-// Exact finds a provably minimum-cost pebbling by uniform-cost search
-// (Dijkstra) over the state space (red set, blue set, computed set). It
-// works for every model variant but scales only to small DAGs — which is
-// the paper's point: the problem is NP-hard (PSPACE-hard in base).
+// ExactStats reports search-effort counters from one Exact run.
+type ExactStats struct {
+	// Expanded is the number of states popped from the open list and
+	// expanded (goal and stale pops excluded).
+	Expanded int
+	// Pushed is the number of open-list insertions (improvements).
+	Pushed int
+	// Distinct is the number of distinct states ever reached.
+	Distinct int
+}
+
+// searchNode records how a state was reached, for path reconstruction:
+// the open-list push that created it, its table ref, and the move taken
+// from the parent node. Nodes are append-only, so parent chains are
+// immutable snapshots and cannot cycle.
+type searchNode struct {
+	parent int32 // index into nodes, -1 for the root
+	ref    int32 // state ref in the table
+	move   pebble.Move
+}
+
+// Exact finds a provably minimum-cost pebbling by best-first search over
+// the state space (red set, blue set, computed set): A* under an
+// admissible lower bound (see Heuristic), degenerating to Dijkstra with
+// the bound off. It works for every model variant but scales only to
+// small DAGs — which is the paper's point: the problem is NP-hard
+// (PSPACE-hard in base).
+//
+// The search core is allocation-free on the hot path: states are packed
+// into []uint64 keys deduplicated in an open-addressing table, the open
+// list is a typed binary heap, move generation is restricted to the
+// red frontier, and candidate moves are applied and undone on a single
+// scratch state instead of cloning.
 //
 // The returned solution is replay-verified. Exact returns ErrStateLimit
 // if the state budget is exhausted first.
@@ -45,74 +89,297 @@ func Exact(p Problem, opts ExactOptions) (Solution, error) {
 		tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention}
 		return verify(p, tr), nil
 	}
-
-	type item struct {
-		st     *pebble.State
-		parent int // index into nodes, -1 for root
-		move   pebble.Move
+	if opts.Parallel > 1 {
+		return exactParallel(p, opts, start, maxStates)
 	}
-	var nodes []item
-	nodes = append(nodes, item{st: start, parent: -1})
+	return exactSerial(p, opts, start, maxStates)
+}
 
-	pq := &costHeap{}
-	heap.Push(pq, costEntry{idx: 0, cost: 0})
-	best := map[string]int64{start.Key(): 0}
-	expanded := 0
+// searchCtx bundles the scratch structures of one sequential search (or
+// one parallel worker): everything is reused across expansions, so the
+// steady-state loop allocates only when the table, heap or node log
+// grow.
+type searchCtx struct {
+	p        Problem
+	g        *dag.DAG
+	scale    int64 // scaled cost of a transfer
+	compCost int64 // scaled cost of a compute
+	sources  []dag.NodeID
+	prune    bool
 
-	g := p.G
-	n := g.N()
+	// macro enables the dead-pebble quotient (oneshot, heuristic on,
+	// pruning on): see appendMoves.
+	macro bool
 
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(costEntry)
-		st := nodes[cur.idx].st
-		curCost := st.Cost().Scaled(p.Model)
-		if curCost > best[st.Key()] {
+	scratch *pebble.State
+	lb      *lowerBound
+	cand    *bitset.Set // compute-candidate scratch set
+	candBuf []uint64    // reused word snapshot of cand
+	moveBuf []pebble.Move
+	keyBuf  pebble.PackedKey
+}
+
+func newSearchCtx(p Problem, opts ExactOptions, start *pebble.State) *searchCtx {
+	c := &searchCtx{
+		p:       p,
+		g:       p.G,
+		scale:   1,
+		sources: p.G.Sources(),
+		prune:   !opts.DisablePruning,
+		scratch: start.Clone(),
+		lb:      newLowerBound(p, opts.Heuristic, start),
+		cand:    bitset.New(p.G.N()),
+	}
+	if p.Model.Kind == pebble.CompCost {
+		c.scale = int64(p.Model.EpsDenom)
+		c.compCost = 1
+	}
+	c.macro = c.prune && c.lb.enabled && p.Model.Kind == pebble.Oneshot
+	return c
+}
+
+// cloneForWorker returns a searchCtx for a parallel worker: the
+// read-only problem tables (including the lower bound's precomputed
+// candidates) are shared, while the scratch state, sets and buffers are
+// private.
+func (c *searchCtx) cloneForWorker(start *pebble.State) *searchCtx {
+	w := *c
+	w.scratch = start.Clone()
+	w.lb = c.lb.cloneScratch()
+	w.cand = bitset.New(c.g.N())
+	w.candBuf = nil
+	w.moveBuf = nil
+	w.keyBuf = nil
+	return &w
+}
+
+// moveCost returns the scaled cost of one move under the model.
+func (c *searchCtx) moveCost(m pebble.Move) int64 {
+	switch m.Kind {
+	case pebble.Load, pebble.Store:
+		return c.scale
+	case pebble.Compute:
+		return c.compCost
+	default:
+		return 0
+	}
+}
+
+// appendMoves appends every legal (and not dominance-pruned) move from
+// st onto the shared move buffer (callers manage the buffer: the
+// best-first loop truncates it first, the DFS keeps a stack of levels in
+// it). key is st's packed encoding, whose words double as the red/blue
+// iteration sets, so the generator only visits nodes adjacent to the
+// current pebbles — compute candidates are the sources plus successors
+// of red nodes; loads scan the blue set; stores and deletes scan the
+// pebbled sets — instead of testing all n nodes against all four move
+// kinds.
+func (c *searchCtx) appendMoves(st *pebble.State, key pebble.PackedKey) {
+	w := len(key) / 3
+	red, blue := key[:w], key[w:2*w]
+
+	// Dead-pebble quotient (oneshot only): a pebbled non-sink node whose
+	// successors are all computed can never be useful again — its value
+	// has no remaining consumer and recomputation is banned, so deleting
+	// it is free and safe, and any completion that keeps it around can be
+	// rewritten to delete it first at no extra cost. Forcing that delete
+	// as the single candidate move collapses every family of states that
+	// differ only in dead pebbles. Applied only with the heuristic and
+	// pruning on, so HeuristicOff remains the faithful seed search.
+	if c.macro {
+		for wi := 0; wi < w; wi++ {
+			wd := red[wi] | blue[wi]
+			for wd != 0 {
+				v := dag.NodeID(wi*64 + bits.TrailingZeros64(wd))
+				wd &= wd - 1
+				if c.deadPebble(st, v) {
+					c.moveBuf = append(c.moveBuf, pebble.Move{Kind: pebble.Delete, Node: v})
+					return
+				}
+			}
+		}
+	}
+
+	// Compute: sources and successors of red nodes are the only nodes
+	// whose inputs can all be red. Check finishes the legality test.
+	if st.RedCount() < c.p.R {
+		c.cand.Reset()
+		for _, s := range c.sources {
+			c.cand.Set(int(s))
+		}
+		for wi, wd := range red {
+			for wd != 0 {
+				u := dag.NodeID(wi*64 + bits.TrailingZeros64(wd))
+				wd &= wd - 1
+				for _, v := range c.g.Succs(u) {
+					c.cand.Set(int(v))
+				}
+			}
+		}
+		c.candBuf = c.cand.AppendWords(c.candBuf[:0])
+		for wi, wd := range c.candBuf {
+			for wd != 0 {
+				v := dag.NodeID(wi*64 + bits.TrailingZeros64(wd))
+				wd &= wd - 1
+				c.consider(st, pebble.Move{Kind: pebble.Compute, Node: v})
+			}
+		}
+		// Load: any blue node, while a red slot is free.
+		for wi, wd := range blue {
+			for wd != 0 {
+				v := dag.NodeID(wi*64 + bits.TrailingZeros64(wd))
+				wd &= wd - 1
+				c.consider(st, pebble.Move{Kind: pebble.Load, Node: v})
+			}
+		}
+	}
+	// Store: any red node.
+	for wi, wd := range red {
+		for wd != 0 {
+			v := dag.NodeID(wi*64 + bits.TrailingZeros64(wd))
+			wd &= wd - 1
+			c.consider(st, pebble.Move{Kind: pebble.Store, Node: v})
+		}
+	}
+	// Delete: any pebbled node (banned wholesale in nodel).
+	if c.p.Model.Kind != pebble.NoDel {
+		for wi := 0; wi < w; wi++ {
+			wd := red[wi] | blue[wi]
+			for wd != 0 {
+				v := dag.NodeID(wi*64 + bits.TrailingZeros64(wd))
+				wd &= wd - 1
+				c.consider(st, pebble.Move{Kind: pebble.Delete, Node: v})
+			}
+		}
+	}
+}
+
+// deadPebble reports whether pebbled node v can never matter again in
+// the oneshot model: it is not a sink and every successor is already
+// computed.
+func (c *searchCtx) deadPebble(st *pebble.State, v dag.NodeID) bool {
+	succs := c.g.Succs(v)
+	if len(succs) == 0 {
+		return false // sink: its pebble is (or will be) the goal
+	}
+	for _, x := range succs {
+		if !st.WasComputed(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *searchCtx) consider(st *pebble.State, m pebble.Move) {
+	if !st.CanApply(m) {
+		return
+	}
+	if c.prune && prunedMove(c.p, st, m) {
+		return
+	}
+	c.moveBuf = append(c.moveBuf, m)
+}
+
+// exactSerial is the sequential A* loop.
+func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates int) (Solution, error) {
+	c := newSearchCtx(p, opts, start)
+	table := newStateTable(start.PackedWords(), 1024)
+	var open openHeap
+	var nodes []searchNode
+
+	// hs caches the (state-only) heuristic value per table ref, so each
+	// distinct state is estimated once no matter how often it is reached.
+	var hs []int64
+
+	expanded, pushed := 0, 0
+	report := func() {
+		if opts.Stats != nil {
+			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: table.count()}
+		}
+	}
+
+	rootKey := start.AppendPacked(nil)
+	rootRef, _ := table.lookupOrAdd(rootKey, hashKey(rootKey))
+	table.best[rootRef] = 0
+	nodes = append(nodes, searchNode{parent: -1, ref: rootRef})
+	h0, dead := c.lb.estimate(start)
+	if dead {
+		report()
+		return Solution{}, errors.New("solve: instance is infeasible under this convention")
+	}
+	hs = append(hs, h0)
+	open.push(heapEntry{f: h0, g: 0, node: 0})
+	pushed = 1
+
+	for open.len() > 0 {
+		e := open.pop()
+		nd := nodes[e.node]
+		if e.g > table.best[nd.ref] {
 			continue // stale entry
 		}
-		if st.Complete() {
-			// Reconstruct the move sequence.
-			var rev []pebble.Move
-			for i := cur.idx; nodes[i].parent >= 0; i = nodes[i].parent {
-				rev = append(rev, nodes[i].move)
-			}
-			moves := make([]pebble.Move, len(rev))
-			for i := range rev {
-				moves[i] = rev[len(rev)-1-i]
-			}
-			tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: moves}
-			return verify(p, tr), nil
+		key := table.key(nd.ref)
+		c.scratch.RestorePacked(key)
+		if c.scratch.Complete() {
+			report()
+			return reconstruct(p, nodes, e.node), nil
 		}
 		expanded++
 		if expanded > maxStates {
+			report()
 			return Solution{}, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
 		}
 
-		for v := 0; v < n; v++ {
-			node := dag.NodeID(v)
-			for _, kind := range [4]pebble.MoveKind{pebble.Compute, pebble.Load, pebble.Store, pebble.Delete} {
-				m := pebble.Move{Kind: kind, Node: node}
-				if st.Check(m) != nil {
-					continue
-				}
-				if !opts.DisablePruning && prunedMove(p, st, m) {
-					continue
-				}
-				next := st.Clone()
-				if err := next.Apply(m); err != nil {
-					panic("solve: Check passed but Apply failed: " + err.Error())
-				}
-				key := next.Key()
-				c := next.Cost().Scaled(p.Model)
-				if old, ok := best[key]; ok && old <= c {
-					continue
-				}
-				best[key] = c
-				nodes = append(nodes, item{st: next, parent: cur.idx, move: m})
-				heap.Push(pq, costEntry{idx: len(nodes) - 1, cost: c})
+		c.moveBuf = c.moveBuf[:0]
+		c.appendMoves(c.scratch, key)
+		for _, m := range c.moveBuf {
+			undo, err := c.scratch.ApplyForUndo(m)
+			if err != nil {
+				panic("solve: legalMoves emitted illegal move: " + err.Error())
 			}
+			childG := e.g + c.moveCost(m)
+			c.keyBuf = c.scratch.AppendPacked(c.keyBuf[:0])
+			childRef, isNew := table.lookupOrAdd(c.keyBuf, hashKey(c.keyBuf))
+			var h int64
+			if isNew {
+				var dead bool
+				h, dead = c.lb.estimate(c.scratch)
+				hs = append(hs, h)
+				if dead {
+					table.best[childRef] = costDead
+					c.scratch.Undo(undo)
+					continue
+				}
+			} else {
+				if table.best[childRef] <= childG {
+					c.scratch.Undo(undo)
+					continue
+				}
+				h = hs[childRef]
+			}
+			table.best[childRef] = childG
+			nodes = append(nodes, searchNode{parent: e.node, ref: childRef, move: m})
+			open.push(heapEntry{f: childG + h, g: childG, node: int32(len(nodes) - 1)})
+			pushed++
+			c.scratch.Undo(undo)
 		}
 	}
+	report()
 	return Solution{}, errors.New("solve: state space exhausted without completing (unreachable for feasible R)")
+}
+
+// reconstruct walks the parent chain of goal node idx and returns the
+// verified solution.
+func reconstruct(p Problem, nodes []searchNode, idx int32) Solution {
+	var rev []pebble.Move
+	for i := idx; nodes[i].parent >= 0; i = nodes[i].parent {
+		rev = append(rev, nodes[i].move)
+	}
+	moves := make([]pebble.Move, len(rev))
+	for i := range rev {
+		moves[i] = rev[len(rev)-1-i]
+	}
+	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: moves}
+	return verify(p, tr)
 }
 
 // prunedMove applies dominance rules that cannot exclude every optimal
@@ -159,24 +426,4 @@ func prunedMove(p Problem, st *pebble.State, m pebble.Move) bool {
 	default:
 		return false
 	}
-}
-
-// costEntry and costHeap implement the priority queue for Exact.
-type costEntry struct {
-	idx  int
-	cost int64
-}
-
-type costHeap []costEntry
-
-func (h costHeap) Len() int            { return len(h) }
-func (h costHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
-func (h costHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *costHeap) Push(x interface{}) { *h = append(*h, x.(costEntry)) }
-func (h *costHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

@@ -1,0 +1,67 @@
+package solve
+
+// heapEntry is one open-list entry of the best-first search: f is the
+// priority (g plus the admissible lower bound; equal to g when the
+// heuristic is off), g the exact scaled path cost, and node the index of
+// the searchNode that reached the state.
+type heapEntry struct {
+	f    int64
+	g    int64
+	node int32
+}
+
+// openHeap is a typed binary min-heap of heapEntry, ordered by f with
+// ties broken toward larger g (deeper states first), which crosses the
+// zero-cost compute/delete plateaus of the base model sooner. It
+// replaces the container/heap-based costHeap of the original solver:
+// push and pop move concrete values, with no interface boxing and no
+// per-entry allocation.
+type openHeap struct {
+	a []heapEntry
+}
+
+func entryLess(x, y heapEntry) bool {
+	if x.f != y.f {
+		return x.f < y.f
+	}
+	return x.g > y.g
+}
+
+func (h *openHeap) len() int { return len(h.a) }
+
+func (h *openHeap) push(e heapEntry) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryLess(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *openHeap) pop() heapEntry {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && entryLess(h.a[l], h.a[small]) {
+			small = l
+		}
+		if r < last && entryLess(h.a[r], h.a[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,357 @@
+package solve
+
+import (
+	"sort"
+
+	"rbpebble/internal/bitset"
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+)
+
+// Heuristic selects the A* lower bound used by Exact.
+type Heuristic int
+
+const (
+	// HeuristicAuto (the zero value) enables the admissible model-aware
+	// lower bound; it behaves exactly like HeuristicLowerBound.
+	HeuristicAuto Heuristic = iota
+	// HeuristicOff disables the lower bound entirely: Exact degenerates
+	// to plain uniform-cost search (Dijkstra), the original behavior.
+	// Useful for ablations and as the reference in admissibility tests.
+	HeuristicOff
+	// HeuristicLowerBound forces the admissible lower bound on.
+	HeuristicLowerBound
+)
+
+// String names the heuristic mode.
+func (h Heuristic) String() string {
+	switch h {
+	case HeuristicAuto:
+		return "auto"
+	case HeuristicOff:
+		return "off"
+	case HeuristicLowerBound:
+		return "lower-bound"
+	default:
+		return "Heuristic(?)"
+	}
+}
+
+// lowerBound computes an admissible, model-aware lower bound on the
+// remaining cost of a pebbling position. It never overestimates in any
+// of the four models, which makes A* return exactly the Dijkstra
+// optimum while expanding far fewer states.
+//
+// The bound counts, per remaining completion:
+//
+//   - mustCompute: pebble-free nodes reachable backward from an
+//     unsatisfied sink through pebble-free nodes. Each must receive at
+//     least one Compute (a pebble can only appear on a bare node via
+//     Compute, and its bare predecessors must in turn be computed to be
+//     red at that moment). Charged ε each under compcost, 0 elsewhere.
+//   - forced loads: blue predecessors of mustCompute nodes that can
+//     never be recomputed — every blue node in oneshot (already
+//     computed, or an initial source that is not computable), and blue
+//     sources under SourcesStartBlue in every model. Each needs one
+//     Load (cost 1). Distinct nodes, so the counts add.
+//   - forced stores: under SinksMustBeBlue, every sink not currently
+//     blue needs at least one Store (cost 1). Blue pebbles only arise
+//     from Store, and these are on distinct, non-blue nodes, disjoint
+//     from the forced-load set.
+//
+// estimate also detects dead positions — a mustCompute node that was
+// already computed in oneshot, or a bare needed source under
+// SourcesStartBlue — from which no completion exists at any cost.
+type lowerBound struct {
+	p        Problem
+	enabled  bool
+	oneshot  bool
+	scale    int64 // scaled cost of one transfer (EpsDenom under compcost, else 1)
+	compCost int64 // scaled cost of one compute (1 under compcost, else 0)
+	sinks    []dag.NodeID
+
+	mustCompute *bitset.Set
+	counted     *bitset.Set // blue nodes already counted as forced loads
+	stack       []int32
+	cands       []capCandidate
+}
+
+// capMaxN bounds the graph size for which the capacity-term candidates
+// are precomputed (the precomputation builds per-node ancestor and
+// descendant masks, quadratic in n/64 words).
+const capMaxN = 512
+
+// capUse is one potentially-live value u evaluated against a capacity
+// candidate w: anc records whether u is a strict ancestor of w, and
+// useMask holds u's successors inside desc(w) (statically restricted to
+// the initially-needed set).
+type capUse struct {
+	u       int32
+	anc     bool
+	useMask *bitset.Set
+}
+
+// capCandidate is one precomputed compute event w for the capacity term:
+// slots = R - indeg(w) - 1 is the number of red slots not taken by
+// preds(w) and w at the moment w is computed, and shell lists the values
+// that can compete for them.
+type capCandidate struct {
+	w     dag.NodeID
+	slots int
+	shell []capUse
+}
+
+func newLowerBound(p Problem, mode Heuristic, start *pebble.State) *lowerBound {
+	lb := &lowerBound{
+		p:       p,
+		enabled: mode != HeuristicOff,
+		oneshot: p.Model.Kind == pebble.Oneshot,
+		scale:   1,
+		sinks:   p.G.Sinks(),
+	}
+	if p.Model.Kind == pebble.CompCost {
+		lb.scale = int64(p.Model.EpsDenom)
+		lb.compCost = 1
+	}
+	if lb.enabled {
+		lb.mustCompute = bitset.New(p.G.N())
+		lb.counted = bitset.New(p.G.N())
+		lb.buildCapCandidates(start)
+	}
+	return lb
+}
+
+// cloneScratch returns a lowerBound sharing the immutable tables
+// (capacity candidates, sink list, parameters) with private scratch
+// sets, so parallel workers skip the quadratic candidate precompute.
+func (lb *lowerBound) cloneScratch() *lowerBound {
+	c := *lb
+	if lb.enabled {
+		c.mustCompute = bitset.New(lb.p.G.N())
+		c.counted = bitset.New(lb.p.G.N())
+		c.stack = nil
+	}
+	return &c
+}
+
+// estimate returns an admissible lower bound (in scaled cost units) on
+// the remaining cost from st, plus a dead flag reporting that st cannot
+// be completed at all. With the heuristic off it returns (0, false),
+// keeping the search byte-for-byte Dijkstra.
+func (lb *lowerBound) estimate(st *pebble.State) (int64, bool) {
+	if !lb.enabled {
+		return 0, false
+	}
+	g := lb.p.G
+	conv := lb.p.Convention
+	var h int64
+	lb.mustCompute.Reset()
+	lb.counted.Reset()
+	lb.stack = lb.stack[:0]
+	for _, s := range lb.sinks {
+		if conv.SinksMustBeBlue {
+			if st.IsBlue(s) {
+				continue
+			}
+			h += lb.scale // one Store onto s is still needed
+		} else if st.HasPebble(s) {
+			continue
+		}
+		if !st.HasPebble(s) && !lb.mustCompute.Get(int(s)) {
+			lb.mustCompute.Set(int(s))
+			lb.stack = append(lb.stack, int32(s))
+		}
+	}
+	for len(lb.stack) > 0 {
+		v := dag.NodeID(lb.stack[len(lb.stack)-1])
+		lb.stack = lb.stack[:len(lb.stack)-1]
+		// v is bare (no pebble) and must be computed at least once more.
+		if lb.oneshot && st.WasComputed(v) {
+			return 0, true // recompute forbidden: unwinnable
+		}
+		if conv.SourcesStartBlue && g.IsSource(v) {
+			return 0, true // sources are not computable: unwinnable
+		}
+		h += lb.compCost
+		for _, u := range g.Preds(v) {
+			ui := int(u)
+			if st.IsRed(u) {
+				continue
+			}
+			if st.IsBlue(u) {
+				if lb.loadForced(u) && !lb.counted.Get(ui) {
+					lb.counted.Set(ui)
+					h += lb.scale
+				}
+				continue
+			}
+			if !lb.mustCompute.Get(ui) {
+				lb.mustCompute.Set(ui)
+				lb.stack = append(lb.stack, int32(u))
+			}
+		}
+	}
+	h += lb.capacityTerm(st)
+	return h, false
+}
+
+// capacityTerm adds the oneshot capacity bound: pick the still-pending
+// compute event w whose forced-live values overflow the spare red slots
+// the most. At the moment w is computed, preds(w) and w occupy
+// indeg(w)+1 of the R red slots. Every value that must exist before that
+// moment (already computed or held, or an uncomputed ancestor of w) and
+// must be consumed after it (it has a successor that must be computed
+// and lies strictly below^W above w in the DAG, hence after w) is either
+// in one of the slots = R-indeg(w)-1 spare red slots or blue at that
+// moment. In oneshot a value cannot be recreated, so each overflow value
+// that is not blue already needs one future Store (to get blue by then)
+// and one future Load (to get red again for its later consumer): 2
+// transfers, on nodes disjoint from every other term of the bound.
+func (lb *lowerBound) capacityTerm(st *pebble.State) int64 {
+	if len(lb.cands) == 0 {
+		return 0
+	}
+	best := 0
+	for ci := range lb.cands {
+		cd := &lb.cands[ci]
+		if !lb.mustCompute.Get(int(cd.w)) {
+			continue // w already computed (or not needed): event is gone
+		}
+		fl, curBlue := 0, 0
+		for i := range cd.shell {
+			cu := &cd.shell[i]
+			u := dag.NodeID(cu.u)
+			// Value must exist before w's compute: it exists now (pebble
+			// or computed) or is an ancestor of w that must be computed.
+			if !(st.HasPebble(u) || st.WasComputed(u) ||
+				(cu.anc && lb.mustCompute.Get(int(cu.u)))) {
+				continue
+			}
+			// ... and must be consumed after it.
+			if !cu.useMask.Intersects(lb.mustCompute) {
+				continue
+			}
+			fl++
+			if st.IsBlue(u) {
+				curBlue++ // may sit blue through the event for free
+			}
+		}
+		if b := fl - cd.slots - curBlue; b > best {
+			best = b
+		}
+	}
+	return 2 * lb.scale * int64(best)
+}
+
+// buildCapCandidates precomputes the capacity-term candidates for the
+// oneshot model on small graphs: per-node ancestor/descendant masks,
+// then for each needed node w the shell of values adjacent to its
+// descendant cone, keeping the candidates with the highest overflow
+// potential.
+func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
+	g := lb.p.G
+	n := g.N()
+	if !lb.oneshot || n == 0 || n > capMaxN {
+		return
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return
+	}
+	// needed0: nodes bare at the start that must be computed (the
+	// initial mustCompute). Future mustCompute sets only shrink toward
+	// subsets of it in oneshot, so restricting use masks to needed0
+	// never overcounts.
+	if _, dead := lb.estimate(start); dead {
+		return
+	}
+	needed0 := lb.mustCompute.Clone()
+
+	anc := make([]*bitset.Set, n)
+	desc := make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		anc[v] = bitset.New(n)
+		desc[v] = bitset.New(n)
+	}
+	for _, v := range order {
+		for _, u := range g.Preds(v) {
+			anc[v].Or(anc[u])
+			anc[v].Set(int(u))
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, x := range g.Succs(v) {
+			desc[v].Or(desc[x])
+			desc[v].Set(int(x))
+		}
+	}
+
+	isPred := make([]bool, n)
+	type scored struct {
+		cand  capCandidate
+		score int
+	}
+	var all []scored
+	for wi := 0; wi < n; wi++ {
+		if !needed0.Get(wi) {
+			continue
+		}
+		w := dag.NodeID(wi)
+		slots := lb.p.R - g.InDegree(w) - 1
+		for _, u := range g.Preds(w) {
+			isPred[u] = true
+		}
+		var shell []capUse
+		seen := bitset.New(n)
+		desc[wi].ForEach(func(x int) bool {
+			if !needed0.Get(x) {
+				return true
+			}
+			for _, u := range g.Preds(dag.NodeID(x)) {
+				ui := int(u)
+				if ui == wi || isPred[ui] || seen.Get(ui) {
+					continue
+				}
+				seen.Set(ui)
+				use := bitset.New(n)
+				for _, s := range g.Succs(u) {
+					if needed0.Get(int(s)) && desc[wi].Get(int(s)) {
+						use.Set(int(s))
+					}
+				}
+				shell = append(shell, capUse{u: int32(ui), anc: anc[wi].Get(ui), useMask: use})
+			}
+			return true
+		})
+		for _, u := range g.Preds(w) {
+			isPred[u] = false
+		}
+		if score := len(shell) - slots; score > 0 {
+			all = append(all, scored{capCandidate{w: w, slots: slots, shell: shell}, score})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].cand.w < all[j].cand.w
+	})
+	const maxCands = 16
+	for i := 0; i < len(all) && i < maxCands; i++ {
+		lb.cands = append(lb.cands, all[i].cand)
+	}
+}
+
+// loadForced reports whether blue node u can only return to red via a
+// Load. In oneshot every blue node qualifies: it either was computed
+// already (recompute banned) or is an initial blue source under
+// SourcesStartBlue (sources not computable). In the other models only
+// the latter case forces a Load — a blue node could otherwise be
+// recomputed for free.
+func (lb *lowerBound) loadForced(u dag.NodeID) bool {
+	if lb.oneshot {
+		return true
+	}
+	return lb.p.Convention.SourcesStartBlue && lb.p.G.IsSource(u)
+}

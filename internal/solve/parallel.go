@@ -1,0 +1,273 @@
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rbpebble/internal/pebble"
+)
+
+// The parallel exact solver shards the state space by state hash: shard
+// owner = hashKey(packed state) mod P. Each worker owns its shard's open
+// list, visited table and node log, so no locks guard the hot
+// structures. The search proceeds in synchronous rounds:
+//
+//   - expand: every worker pops a batch of its locally-cheapest entries
+//     and generates successor proposals, bucketed by destination shard
+//     (computed from the successor's hash).
+//   - relax: every worker consumes the proposals addressed to its shard,
+//     deduplicating and pushing improvements into its own open list.
+//
+// Completed states are not expanded; they update a shared incumbent
+// (mutex-guarded, cold path). The incumbent is returned as the proven
+// optimum only once the globally smallest open f-value is no smaller
+// than the incumbent's cost — the standard safety argument for batched
+// or parallel best-first search, and the reason expanding entries beyond
+// the global minimum is wasted work at worst, never an incorrect answer.
+
+// parBatch is the number of entries each worker pops per round. Small
+// enough to keep workers near the cost frontier, large enough to
+// amortize the round barriers.
+const parBatch = 64
+
+// parNode mirrors searchNode for the sharded search; parents live in the
+// node log of another shard, so the reference is (shard, index).
+type parNode struct {
+	parentShard int32 // -1 for the root
+	parentNode  int32
+	ref         int32
+	move        pebble.Move
+}
+
+// proposal is one successor handed from an expanding worker to the
+// destination shard's owner. The packed key words travel in a parallel
+// flat buffer (kw words per proposal, same order). Only g travels: the
+// owning shard computes (and caches) the heuristic once per distinct
+// state, so senders never re-estimate shared states.
+type proposal struct {
+	hash       uint64
+	g          int64
+	parentNode int32
+	move       pebble.Move
+}
+
+// parWorker is one shard owner.
+type parWorker struct {
+	id    int32
+	ctx   *searchCtx
+	table *stateTable
+	open  openHeap
+	nodes []parNode
+	hs    []int64 // cached heuristic per table ref (mirrors exactSerial)
+
+	outMeta [][]proposal // outMeta[dest]
+	outKeys [][]uint64   // outKeys[dest], kw words per proposal
+	popped  int          // expansions this round
+	pushed  int
+}
+
+func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates int) (Solution, error) {
+	nw := opts.Parallel
+	kw := start.PackedWords()
+	base := newSearchCtx(p, opts, start)
+	workers := make([]*parWorker, nw)
+	for i := range workers {
+		ctx := base
+		if i > 0 {
+			ctx = base.cloneForWorker(start)
+		}
+		workers[i] = &parWorker{
+			id:      int32(i),
+			ctx:     ctx,
+			table:   newStateTable(kw, 256),
+			outMeta: make([][]proposal, nw),
+			outKeys: make([][]uint64, nw),
+		}
+	}
+
+	expanded, pushed := 0, 0
+	report := func() {
+		if opts.Stats != nil {
+			distinct := 0
+			for _, w := range workers {
+				distinct += w.table.count()
+			}
+			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: distinct}
+		}
+	}
+
+	rootKey := start.AppendPacked(nil)
+	rootHash := hashKey(rootKey)
+	h0, dead := base.lb.estimate(start)
+	if dead {
+		report()
+		return Solution{}, errors.New("solve: instance is infeasible under this convention")
+	}
+	rw := workers[rootHash%uint64(nw)]
+	rootRef, _ := rw.table.lookupOrAdd(rootKey, rootHash)
+	rw.table.best[rootRef] = 0
+	rw.hs = append(rw.hs, h0)
+	rw.nodes = append(rw.nodes, parNode{parentShard: -1, parentNode: -1, ref: rootRef})
+	rw.open.push(heapEntry{f: h0, g: 0, node: 0})
+	pushed = 1
+
+	var (
+		incMu    sync.Mutex
+		incG     int64 = costUnreached
+		incShard int32
+		incNode  int32
+	)
+	improveIncumbent := func(g int64, shard, node int32) {
+		incMu.Lock()
+		if g < incG {
+			incG, incShard, incNode = g, shard, node
+		}
+		incMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for {
+		// Global cost frontier: the smallest f on any open list. Safe to
+		// finalize the incumbent once it is no better.
+		fmin := int64(costUnreached)
+		for _, w := range workers {
+			if w.open.len() > 0 && w.open.a[0].f < fmin {
+				fmin = w.open.a[0].f
+			}
+		}
+		if fmin == costUnreached && incG == costUnreached {
+			report()
+			return Solution{}, errors.New("solve: state space exhausted without completing (unreachable for feasible R)")
+		}
+		if incG <= fmin { // covers "all heaps empty" when an incumbent exists
+			break
+		}
+
+		// Expand phase.
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *parWorker) {
+				defer wg.Done()
+				w.expandBatch(nw, improveIncumbent)
+			}(w)
+		}
+		wg.Wait()
+		for _, w := range workers {
+			expanded += w.popped
+		}
+		if expanded > maxStates {
+			report()
+			return Solution{}, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
+		}
+
+		// Relax phase.
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *parWorker) {
+				defer wg.Done()
+				w.relax(workers)
+			}(w)
+		}
+		wg.Wait()
+		for _, w := range workers {
+			pushed += w.pushed
+		}
+	}
+
+	report()
+	// Reconstruct the incumbent's move chain across shard node logs.
+	var rev []pebble.Move
+	s, n := incShard, incNode
+	for {
+		nd := workers[s].nodes[n]
+		if nd.parentShard < 0 {
+			break
+		}
+		rev = append(rev, nd.move)
+		s, n = nd.parentShard, nd.parentNode
+	}
+	moves := make([]pebble.Move, len(rev))
+	for i := range rev {
+		moves[i] = rev[len(rev)-1-i]
+	}
+	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: moves}
+	return verify(p, tr), nil
+}
+
+// expandBatch pops up to parBatch fresh entries from this shard's open
+// list, expanding each into per-destination proposal buffers.
+func (w *parWorker) expandBatch(nw int, improveIncumbent func(g int64, shard, node int32)) {
+	c := w.ctx
+	w.popped = 0
+	for d := 0; d < nw; d++ {
+		w.outMeta[d] = w.outMeta[d][:0]
+		w.outKeys[d] = w.outKeys[d][:0]
+	}
+	for w.popped < parBatch && w.open.len() > 0 {
+		e := w.open.pop()
+		nd := w.nodes[e.node]
+		if e.g > w.table.best[nd.ref] {
+			continue // stale
+		}
+		key := w.table.key(nd.ref)
+		c.scratch.RestorePacked(key)
+		if c.scratch.Complete() {
+			improveIncumbent(e.g, w.id, e.node)
+			continue
+		}
+		w.popped++
+		c.moveBuf = c.moveBuf[:0]
+		c.appendMoves(c.scratch, key)
+		for _, m := range c.moveBuf {
+			undo, err := c.scratch.ApplyForUndo(m)
+			if err != nil {
+				panic("solve: appendMoves emitted illegal move: " + err.Error())
+			}
+			childG := e.g + c.moveCost(m)
+			c.keyBuf = c.scratch.AppendPacked(c.keyBuf[:0])
+			ch := hashKey(c.keyBuf)
+			d := ch % uint64(nw)
+			w.outMeta[d] = append(w.outMeta[d], proposal{
+				hash: ch, g: childG, parentNode: e.node, move: m,
+			})
+			w.outKeys[d] = append(w.outKeys[d], c.keyBuf...)
+			c.scratch.Undo(undo)
+		}
+	}
+}
+
+// relax merges every proposal addressed to this shard into its table and
+// open list.
+func (w *parWorker) relax(workers []*parWorker) {
+	kw := w.table.kw
+	w.pushed = 0
+	for _, src := range workers {
+		meta := src.outMeta[w.id]
+		keys := src.outKeys[w.id]
+		for i, pr := range meta {
+			key := keys[i*kw : (i+1)*kw]
+			ref, isNew := w.table.lookupOrAdd(key, pr.hash)
+			if isNew {
+				// Estimate (and detect dead states) once per distinct
+				// state, on the owning shard.
+				w.ctx.scratch.RestorePacked(key)
+				h, dead := w.ctx.lb.estimate(w.ctx.scratch)
+				w.hs = append(w.hs, h)
+				if dead {
+					w.table.best[ref] = costDead
+				}
+			}
+			if w.table.best[ref] <= pr.g {
+				continue
+			}
+			w.table.best[ref] = pr.g
+			w.nodes = append(w.nodes, parNode{
+				parentShard: src.id, parentNode: pr.parentNode,
+				ref: ref, move: pr.move,
+			})
+			w.open.push(heapEntry{f: pr.g + w.hs[ref], g: pr.g, node: int32(len(w.nodes) - 1)})
+			w.pushed++
+		}
+	}
+}

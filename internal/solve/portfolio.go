@@ -12,6 +12,9 @@ type PortfolioOptions struct {
 	// this state budget and returns its (provably optimal) answer when
 	// it finishes within budget.
 	ExactBudget int
+	// Parallel is forwarded to ExactOptions.Parallel: values > 1 expand
+	// the exact search with that many hash-sharded workers.
+	Parallel int
 }
 
 // Portfolio runs the library's heuristics — topological+Belady, the
@@ -24,7 +27,7 @@ type PortfolioOptions struct {
 // schedule for a workload DAG.
 func Portfolio(p Problem, opts PortfolioOptions) (Solution, string, error) {
 	if opts.ExactBudget > 0 {
-		if sol, err := Exact(p, ExactOptions{MaxStates: opts.ExactBudget}); err == nil {
+		if sol, err := Exact(p, ExactOptions{MaxStates: opts.ExactBudget, Parallel: opts.Parallel}); err == nil {
 			return sol, "exact", nil
 		}
 		// Budget exceeded (or unsupported scale): fall through to

@@ -1,0 +1,123 @@
+package solve
+
+import (
+	"math"
+
+	"rbpebble/internal/pebble"
+)
+
+// Sentinel best-cost values for table entries. A fresh state starts at
+// costUnreached; a state proven unwinnable is marked costDead, which
+// compares below every real cost so no future path re-opens it.
+const (
+	costUnreached = math.MaxInt64
+	costDead      = math.MinInt64
+)
+
+// hashKey mixes a packed state key into a 64-bit hash (a splitmix64
+// finalizer folded over the words). Solvers use it both for table
+// probing and for sharding states across parallel workers.
+func hashKey(key []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range key {
+		h ^= w
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// stateTable is the visited-state set of the exact solvers: an
+// open-addressing (linear probing) hash table keyed on packed state
+// encodings. Every distinct state gets a dense ref (0, 1, 2, ...); its
+// key words live contiguously in a shared arena and its best known
+// scaled path cost in best[ref]. Compared to the original
+// map[string]int64 it materializes no per-state strings and supports
+// in-place cost updates without rehashing.
+type stateTable struct {
+	kw    int // words per key (0 only for the empty graph)
+	mask  uint64
+	slots []tableSlot
+	arena []uint64 // key words of state ref r at arena[r*kw : (r+1)*kw]
+	best  []int64  // best scaled path cost per ref (costUnreached, costDead)
+}
+
+// tableSlot holds one probe slot: the full hash (to skip most word
+// comparisons) and ref+1, with 0 meaning empty.
+type tableSlot struct {
+	hash uint64
+	ref  uint32
+}
+
+func newStateTable(kw, hintStates int) *stateTable {
+	size := 1024
+	for size < 2*hintStates {
+		size *= 2
+	}
+	return &stateTable{
+		kw:    kw,
+		mask:  uint64(size - 1),
+		slots: make([]tableSlot, size),
+		arena: make([]uint64, 0, hintStates*kw),
+		best:  make([]int64, 0, hintStates),
+	}
+}
+
+// count returns the number of distinct states stored.
+func (t *stateTable) count() int { return len(t.best) }
+
+// key returns the packed key of state ref (a view into the arena).
+func (t *stateTable) key(ref int32) pebble.PackedKey {
+	return pebble.PackedKey(t.arena[int(ref)*t.kw : (int(ref)+1)*t.kw])
+}
+
+// lookupOrAdd returns the dense ref of key (with hash h), inserting it
+// with best = costUnreached when absent.
+func (t *stateTable) lookupOrAdd(key []uint64, h uint64) (ref int32, isNew bool) {
+	if len(t.best) >= len(t.slots)*7/10 {
+		t.grow()
+	}
+	i := h & t.mask
+	for {
+		s := t.slots[i]
+		if s.ref == 0 {
+			ref = int32(len(t.best))
+			t.arena = append(t.arena, key...)
+			t.best = append(t.best, costUnreached)
+			t.slots[i] = tableSlot{hash: h, ref: uint32(ref) + 1}
+			return ref, true
+		}
+		if s.hash == h && t.keyEqual(int32(s.ref-1), key) {
+			return int32(s.ref - 1), false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *stateTable) keyEqual(ref int32, key []uint64) bool {
+	a := t.arena[int(ref)*t.kw : (int(ref)+1)*t.kw]
+	for i, w := range key {
+		if a[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *stateTable) grow() {
+	slots := make([]tableSlot, 2*len(t.slots))
+	mask := uint64(len(slots) - 1)
+	for _, s := range t.slots {
+		if s.ref == 0 {
+			continue
+		}
+		i := s.hash & mask
+		for slots[i].ref != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = s
+	}
+	t.slots, t.mask = slots, mask
+}

@@ -158,8 +158,20 @@ type (
 	Problem = solve.Problem
 	// Solution is a solver output with its verified result.
 	Solution = solve.Solution
-	// ExactOptions configures the exact solver.
+	// ExactOptions configures the exact solver: state budget
+	// (MaxStates), A* lower bound (Heuristic), hash-sharded parallel
+	// expansion (Parallel), search counters (Stats) and the dominance
+	// pruning ablation switch (DisablePruning).
 	ExactOptions = solve.ExactOptions
+	// ExactStats reports search-effort counters from one Exact run
+	// (states expanded, open-list pushes, distinct states reached).
+	ExactStats = solve.ExactStats
+	// Heuristic selects the exact solver's A* lower bound mode.
+	Heuristic = solve.Heuristic
+	// PackedKey is the packed []uint64 encoding of a pebbling position
+	// (State.AppendPacked/RestorePacked), the representation the exact
+	// solvers key their visited tables on.
+	PackedKey = pebble.PackedKey
 	// OrderOptOptions configures the order-enumeration optimum.
 	OrderOptOptions = solve.OrderOptOptions
 	// ExactDFSOptions configures the branch-and-bound exact solver.
@@ -179,8 +191,21 @@ const (
 	RedRatio         = solve.RedRatio
 )
 
+// Exact-solver heuristic modes. HeuristicAuto (the zero value) enables
+// the admissible model-aware lower bound; HeuristicOff reverts to plain
+// Dijkstra. The proven optimal cost is identical either way.
+const (
+	HeuristicAuto       = solve.HeuristicAuto
+	HeuristicOff        = solve.HeuristicOff
+	HeuristicLowerBound = solve.HeuristicLowerBound
+)
+
 var (
-	// Exact finds a provably optimal pebbling by state-space search.
+	// Exact finds a provably optimal pebbling by best-first state-space
+	// search: A* under an admissible model-aware lower bound (Dijkstra
+	// with ExactOptions.Heuristic = HeuristicOff), over packed states in
+	// an open-addressing table, with optional hash-sharded parallel
+	// expansion (ExactOptions.Parallel).
 	Exact = solve.Exact
 	// OrderOpt finds the oneshot optimum by order enumeration + Belady.
 	OrderOpt = solve.OrderOpt
