@@ -23,10 +23,12 @@ func main() {
 		list         = flag.Bool("list", false, "list experiment IDs and exit")
 		run          = flag.String("run", "", "run only experiments whose ID contains this substring")
 		parallel     = flag.Bool("parallel", false, "compute experiments concurrently")
-		exactWorkers = flag.Int("exact-workers", 0, "expand exact searches with this many hash-sharded workers (>1)")
+		exactWorkers = flag.Int("exact-workers", 0, "expand exact searches with this many hash-sharded workers (>1; async HDA* engine)")
+		exactSync    = flag.Bool("exact-sync", false, "use the synchronous-rounds parallel engine instead of async HDA*")
 	)
 	flag.Parse()
 	experiments.ExactParallelism = *exactWorkers
+	experiments.ExactSyncRounds = *exactSync
 
 	var reports []*experiments.Report
 	if *parallel {

@@ -27,12 +27,17 @@ func main() {
 		modelName = flag.String("model", "oneshot", "model: base|oneshot|nodel|compcost")
 		epsDenom  = flag.Int("eps", 100, "compcost ε denominator (ε = 1/eps)")
 		r         = flag.Int("r", 0, "red pebble limit (default Δ+1)")
-		solver    = flag.String("solver", "topobelady", "solver: exact|orderopt|greedy|topo|topobelady")
+		solver    = flag.String("solver", "topobelady", "solver: exact|dfs|orderopt|greedy|topo|topobelady")
 		rule      = flag.String("rule", "most-red-inputs", "greedy rule: most-red-inputs|fewest-blue-inputs|red-ratio")
 		tracePath = flag.String("trace", "", "write the verified move trace to this file")
 		maxStates = flag.Int("maxstates", 0, "exact solver state budget (0 = default)")
 		blueSrc   = flag.Bool("blue-sources", false, "sources start blue (Hong-Kung convention)")
 		blueSink  = flag.Bool("blue-sinks", false, "sinks must end blue")
+		workers   = flag.Int("workers", 0, "exact solver parallel workers (>1; async HDA* engine)")
+		syncPar   = flag.Bool("sync-rounds", false, "use the synchronous-rounds parallel engine instead of async HDA*")
+		heuristic = flag.String("heuristic", "auto", "exact solver lower bound: auto|off|lower-bound|s-partition")
+		dfsAlgo   = flag.String("dfs-algo", "auto", "dfs solver scheme: auto|ida-star|branch-and-bound")
+		maxVisits = flag.Int("maxvisits", 0, "dfs solver visit budget (0 = default)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -61,7 +66,21 @@ func main() {
 	var sol solve.Solution
 	switch *solver {
 	case "exact":
-		sol, err = solve.Exact(p, solve.ExactOptions{MaxStates: *maxStates})
+		h, herr := parseHeuristic(*heuristic)
+		if herr != nil {
+			fatal(herr)
+		}
+		opts := solve.ExactOptions{MaxStates: *maxStates, Heuristic: h, Parallel: *workers}
+		if *syncPar {
+			opts.ParallelAlgo = solve.ParallelSyncRounds
+		}
+		sol, err = solve.Exact(p, opts)
+	case "dfs":
+		a, aerr := parseDFSAlgo(*dfsAlgo)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		sol, err = solve.ExactDFS(p, solve.ExactDFSOptions{MaxVisits: *maxVisits, Algorithm: a})
 	case "orderopt":
 		sol, err = solve.OrderOpt(p, solve.OrderOptOptions{})
 	case "greedy":
@@ -129,6 +148,29 @@ func parseModel(name string, epsDenom int) (pebble.Model, error) {
 	default:
 		return pebble.Model{}, fmt.Errorf("unknown model %q", name)
 	}
+}
+
+func parseHeuristic(name string) (solve.Heuristic, error) {
+	for _, h := range []solve.Heuristic{
+		solve.HeuristicAuto, solve.HeuristicOff,
+		solve.HeuristicLowerBound, solve.HeuristicSPartition,
+	} {
+		if h.String() == name {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown heuristic %q", name)
+}
+
+func parseDFSAlgo(name string) (solve.DFSAlgorithm, error) {
+	for _, a := range []solve.DFSAlgorithm{
+		solve.DFSAuto, solve.DFSIDAStar, solve.DFSBranchAndBound,
+	} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown dfs algorithm %q", name)
 }
 
 func parseRule(name string) (solve.GreedyRule, error) {

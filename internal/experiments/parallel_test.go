@@ -41,6 +41,12 @@ func TestAllParallelMatchesSequential(t *testing.T) {
 		}
 		for r := range seq[i].Rows {
 			for c := range seq[i].Rows[r] {
+				// Ablation D measures parallel engines: its states and
+				// wall-clock columns are schedule-dependent by nature.
+				// The proven optima (and everything else) must match.
+				if seq[i].ID == "Ablation D" && c >= 4 {
+					continue
+				}
 				if seq[i].Rows[r][c] != par[i].Rows[r][c] {
 					t.Fatalf("%s row %d col %d: %q vs %q — experiments are not deterministic",
 						seq[i].ID, r, c, seq[i].Rows[r][c], par[i].Rows[r][c])

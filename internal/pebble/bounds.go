@@ -1,6 +1,9 @@
 package pebble
 
-import "rbpebble/internal/dag"
+import (
+	"rbpebble/internal/bitset"
+	"rbpebble/internal/dag"
+)
 
 // MinFeasibleR returns the smallest red-pebble count with which g can be
 // pebbled at all: Δ+1, where Δ is the maximum in-degree (paper §3). A node
@@ -19,6 +22,55 @@ func CostUpperBound(g *dag.DAG, m Model) Cost {
 	n := g.N()
 	return Cost{Transfers: (2*d + 1) * n, Computes: n}
 }
+
+// Reach holds the per-node ancestor and descendant closures of a DAG as
+// bitsets: the transitive-reachability geometry that the solver's lower
+// bounds (capacity certificates, S-partition packing) are built from.
+// The precompute is quadratic in n·(n/64) words, so callers gate it on
+// graph size; the masks themselves are immutable and safe to share
+// across solver workers.
+type Reach struct {
+	anc  []*bitset.Set // anc[v]: strict ancestors of v
+	desc []*bitset.Set // desc[v]: strict descendants of v
+}
+
+// NewReach computes ancestor/descendant masks for g, or nil if g is not
+// acyclic (TopoOrder fails) or empty.
+func NewReach(g *dag.DAG) *Reach {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil
+	}
+	r := &Reach{anc: make([]*bitset.Set, n), desc: make([]*bitset.Set, n)}
+	for v := 0; v < n; v++ {
+		r.anc[v] = bitset.New(n)
+		r.desc[v] = bitset.New(n)
+	}
+	for _, v := range order {
+		for _, u := range g.Preds(v) {
+			r.anc[v].Or(r.anc[u])
+			r.anc[v].Set(int(u))
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, x := range g.Succs(v) {
+			r.desc[v].Or(r.desc[x])
+			r.desc[v].Set(int(x))
+		}
+	}
+	return r
+}
+
+// Anc returns the strict-ancestor mask of v (do not mutate).
+func (r *Reach) Anc(v dag.NodeID) *bitset.Set { return r.anc[v] }
+
+// Desc returns the strict-descendant mask of v (do not mutate).
+func (r *Reach) Desc(v dag.NodeID) *bitset.Set { return r.desc[v] }
 
 // StepUpperBoundFactor returns a step bound for optimal pebblings as a
 // multiple of Δ·n per the paper's Lemma 1 analysis. For oneshot and nodel,

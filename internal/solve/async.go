@@ -1,0 +1,632 @@
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbpebble/internal/pebble"
+)
+
+// Asynchronous HDA*-style parallel exact solver. Like the
+// synchronous-rounds engine (parallel.go) the state space is sharded by
+// state hash — owner = hashKey(packed state) mod P, each worker owning
+// its shard's open list, visited table and node log — but there are no
+// global barriers: every worker loops { drain mailboxes, relax, expand,
+// flush } continuously, so nobody idles at a round boundary waiting for
+// the slowest shard.
+//
+// Proposals travel through per-edge mailboxes (one deposit box per
+// ordered worker pair, so P^2 boxes and no cross-pair contention):
+// senders batch proposals per destination and append a batch under a
+// short lock; receivers swap the whole box out and relax locally.
+//
+// Without the global f-min barrier a worker may expand a state before
+// its g is settled; when a cheaper path arrives later the owner
+// re-relaxes and re-expands (best[ref] update + fresh push), which is
+// the standard HDA* re-expansion rule and preserves exactness. Goals
+// are never expanded; they update a shared incumbent. A frontier entry
+// with f >= incumbent is useless under an admissible heuristic, so
+// workers treat their heap as empty once its minimum reaches the
+// incumbent.
+//
+// Unthrottled HDA* expands speculatively far beyond the true cost
+// frontier (measured ~8x extra states on pyramid(5) R=4), so each
+// worker continuously publishes its heap minimum in an atomic watermark
+// and only expands entries at or below the smallest published f. This
+// is not a barrier — nobody waits for a round or for stragglers; a
+// blocked worker spins briefly, republishing its own watermark, and the
+// holder of the global minimum always proceeds, so plateaus of equal f
+// (ubiquitous here: computes and deletes are free in most models)
+// expand concurrently across all shards. Entries cheaper than the
+// watermark can still be in flight, so the watermark is only a
+// throttle; exactness never depends on it.
+//
+// Termination is detected with a counting protocol in the style of
+// Safra's algorithm, with the coordinator playing the probe: global
+// atomic counters of proposals sent and received, plus a per-worker
+// passive flag (set only when the worker has no frontier work, empty
+// inboxes and flushed outboxes). The coordinator declares termination
+// only after reading sent == received between two observations of
+// "everyone passive" with the sent counter unchanged — any message
+// still in flight either keeps sent > received or bumps sent between
+// the two reads. At that point no state with f < incumbent exists
+// anywhere, so the incumbent is the proven optimum: the exact analogue
+// of the synchronous engine's "incumbent <= global f-min" rule.
+
+const (
+	// asyncFlushBatch is the number of proposals buffered per
+	// destination before an eager flush (outboxes are always flushed
+	// fully at the end of every worker loop turn regardless).
+	asyncFlushBatch = 64
+	// asyncExpandBatch caps consecutive expansions between mailbox
+	// drains, so cross-shard improvements are observed promptly.
+	asyncExpandBatch = 256
+)
+
+// asyncTestDelay, when non-nil, is called before each state expansion
+// with the worker id. Tests inject latency into chosen shards to
+// exercise termination detection under pathological imbalance.
+var asyncTestDelay func(worker int)
+
+// asyncBatch is one flushed group of proposals (kw key words per
+// proposal, in order). Batches change hands whole: the sender builds
+// one, deposits the slices, and grabs recycled buffers, so no
+// per-proposal copying happens at the mailbox and the steady state
+// allocates nothing (receivers return drained buffers to the pool).
+type asyncBatch struct {
+	meta []proposal
+	keys []uint64
+	// Watermark summary of the batch, maintained by the sender: the
+	// smallest parent f among the proposals (children's f is at least
+	// the parent's up to heuristic inconsistency, which is fine for a
+	// throttle) and the largest child g.
+	minPF int64
+	maxG  int64
+}
+
+// asyncBatchPool recycles batch buffers between receivers and senders.
+var asyncBatchPool = sync.Pool{
+	New: func() any {
+		return &asyncBatch{
+			meta:  make([]proposal, 0, asyncFlushBatch),
+			keys:  make([]uint64, 0, asyncFlushBatch*8),
+			minPF: costUnreached,
+		}
+	},
+}
+
+// asyncMailbox is one src->dst deposit box. pendF/pendG summarize the
+// pending proposals for the watermark — pendF is the smallest parent f
+// and pendG the largest child g; without them, work in flight to an
+// unscheduled worker would be invisible to the throttle and the
+// scheduled workers would flood their own shards far past the true
+// frontier (acute under GOMAXPROCS=1, where only one worker publishes
+// at a time).
+type asyncMailbox struct {
+	mu      sync.Mutex
+	batches []*asyncBatch
+	pendF   atomic.Int64
+	pendG   atomic.Int64
+}
+
+// asyncShared is the state shared by all workers and the coordinator.
+type asyncShared struct {
+	nw    int
+	kw    int
+	boxes []asyncMailbox // boxes[src*nw+dst]
+
+	sent     atomic.Int64 // proposals deposited
+	recv     atomic.Int64 // proposals consumed
+	expanded atomic.Int64 // states expanded (for the budget and stats)
+	done     atomic.Bool  // optimum proven
+	abort    atomic.Bool  // state budget exhausted
+	passive  []atomic.Bool
+	fmins    []atomic.Int64 // per-worker published heap minimum (the watermark)
+	gtops    []atomic.Int64 // g of the same top entry (for the plateau dive window)
+	wmF      atomic.Int64   // cached merged watermark f (throttle fast path)
+	wmG      atomic.Int64   // cached merged watermark g
+
+	incMu    sync.Mutex
+	incG     atomic.Int64
+	incShard int32
+	incNode  int32
+}
+
+// improve lowers the shared incumbent (cold path: goals are rare).
+func (sh *asyncShared) improve(g int64, shard, node int32) {
+	sh.incMu.Lock()
+	if g < sh.incG.Load() {
+		sh.incG.Store(g)
+		sh.incShard, sh.incNode = shard, node
+	}
+	sh.incMu.Unlock()
+}
+
+// asyncWorker is one shard owner of the async engine.
+type asyncWorker struct {
+	id    int32
+	ctx   *searchCtx
+	table *stateTable
+	open  openHeap
+	nodes []parNode
+	hs    []int64 // cached heuristic per table ref
+
+	out      []*asyncBatch // out[dst], buffered until flush
+	expanded int           // local counters, aggregated into stats at the end
+	pushed   int
+
+	lastF, lastG int64 // last published watermark values (-1: none yet)
+	wmAge        int   // pops since the last full watermark recompute
+}
+
+func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int) (Solution, error) {
+	nw := opts.Parallel
+	kw := start.PackedWords()
+	base := newSearchCtx(p, opts, start)
+	sh := &asyncShared{
+		nw:      nw,
+		kw:      kw,
+		boxes:   make([]asyncMailbox, nw*nw),
+		passive: make([]atomic.Bool, nw),
+		fmins:   make([]atomic.Int64, nw),
+		gtops:   make([]atomic.Int64, nw),
+	}
+	sh.incG.Store(costUnreached)
+	for i := range sh.fmins {
+		sh.fmins[i].Store(costUnreached)
+	}
+	for i := range sh.boxes {
+		sh.boxes[i].pendF.Store(costUnreached)
+	}
+	workers := make([]*asyncWorker, nw)
+	for i := range workers {
+		ctx := base
+		if i > 0 {
+			ctx = base.cloneForWorker(start)
+		}
+		w := &asyncWorker{
+			id:    int32(i),
+			ctx:   ctx,
+			table: newStateTable(kw, 256),
+			out:   make([]*asyncBatch, nw),
+			lastF: -1,
+			lastG: -1,
+		}
+		for d := range w.out {
+			w.out[d] = asyncBatchPool.Get().(*asyncBatch)
+		}
+		workers[i] = w
+	}
+
+	report := func() {
+		if opts.Stats != nil {
+			var st ExactStats
+			for _, w := range workers {
+				st.Expanded += w.expanded
+				st.Pushed += w.pushed
+				st.Distinct += w.table.count()
+			}
+			*opts.Stats = st
+		}
+	}
+
+	rootKey := start.AppendPacked(nil)
+	rootHash := hashKey(rootKey)
+	h0, dead := base.lb.estimate(start)
+	if dead {
+		report()
+		return Solution{}, errors.New("solve: instance is infeasible under this convention")
+	}
+	rw := workers[rootHash%uint64(nw)]
+	rootRef, _ := rw.table.lookupOrAdd(rootKey, rootHash)
+	rw.table.best[rootRef] = 0
+	rw.hs = append(rw.hs, h0)
+	rw.nodes = append(rw.nodes, parNode{parentShard: -1, parentNode: -1, ref: rootRef})
+	rw.open.push(heapEntry{f: h0, g: 0, node: 0})
+	rw.pushed = 1
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *asyncWorker) {
+			defer wg.Done()
+			w.run(sh)
+		}(w)
+	}
+
+	// Coordinator: poll the state budget and run the termination probe.
+	// The poll interval escalates so that long solves are not taxed by
+	// coordinator wakeups (the workers keep the watermark cache fresh
+	// themselves); short solves still terminate within ~20us.
+	coSleep := 20 * time.Microsecond
+	for {
+		if sh.expanded.Load() > int64(maxStates) {
+			sh.abort.Store(true)
+			break
+		}
+		if sh.terminated() {
+			sh.done.Store(true)
+			break
+		}
+		time.Sleep(coSleep)
+		if coSleep < 200*time.Microsecond {
+			coSleep += 10 * time.Microsecond
+		}
+	}
+	wg.Wait()
+	report()
+	if sh.abort.Load() {
+		return Solution{}, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
+	}
+	if sh.incG.Load() == costUnreached {
+		return Solution{}, errors.New("solve: state space exhausted without completing (unreachable for feasible R)")
+	}
+
+	logs := make([][]parNode, nw)
+	for i, w := range workers {
+		logs[i] = w.nodes
+	}
+	return shardTrace(p, logs, sh.incShard, sh.incNode), nil
+}
+
+// terminated runs one round of the counting probe: everyone passive,
+// sent == received, and sent unchanged across a second passivity check.
+func (sh *asyncShared) terminated() bool {
+	s1 := sh.sent.Load()
+	if sh.recv.Load() != s1 {
+		return false
+	}
+	for i := range sh.passive {
+		if !sh.passive[i].Load() {
+			return false
+		}
+	}
+	return sh.sent.Load() == s1
+}
+
+// run is the worker main loop.
+func (w *asyncWorker) run(sh *asyncShared) {
+	spins := 0
+	backoff := time.Microsecond
+	// wait backs off exponentially so that idle workers get out of the
+	// scheduler's way instead of stealing timeslices from the watermark
+	// holder (which is what turns a 1-core run into a spin contest).
+	wait := func() {
+		if spins++; spins < 4 {
+			runtime.Gosched()
+			return
+		}
+		time.Sleep(backoff)
+		if backoff < 256*time.Microsecond {
+			backoff *= 2
+		}
+	}
+	for {
+		if sh.done.Load() || sh.abort.Load() {
+			return
+		}
+		got := w.drain(sh) + w.drainSelf()
+		did := w.expand(sh)
+		w.flushAll(sh)
+		w.publish(sh)
+		if got > 0 || did > 0 {
+			spins, backoff = 0, time.Microsecond
+			continue
+		}
+		if w.open.len() > 0 && w.open.a[0].f < sh.incG.Load() {
+			// Blocked behind the watermark: useful frontier exists but a
+			// cheaper one lives on another shard. Stay active (never
+			// passive) and retry; the watermark holder always advances.
+			wait()
+			continue
+		}
+		// Out of useful work entirely: go passive until a proposal
+		// arrives (the frontier cannot regrow on its own).
+		sh.passive[w.id].Store(true)
+		for {
+			if sh.done.Load() || sh.abort.Load() {
+				return
+			}
+			if w.inboxPending(sh) {
+				sh.passive[w.id].Store(false)
+				spins, backoff = 0, time.Microsecond
+				break
+			}
+			wait()
+		}
+	}
+}
+
+// publish stores this worker's current heap top (f and g) in its
+// watermark slots (skipped when unchanged since the last publish).
+func (w *asyncWorker) publish(sh *asyncShared) {
+	f, g := int64(costUnreached), int64(0)
+	if w.open.len() > 0 {
+		f, g = w.open.a[0].f, w.open.a[0].g
+	}
+	if f == w.lastF && g == w.lastG {
+		return
+	}
+	w.lastF, w.lastG = f, g
+	sh.gtops[w.id].Store(g)
+	sh.fmins[w.id].Store(f)
+}
+
+// asyncDiveWindow is the g-window within an f-plateau: a worker expands
+// a plateau entry only when its g is within the window of the deepest
+// published plateau entry. Zero-cost moves (computes and deletes in
+// most models) make the goal's f-level one huge plateau; the serial
+// heap's deeper-g-first tie-break dives straight through it, and the
+// window makes the sharded search follow the same dive as a relay
+// instead of flooding the plateau breadth-first, while still letting
+// several shards work the dive front concurrently.
+const asyncDiveWindow = 2
+
+
+// watermark recomputes the merged watermark — the smallest published f
+// across shard heaps and pending mailboxes, and the largest g published
+// at that f — and refreshes the cached copy. Expansion reads only the
+// cache (two atomic loads per pop); workers run the full scan whenever
+// the cache tells them to block (it may be stale-low after the front
+// advanced) and unconditionally every 64 pops (a stale-high cache
+// would let them overshoot silently), which bounds the cache staleness
+// in both directions (staleness is harmless regardless: the watermark
+// is a throttle, not a correctness gate).
+func (sh *asyncShared) watermark() (f, g int64) {
+	f = costUnreached
+	for i := range sh.fmins {
+		fi := sh.fmins[i].Load()
+		gi := sh.gtops[i].Load()
+		if fi < f {
+			f, g = fi, gi
+		} else if fi == f && gi > g {
+			g = gi
+		}
+	}
+	for i := range sh.boxes {
+		fi := sh.boxes[i].pendF.Load()
+		if fi == costUnreached {
+			continue
+		}
+		gi := sh.boxes[i].pendG.Load()
+		if fi < f {
+			f, g = fi, gi
+		} else if fi == f && gi > g {
+			g = gi
+		}
+	}
+	sh.wmF.Store(f)
+	sh.wmG.Store(g)
+	return f, g
+}
+
+// inboxPending reports whether any mailbox addressed to this worker
+// holds proposals (lock-free peek on the pending watermark; a false
+// negative is retried, a false positive drains empty).
+func (w *asyncWorker) inboxPending(sh *asyncShared) bool {
+	for src := 0; src < sh.nw; src++ {
+		if sh.boxes[src*sh.nw+int(w.id)].pendF.Load() != costUnreached {
+			return true
+		}
+	}
+	return false
+}
+
+// drain consumes every pending proposal addressed to this worker,
+// relaxing each into the local table and open list, and returns how
+// many proposals it consumed.
+func (w *asyncWorker) drain(sh *asyncShared) int {
+	total := 0
+	for src := 0; src < sh.nw; src++ {
+		b := &sh.boxes[src*sh.nw+int(w.id)]
+		if b.pendF.Load() == costUnreached {
+			continue // lock-free empty peek (a racing deposit is seen next turn)
+		}
+		b.mu.Lock()
+		batches := b.batches
+		b.batches = nil
+		b.pendF.Store(costUnreached)
+		b.pendG.Store(0)
+		b.mu.Unlock()
+		for _, ba := range batches {
+			w.relaxBatch(ba.meta, ba.keys)
+			sh.recv.Add(int64(len(ba.meta)))
+			total += len(ba.meta)
+			ba.meta, ba.keys = ba.meta[:0], ba.keys[:0]
+			ba.minPF, ba.maxG = costUnreached, 0
+			asyncBatchPool.Put(ba)
+		}
+	}
+	return total
+}
+
+// relaxBatch merges one mailbox batch (same layout as the synchronous
+// engine's relax: kw key words per proposal, in order).
+func (w *asyncWorker) relaxBatch(meta []proposal, keys []uint64) {
+	kw := w.table.kw
+	for i, pr := range meta {
+		key := keys[i*kw : (i+1)*kw]
+		ref, isNew := w.table.lookupOrAdd(key, pr.hash)
+		if isNew {
+			w.ctx.scratch.RestorePacked(key)
+			h, dead := w.ctx.lb.estimate(w.ctx.scratch)
+			w.hs = append(w.hs, h)
+			if dead {
+				w.table.best[ref] = costDead
+			}
+		}
+		if w.table.best[ref] <= pr.g {
+			continue
+		}
+		w.table.best[ref] = pr.g
+		w.nodes = append(w.nodes, parNode{
+			parentShard: pr.srcShard, parentNode: pr.parentNode,
+			ref: ref, move: pr.move,
+		})
+		w.open.push(heapEntry{f: pr.g + w.hs[ref], g: pr.g, node: int32(len(w.nodes) - 1)})
+		w.pushed++
+	}
+}
+
+// expand pops up to asyncExpandBatch useful entries, generating
+// successor proposals into the outboxes (flushed eagerly per
+// destination once a batch accumulates). Returns the number of entries
+// it retired (including stale pops, which also shrink the frontier).
+func (w *asyncWorker) expand(sh *asyncShared) int {
+	c := w.ctx
+	did := 0
+	for did < asyncExpandBatch && w.open.len() > 0 {
+		top := w.open.a[0].f
+		if top >= sh.incG.Load() {
+			// Under an admissible bound nothing at or beyond the
+			// incumbent can improve it: the frontier is exhausted.
+			break
+		}
+		// Throttle on the watermark (which includes our own top, so the
+		// global minimum holder always proceeds).
+		topG := w.open.a[0].g
+		if top != w.lastF || topG != w.lastG {
+			w.lastF, w.lastG = top, topG
+			sh.gtops[w.id].Store(topG)
+			sh.fmins[w.id].Store(top)
+		}
+		wmF, wmG := sh.wmF.Load(), sh.wmG.Load()
+		if w.wmAge++; w.wmAge >= 64 || top > wmF || topG+asyncDiveWindow < wmG {
+			// Full scan when the cache says block (it may simply be
+			// stale after the front advanced) and periodically (a
+			// too-permissive stale cache means silent overshoot).
+			w.wmAge = 0
+			wmF, wmG = sh.watermark()
+		}
+		if top > wmF || topG+asyncDiveWindow < wmG {
+			break
+		}
+		e := w.open.pop()
+		did++
+		nd := w.nodes[e.node]
+		if e.g > w.table.best[nd.ref] {
+			continue // stale
+		}
+		if asyncTestDelay != nil {
+			asyncTestDelay(int(w.id))
+		}
+		key := w.table.key(nd.ref)
+		c.scratch.RestorePacked(key)
+		if c.scratch.Complete() {
+			sh.improve(e.g, w.id, e.node)
+			continue
+		}
+		w.expanded++
+		if w.expanded&63 == 0 {
+			sh.expanded.Add(64) // batched: the budget check tolerates slack
+			if sh.abort.Load() {
+				return did
+			}
+		}
+		c.moveBuf = c.moveBuf[:0]
+		c.appendMoves(c.scratch, key)
+		for _, m := range c.moveBuf {
+			undo, err := c.scratch.ApplyForUndo(m)
+			if err != nil {
+				panic("solve: appendMoves emitted illegal move: " + err.Error())
+			}
+			childG := e.g + c.moveCost(m)
+			c.keyBuf = c.scratch.AppendPacked(c.keyBuf[:0])
+			ch := hashKey(c.keyBuf)
+			d := int(ch % uint64(sh.nw))
+			ba := w.out[d]
+			ba.meta = append(ba.meta, proposal{
+				hash: ch, g: childG, srcShard: w.id, parentNode: e.node, move: m,
+			})
+			ba.keys = append(ba.keys, c.keyBuf...)
+			if e.f < ba.minPF {
+				ba.minPF = e.f
+			}
+			if childG > ba.maxG {
+				ba.maxG = childG
+			}
+			c.scratch.Undo(undo)
+			if d != int(w.id) && len(ba.meta) >= asyncFlushBatch {
+				w.flush(sh, d)
+			}
+		}
+	}
+	return did
+}
+
+// drainSelf relaxes the proposals this worker buffered for its own
+// shard. They are never relaxed inline during expansion: relaxBatch
+// restores arbitrary states onto the shared scratch, which would
+// corrupt the apply/undo chain mid-expansion.
+func (w *asyncWorker) drainSelf() int {
+	ba := w.out[w.id]
+	n := len(ba.meta)
+	if n == 0 {
+		return 0
+	}
+	w.relaxBatch(ba.meta, ba.keys)
+	ba.meta, ba.keys = ba.meta[:0], ba.keys[:0]
+	ba.minPF, ba.maxG = costUnreached, 0
+	return n
+}
+
+// flush deposits the buffered proposals for destination d (never the
+// worker's own shard — see drainSelf). The batch changes hands whole;
+// a recycled buffer replaces it on the sender.
+func (w *asyncWorker) flush(sh *asyncShared, d int) {
+	ba := w.out[d]
+	if len(ba.meta) == 0 {
+		return
+	}
+	n := int64(len(ba.meta)) // before the deposit: ba changes hands there
+	b := &sh.boxes[int(w.id)*sh.nw+d]
+	b.mu.Lock()
+	b.batches = append(b.batches, ba)
+	if ba.minPF < b.pendF.Load() {
+		b.pendF.Store(ba.minPF)
+	}
+	if ba.maxG > b.pendG.Load() {
+		b.pendG.Store(ba.maxG)
+	}
+	b.mu.Unlock()
+	// Counted after the deposit: a probe that misses this increment
+	// sees either recv < sent or a sent change on its re-read, and a
+	// worker is only observed passive after its flush completes.
+	sh.sent.Add(n)
+	w.out[d] = asyncBatchPool.Get().(*asyncBatch)
+}
+
+// flushAll publishes every cross-shard outbox (required before going
+// passive; the self outbox is empty by then, drained each loop turn).
+func (w *asyncWorker) flushAll(sh *asyncShared) {
+	for d := 0; d < sh.nw; d++ {
+		if d != int(w.id) {
+			w.flush(sh, d)
+		}
+	}
+}
+
+// shardTrace reconstructs the incumbent's move chain across the
+// per-shard node logs (shared by the sync and async engines).
+func shardTrace(p Problem, logs [][]parNode, shard, node int32) Solution {
+	var rev []pebble.Move
+	s, n := shard, node
+	for {
+		nd := logs[s][n]
+		if nd.parentShard < 0 {
+			break
+		}
+		rev = append(rev, nd.move)
+		s, n = nd.parentShard, nd.parentNode
+	}
+	moves := make([]pebble.Move, len(rev))
+	for i := range rev {
+		moves[i] = rev[len(rev)-1-i]
+	}
+	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: moves}
+	return verify(p, tr)
+}

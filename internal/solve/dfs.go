@@ -7,32 +7,94 @@ import (
 	"rbpebble/internal/pebble"
 )
 
+// DFSAlgorithm selects the depth-first exact solver's search scheme.
+type DFSAlgorithm int
+
+const (
+	// DFSAuto (the zero value) behaves like DFSIDAStar.
+	DFSAuto DFSAlgorithm = iota
+	// DFSIDAStar is iterative-deepening A* on f = g+h: depth-first
+	// passes under a growing f-threshold, over the packed per-iteration
+	// memo. It shares the admissible lower bound with the best-first
+	// solver, and unlike plain branch and bound its pruning does not
+	// depend on stumbling onto a good incumbent early — fft(3) R=3,
+	// hopeless for branch and bound at any reasonable budget, finishes
+	// well inside the default one.
+	DFSIDAStar
+	// DFSBranchAndBound is the plain depth-first branch and bound
+	// (prune on cost + h >= incumbent), kept as the ablation baseline.
+	DFSBranchAndBound
+)
+
+// String names the DFS algorithm.
+func (a DFSAlgorithm) String() string {
+	switch a {
+	case DFSAuto:
+		return "auto"
+	case DFSIDAStar:
+		return "ida-star"
+	case DFSBranchAndBound:
+		return "branch-and-bound"
+	default:
+		return "DFSAlgorithm(?)"
+	}
+}
+
 // ExactDFSOptions configures the depth-first exact solver.
 type ExactDFSOptions struct {
-	// MaxVisits caps the number of node expansions (0 = 4,000,000).
+	// MaxVisits caps the number of state expansions (0 = 16,000,000),
+	// cumulative across IDA* iterations. Note the semantics: expansions
+	// — states whose successors are generated — matching the best-first
+	// solver's Expanded counter. (The PR 1 budget counted every
+	// recursion entry including memo-pruned re-entries, roughly 8x
+	// more numerous; the default is recalibrated for the new meaning.)
 	MaxVisits int
-	// InitialBound, if nonzero, seeds the branch-and-bound with a known
-	// achievable scaled cost (e.g. from TopoBelady). Otherwise the solver
-	// computes one itself.
+	// InitialBound, if nonzero, seeds the search with a known achievable
+	// scaled cost (e.g. from TopoBelady). Otherwise the solver computes
+	// one itself.
 	InitialBound int64
+	// Algorithm selects the search scheme (DFSAuto = IDA*).
+	Algorithm DFSAlgorithm
+	// Stats, when non-nil, receives search counters after the solve —
+	// also on failure, so a visit-limited run still reports how far it
+	// got and what bounds it had proven.
+	Stats *ExactDFSStats
+}
+
+// ExactDFSStats reports search effort and bound progress from one
+// ExactDFS run. It is filled on success and on ErrVisitLimit.
+type ExactDFSStats struct {
+	// Visits is the number of state expansions (cumulative across IDA*
+	// iterations; see ExactDFSOptions.MaxVisits for the semantics).
+	Visits int
+	// Iterations is the number of IDA* threshold passes (1 for branch
+	// and bound).
+	Iterations int
+	// Threshold is the last IDA* f-threshold searched (0 for branch and
+	// bound).
+	Threshold int64
+	// Incumbent is the best achievable scaled cost known when the
+	// search stopped (the optimum on success; an upper bound on
+	// ErrVisitLimit).
+	Incumbent int64
 }
 
 // ErrVisitLimit is returned when ExactDFS exceeds its visit budget.
+// The error carries the stats snapshot inline; ExactDFSOptions.Stats
+// receives the same numbers.
 var ErrVisitLimit = errors.New("solve: DFS visit limit exceeded")
 
-// ExactDFS finds a provably minimum-cost pebbling by depth-first branch
-// and bound with per-state memoization. It is an independent second
+// ExactDFS finds a provably minimum-cost pebbling by depth-first search
+// with per-state memoization: iterative-deepening A* on f = g+h by
+// default, plain branch and bound as the ablation baseline
+// (ExactDFSOptions.Algorithm). It is an independent second
 // implementation of the exact optimum (the first being the best-first
-// search in Exact) — the two cross-validate each other in the tests and
-// their search behavior differs enough to serve as an ablation
-// (best-first with a global frontier vs. depth-first with an upper
-// bound).
+// search in Exact) — the two cross-validate each other in the tests.
 //
 // The recursion shares the best-first solver's machinery: moves are
 // generated from the red frontier, each candidate is applied and undone
 // on the single live state (no cloning), the memo table is keyed on the
-// packed state encoding, and the admissible lower bound prunes branches
-// whose cost-so-far plus bound cannot beat the incumbent.
+// packed state encoding, and the admissible lower bound prunes branches.
 //
 // Supported models: oneshot and nodel, whose optimal pebblings have
 // O(Δ·n) steps (Lemma 1), giving the recursion a sound depth bound. The
@@ -45,14 +107,15 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 	}
 	maxVisits := opts.MaxVisits
 	if maxVisits == 0 {
-		maxVisits = 4_000_000
+		maxVisits = 16_000_000
 	}
 	start, err := pebble.NewState(p.G, p.Model, p.R, p.Convention)
 	if err != nil {
 		return Solution{}, err
 	}
 
-	// Seed the bound with an achievable solution so pruning bites early.
+	// Seed the incumbent with an achievable solution so pruning bites
+	// from the first pass.
 	bound := opts.InitialBound
 	var bestMoves []pebble.Move
 	if bound == 0 {
@@ -64,87 +127,346 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 		bestMoves = seed.Trace.Moves
 	}
 
-	// Depth bound from Lemma 1: optimal pebblings in these models have
-	// O(Δ·n) steps; a loose constant keeps the bound sound.
+	d := &dfsSearch{
+		p:         p,
+		c:         newSearchCtx(p, ExactOptions{}, start),
+		st:        start,
+		memo:      newStateTable(start.PackedWords(), 1024),
+		hcache:    newStateTable(start.PackedWords(), 1024),
+		maxVisits: maxVisits,
+		bound:     bound,
+		bestMoves: bestMoves,
+		maxDepth:  dfsMaxDepth(p),
+	}
+	report := func() {
+		if opts.Stats != nil {
+			*opts.Stats = ExactDFSStats{
+				Visits:     d.visits,
+				Iterations: d.iterations,
+				Threshold:  d.threshold,
+				Incumbent:  d.bound,
+			}
+		}
+	}
+	switch opts.Algorithm {
+	case DFSBranchAndBound:
+		err = d.branchAndBound()
+	default:
+		err = d.idaStar()
+	}
+	report()
+	if err != nil {
+		return Solution{}, err
+	}
+	if d.bestMoves == nil {
+		return Solution{}, errors.New("solve: DFS found no complete pebbling (infeasible instance?)")
+	}
+	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: d.bestMoves}
+	return verify(p, tr), nil
+}
+
+// dfsMaxDepth returns the recursion depth cap. It must be generous
+// enough that the cap never cuts a prefix of any solution cheaper than
+// the universal (2Δ+1)·n upper bound — otherwise the memoized and
+// learned bounds would rest on depth-truncated subtrees. In oneshot and
+// nodel, any pebbling prefix of cost c has at most 2n + 2c steps
+// (computes <= n + stores, deletes <= placements <= n + loads, and
+// loads + stores = c), so with c < (2Δ+1)n every relevant prefix stays
+// below (4Δ+4)·n + 2n steps; the cap sits above both that and the
+// Lemma 1 bound.
+func dfsMaxDepth(p Problem) int {
 	n := p.G.N()
 	delta := p.G.MaxInDegree()
 	if delta == 0 {
 		delta = 1
 	}
-	factor := pebble.StepUpperBoundFactor(p.Model)
-	maxDepth := factor*delta*n + n + 8
+	a := pebble.StepUpperBoundFactor(p.Model)*delta*n + n + 8
+	if b := (4*delta+6)*n + 8; b > a {
+		return b
+	}
+	return a
+}
 
-	c := newSearchCtx(p, ExactOptions{}, start)
-	// memo.best[ref] = best scaled cost at which this state was ever
-	// entered; re-entering at >= cost is pointless.
-	memo := newStateTable(start.PackedWords(), 1024)
-	visits := 0
-	var limitErr error
+// dfsSearch carries the shared state of one ExactDFS run across
+// iterations and recursion levels.
+type dfsSearch struct {
+	p         Problem
+	c         *searchCtx
+	st        *pebble.State // mutated in place by apply/undo
+	memo      *stateTable   // best entry cost per state, valid for one pass
+	hcache    *stateTable   // heuristic per state (best[ref] = h; dfsDeadH = dead), never reset
+	maxVisits int
+	maxDepth  int
 
-	var moves []pebble.Move
-	st := start // mutated in place by apply/undo along the recursion
-	var rec func() bool
-	rec = func() bool { // returns false on budget exhaustion
-		if limitErr != nil {
-			return false
-		}
-		visits++
-		if visits > maxVisits {
-			limitErr = fmt.Errorf("%w: %d", ErrVisitLimit, maxVisits)
-			return false
-		}
-		cost := st.Cost().Scaled(p.Model)
-		if cost >= bound {
-			return true
-		}
-		if st.Complete() {
-			bound = cost
-			bestMoves = append([]pebble.Move(nil), moves...)
-			return true
-		}
-		if st.Steps() >= maxDepth {
-			return true
-		}
-		if h, dead := c.lb.estimate(st); dead || cost+h >= bound {
-			return true // no completion from here can beat the incumbent
-		}
-		c.keyBuf = st.AppendPacked(c.keyBuf[:0])
-		ref, _ := memo.lookupOrAdd(c.keyBuf, hashKey(c.keyBuf))
-		if memo.best[ref] <= cost {
-			return true
-		}
-		memo.best[ref] = cost
+	bound     int64 // best achievable scaled cost known (incumbent, exclusive upper bound on improvements)
+	bestMoves []pebble.Move
+	moves     []pebble.Move // live move prefix of the recursion
 
-		// Generate this level's moves above the caller's live prefix;
-		// deeper levels append beyond end and truncate back.
-		base := len(c.moveBuf)
-		c.appendMoves(st, c.keyBuf)
-		end := len(c.moveBuf)
-		ok := true
-		for i := base; i < end; i++ {
-			m := c.moveBuf[i]
-			undo, err := st.ApplyForUndo(m)
-			if err != nil {
-				panic("solve: appendMoves emitted illegal move: " + err.Error())
+	threshold  int64 // current IDA* f-threshold
+	minExceed  int64 // smallest f seen above the threshold this pass
+	visits     int
+	iterations int
+	limitErr   error
+}
+
+// visitLimited counts one expansion, registers budget exhaustion
+// (once) and reports it. Visits count states actually expanded —
+// memo- and bound-pruned re-entries are free, matching what the
+// best-first solver's Expanded counter means.
+func (d *dfsSearch) visitLimited() bool {
+	d.visits++
+	if d.visits <= d.maxVisits {
+		return false
+	}
+	if d.limitErr == nil {
+		d.limitErr = fmt.Errorf("%w: %d visits (best incumbent %d, iteration %d)",
+			ErrVisitLimit, d.maxVisits, d.bound, d.iterations)
+	}
+	return true
+}
+
+// dfsDeadH marks a dead state in the heuristic cache. Large (not
+// MaxInt64, so cost + dfsDeadH cannot overflow) and above every real
+// bound, it prunes like any other remaining-cost lower bound.
+const dfsDeadH = int64(1) << 40
+
+// cachedH returns the heuristic-cache ref and value for the state
+// encoded in c.keyBuf (estimating on first sight). The cache persists
+// across IDA* passes — repeated passes re-estimate nothing — and the
+// value is the EFFECTIVE remaining-cost lower bound: the static
+// heuristic, raised by learned bounds from exhausted subtrees (see
+// recIDA), which is what keeps iterative deepening from re-walking
+// transpositions it has already refuted.
+func (d *dfsSearch) cachedH(hash uint64) (int32, int64) {
+	ref, isNew := d.hcache.lookupOrAdd(d.c.keyBuf, hash)
+	if !isNew {
+		return ref, d.hcache.best[ref]
+	}
+	h, dead := d.c.lb.estimate(d.st)
+	if dead {
+		h = dfsDeadH
+	}
+	d.hcache.best[ref] = h
+	return ref, h
+}
+
+// idaStar runs iterative-deepening A*: depth-first passes pruned at
+// f = cost + h > threshold, with the threshold raised to the smallest
+// exceeding f after each pass. The memo prunes re-entries at a
+// not-better cost within one pass (and is reset between passes, since a
+// higher threshold re-opens states). A pass that ends with the
+// incumbent at or below its threshold proves the incumbent optimal:
+// along any cheaper completion every prefix state has f at most its
+// final cost, so the pass would have reached it.
+func (d *dfsSearch) idaStar() error {
+	h0, dead := d.c.lb.estimate(d.st)
+	if dead {
+		return errors.New("solve: instance is infeasible under this convention")
+	}
+	d.threshold = h0
+	// The threshold grows by a doubling gap (capped) rather than to the
+	// minimal exceeding f. Minimal steps are safe but hopeless on wide
+	// searches: the per-pass cost grows roughly geometrically in f, so
+	// Σ cum(f) over every f-level can dwarf the final pass several-fold
+	// (measured >10M expansions on fft(3) R=3 against 1.3M states at
+	// the optimum's level). Jumping is sound — a pass at threshold T
+	// explores every prefix with f <= T, so an incumbent at or below T
+	// is still proven optimal — and overshooting the optimum is mild:
+	// once the pass finds a goal, the incumbent prunes the remainder.
+	gap := int64(1)
+	const maxGap = 8
+	for {
+		d.iterations++
+		d.memo.reset()
+		d.minExceed = costUnreached
+		d.recIDA()
+		if d.limitErr != nil {
+			return d.limitErr
+		}
+		if d.bound <= d.threshold {
+			return nil // incumbent proven optimal
+		}
+		if d.minExceed >= d.bound {
+			// Every unexplored branch already costs at least the
+			// incumbent: it is optimal (covers minExceed == unreached,
+			// the exhausted case).
+			return nil
+		}
+		next := d.threshold + gap*int64(d.c.scale)
+		if d.minExceed > next {
+			next = d.minExceed
+		}
+		d.threshold = next
+		if gap < maxGap {
+			gap *= 2
+		}
+	}
+}
+
+// recIDA is one IDA* recursion step. Returns false on budget
+// exhaustion.
+func (d *dfsSearch) recIDA() bool {
+	if d.limitErr != nil {
+		return false
+	}
+	st, c := d.st, d.c
+	cost := st.Cost().Scaled(d.p.Model)
+	if cost >= d.bound {
+		return true
+	}
+	if st.Complete() {
+		d.bound = cost
+		d.bestMoves = append([]pebble.Move(nil), d.moves...)
+		return true
+	}
+	if st.Steps() >= d.maxDepth {
+		return true
+	}
+	c.keyBuf = st.AppendPacked(c.keyBuf[:0])
+	hash := hashKey(c.keyBuf)
+	ref, _ := d.memo.lookupOrAdd(c.keyBuf, hash)
+	if d.memo.best[ref] <= cost {
+		return true // reached at least as cheaply this pass
+	}
+	href, h := d.cachedH(hash)
+	f := cost + h
+	if f >= d.bound {
+		return true
+	}
+	if f > d.threshold {
+		if f < d.minExceed {
+			d.minExceed = f
+		}
+		return true
+	}
+	if d.visitLimited() {
+		return false
+	}
+	d.memo.best[ref] = cost
+
+	// Generate this level's moves above the caller's live prefix;
+	// deeper levels append beyond end and truncate back. Zero-cost
+	// moves recurse first (see orderMovesForDFS): reaching a state
+	// through a cheap prefix the first time avoids the re-expansion
+	// cascade when a cheaper path finds it later.
+	base := len(c.moveBuf)
+	c.appendMoves(st, c.keyBuf)
+	orderMovesForDFS(c, c.moveBuf[base:])
+	end := len(c.moveBuf)
+	ok := true
+	for i := base; i < end; i++ {
+		m := c.moveBuf[i]
+		undo, err := st.ApplyForUndo(m)
+		if err != nil {
+			panic("solve: appendMoves emitted illegal move: " + err.Error())
+		}
+		d.moves = append(d.moves, m)
+		ok = d.recIDA()
+		d.moves = d.moves[:len(d.moves)-1]
+		st.Undo(undo)
+		if !ok {
+			break
+		}
+	}
+	c.moveBuf = c.moveBuf[:base]
+	if ok {
+		// Subtree exhausted: every completion from this state now
+		// provably costs at least min(threshold+1, incumbent). Raise the
+		// state's effective bound so later entries — this pass at higher
+		// cost, or any future pass — prune without re-walking the
+		// subtree. This transposition learning is what tames IDA*'s
+		// re-expansion cascades on graphs with many equal-state paths.
+		learned := d.threshold + 1
+		if d.bound < learned {
+			learned = d.bound
+		}
+		if rem := learned - cost; rem > d.hcache.best[href] {
+			d.hcache.best[href] = rem
+		}
+	}
+	return ok
+}
+
+// orderMovesForDFS stably partitions a generated move segment so that
+// zero-cost moves (computes, and deletes outside compcost) come first.
+// Depth-first search first reaches most states through the prefix order
+// it happens to try; putting free moves first makes that first reach
+// near-cheapest, which slashes the re-expansion cascades triggered when
+// a state is later reached more cheaply.
+func orderMovesForDFS(c *searchCtx, moves []pebble.Move) {
+	w := 0
+	for i, m := range moves {
+		if c.moveCost(m) == 0 {
+			if i != w {
+				moves[i], moves[w] = moves[w], moves[i]
 			}
-			moves = append(moves, m)
-			ok = rec()
-			moves = moves[:len(moves)-1]
-			st.Undo(undo)
-			if !ok {
-				break
-			}
+			w++
 		}
-		c.moveBuf = c.moveBuf[:base]
-		return ok
 	}
-	rec()
-	if limitErr != nil {
-		return Solution{}, limitErr
+}
+
+// branchAndBound is the PR 1 depth-first branch and bound: a single
+// pass pruned only against the incumbent (cost + h >= bound), with the
+// memo keyed on best entry cost.
+func (d *dfsSearch) branchAndBound() error {
+	d.iterations = 1
+	d.recBnB()
+	return d.limitErr
+}
+
+// recBnB is one branch-and-bound recursion step. Returns false on
+// budget exhaustion.
+func (d *dfsSearch) recBnB() bool {
+	if d.limitErr != nil {
+		return false
 	}
-	if bestMoves == nil {
-		return Solution{}, errors.New("solve: DFS found no complete pebbling (infeasible instance?)")
+	st, c := d.st, d.c
+	cost := st.Cost().Scaled(d.p.Model)
+	if cost >= d.bound {
+		return true
 	}
-	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: bestMoves}
-	return verify(p, tr), nil
+	if st.Complete() {
+		d.bound = cost
+		d.bestMoves = append([]pebble.Move(nil), d.moves...)
+		return true
+	}
+	if st.Steps() >= d.maxDepth {
+		return true
+	}
+	c.keyBuf = st.AppendPacked(c.keyBuf[:0])
+	hash := hashKey(c.keyBuf)
+	ref, _ := d.memo.lookupOrAdd(c.keyBuf, hash)
+	if d.memo.best[ref] <= cost {
+		return true
+	}
+	_, h := d.cachedH(hash)
+	if cost+h >= d.bound {
+		return true // no completion from here can beat the incumbent (or dead)
+	}
+	if d.visitLimited() {
+		return false
+	}
+	d.memo.best[ref] = cost
+
+	base := len(c.moveBuf)
+	c.appendMoves(st, c.keyBuf)
+	orderMovesForDFS(c, c.moveBuf[base:])
+	end := len(c.moveBuf)
+	ok := true
+	for i := base; i < end; i++ {
+		m := c.moveBuf[i]
+		undo, err := st.ApplyForUndo(m)
+		if err != nil {
+			panic("solve: appendMoves emitted illegal move: " + err.Error())
+		}
+		d.moves = append(d.moves, m)
+		ok = d.recBnB()
+		d.moves = d.moves[:len(d.moves)-1]
+		st.Undo(undo)
+		if !ok {
+			break
+		}
+	}
+	c.moveBuf = c.moveBuf[:base]
+	return ok
 }

@@ -33,6 +33,11 @@ type ExactOptions struct {
 	// identical to the sequential search; only the witness trace may
 	// differ. Values <= 1 run the sequential search.
 	Parallel int
+	// ParallelAlgo selects the parallel engine. The zero value is
+	// ParallelAsyncHDA (asynchronous HDA*-style search, the fastest);
+	// ParallelSyncRounds keeps the synchronous-rounds expander as an
+	// ablation reference. Ignored unless Parallel > 1.
+	ParallelAlgo ParallelAlgo
 	// Stats, when non-nil, receives search counters (states expanded,
 	// pushed, distinct) after the solve, successful or not.
 	Stats *ExactStats
@@ -90,9 +95,39 @@ func Exact(p Problem, opts ExactOptions) (Solution, error) {
 		return verify(p, tr), nil
 	}
 	if opts.Parallel > 1 {
-		return exactParallel(p, opts, start, maxStates)
+		if opts.ParallelAlgo == ParallelSyncRounds {
+			return exactParallel(p, opts, start, maxStates)
+		}
+		return exactAsync(p, opts, start, maxStates)
 	}
 	return exactSerial(p, opts, start, maxStates)
+}
+
+// ParallelAlgo enumerates the parallel expansion engines of Exact.
+type ParallelAlgo int
+
+const (
+	// ParallelAsyncHDA (the zero value) is the asynchronous HDA*-style
+	// engine: shard owners pull proposals from per-edge mailboxes and
+	// expand continuously, with counting-based distributed termination
+	// detection instead of global round barriers (see async.go).
+	ParallelAsyncHDA ParallelAlgo = iota
+	// ParallelSyncRounds is the synchronous-rounds engine (expand and
+	// relax phases separated by global barriers; see parallel.go). Kept
+	// as the ablation baseline for the async engine.
+	ParallelSyncRounds
+)
+
+// String names the parallel engine.
+func (a ParallelAlgo) String() string {
+	switch a {
+	case ParallelAsyncHDA:
+		return "async-hda"
+	case ParallelSyncRounds:
+		return "sync-rounds"
+	default:
+		return "ParallelAlgo(?)"
+	}
 }
 
 // searchCtx bundles the scratch structures of one sequential search (or

@@ -12,15 +12,24 @@ import (
 type Heuristic int
 
 const (
-	// HeuristicAuto (the zero value) enables the admissible model-aware
-	// lower bound; it behaves exactly like HeuristicLowerBound.
+	// HeuristicAuto (the zero value) enables the strongest admissible
+	// model-aware lower bound; it behaves exactly like
+	// HeuristicSPartition.
 	HeuristicAuto Heuristic = iota
 	// HeuristicOff disables the lower bound entirely: Exact degenerates
 	// to plain uniform-cost search (Dijkstra), the original behavior.
 	// Useful for ablations and as the reference in admissibility tests.
 	HeuristicOff
-	// HeuristicLowerBound forces the admissible lower bound on.
+	// HeuristicLowerBound is the single-certificate lower bound
+	// (mustCompute closure + forced transfers + the best one capacity
+	// certificate). Kept as the ablation reference for the S-partition
+	// packing bound.
 	HeuristicLowerBound
+	// HeuristicSPartition strengthens HeuristicLowerBound with a
+	// Hong-Kung-style S-partition term: instead of the single best
+	// capacity certificate it packs certificates with disjoint live
+	// shells and sums their forced transfers (see spartition.go).
+	HeuristicSPartition
 )
 
 // String names the heuristic mode.
@@ -32,6 +41,8 @@ func (h Heuristic) String() string {
 		return "off"
 	case HeuristicLowerBound:
 		return "lower-bound"
+	case HeuristicSPartition:
+		return "s-partition"
 	default:
 		return "Heuristic(?)"
 	}
@@ -65,6 +76,7 @@ func (h Heuristic) String() string {
 type lowerBound struct {
 	p        Problem
 	enabled  bool
+	spart    bool // S-partition packing over disjoint certificates (vs. single best)
 	oneshot  bool
 	scale    int64 // scaled cost of one transfer (EpsDenom under compcost, else 1)
 	compCost int64 // scaled cost of one compute (1 under compcost, else 0)
@@ -74,6 +86,18 @@ type lowerBound struct {
 	counted     *bitset.Set // blue nodes already counted as forced loads
 	stack       []int32
 	cands       []capCandidate
+	pairs       []pairConstraint
+
+	// S-partition scratch (see spartition.go): the charged-value set of
+	// the packing pass.
+	charged *bitset.Set
+
+	// Arrival-term tables (see spartition.go): fullMaxIn[v] >= 0 marks v
+	// as a full event (indeg = R-1) and holds the largest static
+	// neighborhood overlap |N[v] ∩ N[u]| over all other full events u;
+	// arrUnion is the event-neighborhood scratch set.
+	fullMaxIn []int32
+	arrUnion  *bitset.Set
 }
 
 // capMaxN bounds the graph size for which the capacity-term candidates
@@ -105,6 +129,7 @@ func newLowerBound(p Problem, mode Heuristic, start *pebble.State) *lowerBound {
 	lb := &lowerBound{
 		p:       p,
 		enabled: mode != HeuristicOff,
+		spart:   mode == HeuristicAuto || mode == HeuristicSPartition,
 		oneshot: p.Model.Kind == pebble.Oneshot,
 		scale:   1,
 		sinks:   p.G.Sinks(),
@@ -117,6 +142,9 @@ func newLowerBound(p Problem, mode Heuristic, start *pebble.State) *lowerBound {
 		lb.mustCompute = bitset.New(p.G.N())
 		lb.counted = bitset.New(p.G.N())
 		lb.buildCapCandidates(start)
+		if lb.spart {
+			lb.charged = bitset.New(p.G.N())
+		}
 	}
 	return lb
 }
@@ -130,6 +158,12 @@ func (lb *lowerBound) cloneScratch() *lowerBound {
 		c.mustCompute = bitset.New(lb.p.G.N())
 		c.counted = bitset.New(lb.p.G.N())
 		c.stack = nil
+		if lb.spart {
+			c.charged = bitset.New(lb.p.G.N())
+		}
+		if lb.arrUnion != nil {
+			c.arrUnion = bitset.New(lb.p.G.N())
+		}
 	}
 	return &c
 }
@@ -144,7 +178,7 @@ func (lb *lowerBound) estimate(st *pebble.State) (int64, bool) {
 	}
 	g := lb.p.G
 	conv := lb.p.Convention
-	var h int64
+	var ht, hc int64 // transfer and compute components
 	lb.mustCompute.Reset()
 	lb.counted.Reset()
 	lb.stack = lb.stack[:0]
@@ -153,7 +187,7 @@ func (lb *lowerBound) estimate(st *pebble.State) (int64, bool) {
 			if st.IsBlue(s) {
 				continue
 			}
-			h += lb.scale // one Store onto s is still needed
+			ht += lb.scale // one Store onto s is still needed
 		} else if st.HasPebble(s) {
 			continue
 		}
@@ -172,7 +206,7 @@ func (lb *lowerBound) estimate(st *pebble.State) (int64, bool) {
 		if conv.SourcesStartBlue && g.IsSource(v) {
 			return 0, true // sources are not computable: unwinnable
 		}
-		h += lb.compCost
+		hc += lb.compCost
 		for _, u := range g.Preds(v) {
 			ui := int(u)
 			if st.IsRed(u) {
@@ -181,7 +215,7 @@ func (lb *lowerBound) estimate(st *pebble.State) (int64, bool) {
 			if st.IsBlue(u) {
 				if lb.loadForced(u) && !lb.counted.Get(ui) {
 					lb.counted.Set(ui)
-					h += lb.scale
+					ht += lb.scale
 				}
 				continue
 			}
@@ -191,8 +225,17 @@ func (lb *lowerBound) estimate(st *pebble.State) (int64, bool) {
 			}
 		}
 	}
-	h += lb.capacityTerm(st)
-	return h, false
+	if lb.spart {
+		ht += lb.spartitionTerm(st)
+		// The arrival term counts transfers globally, overlapping the
+		// per-node terms above, so the two combine by max, not sum.
+		if ta := lb.arrivalTerm(st); ta > ht {
+			ht = ta
+		}
+	} else {
+		ht += lb.capacityTerm(st)
+	}
+	return hc + ht, false
 }
 
 // capacityTerm adds the oneshot capacity bound: pick the still-pending
@@ -220,19 +263,11 @@ func (lb *lowerBound) capacityTerm(st *pebble.State) int64 {
 		fl, curBlue := 0, 0
 		for i := range cd.shell {
 			cu := &cd.shell[i]
-			u := dag.NodeID(cu.u)
-			// Value must exist before w's compute: it exists now (pebble
-			// or computed) or is an ancestor of w that must be computed.
-			if !(st.HasPebble(u) || st.WasComputed(u) ||
-				(cu.anc && lb.mustCompute.Get(int(cu.u)))) {
-				continue
-			}
-			// ... and must be consumed after it.
-			if !cu.useMask.Intersects(lb.mustCompute) {
+			if !lb.liveUse(st, cu) {
 				continue
 			}
 			fl++
-			if st.IsBlue(u) {
+			if st.IsBlue(dag.NodeID(cu.u)) {
 				curBlue++ // may sit blue through the event for free
 			}
 		}
@@ -241,6 +276,21 @@ func (lb *lowerBound) capacityTerm(st *pebble.State) int64 {
 		}
 	}
 	return 2 * lb.scale * int64(best)
+}
+
+// liveUse reports whether shell value cu is live for its candidate event
+// in state st: the value must exist before the event's compute — it
+// holds a pebble now, was computed already, or is an uncomputed ancestor
+// of the event that must be computed before it — and must be consumed
+// after the event (it has an uncomputed successor inside the event's
+// descendant cone).
+func (lb *lowerBound) liveUse(st *pebble.State, cu *capUse) bool {
+	u := dag.NodeID(cu.u)
+	if !(st.HasPebble(u) || st.WasComputed(u) ||
+		(cu.anc && lb.mustCompute.Get(int(cu.u)))) {
+		return false
+	}
+	return cu.useMask.Intersects(lb.mustCompute)
 }
 
 // buildCapCandidates precomputes the capacity-term candidates for the
@@ -254,9 +304,8 @@ func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
 	if !lb.oneshot || n == 0 || n > capMaxN {
 		return
 	}
-	order, err := g.TopoOrder()
-	if err != nil {
-		return
+	if lb.spart {
+		lb.buildArrivalTables()
 	}
 	// needed0: nodes bare at the start that must be computed (the
 	// initial mustCompute). Future mustCompute sets only shrink toward
@@ -267,24 +316,9 @@ func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
 	}
 	needed0 := lb.mustCompute.Clone()
 
-	anc := make([]*bitset.Set, n)
-	desc := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		anc[v] = bitset.New(n)
-		desc[v] = bitset.New(n)
-	}
-	for _, v := range order {
-		for _, u := range g.Preds(v) {
-			anc[v].Or(anc[u])
-			anc[v].Set(int(u))
-		}
-	}
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		for _, x := range g.Succs(v) {
-			desc[v].Or(desc[x])
-			desc[v].Set(int(x))
-		}
+	reach := pebble.NewReach(g)
+	if reach == nil {
+		return
 	}
 
 	isPred := make([]bool, n)
@@ -304,7 +338,8 @@ func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
 		}
 		var shell []capUse
 		seen := bitset.New(n)
-		desc[wi].ForEach(func(x int) bool {
+		desc := reach.Desc(w)
+		desc.ForEach(func(x int) bool {
 			if !needed0.Get(x) {
 				return true
 			}
@@ -316,11 +351,11 @@ func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
 				seen.Set(ui)
 				use := bitset.New(n)
 				for _, s := range g.Succs(u) {
-					if needed0.Get(int(s)) && desc[wi].Get(int(s)) {
+					if needed0.Get(int(s)) && desc.Get(int(s)) {
 						use.Set(int(s))
 					}
 				}
-				shell = append(shell, capUse{u: int32(ui), anc: anc[wi].Get(ui), useMask: use})
+				shell = append(shell, capUse{u: int32(ui), anc: reach.Anc(w).Get(ui), useMask: use})
 			}
 			return true
 		})
@@ -337,9 +372,16 @@ func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
 		}
 		return all[i].cand.w < all[j].cand.w
 	})
+	// Both tiers keep the same candidate budget: the packing pass walks
+	// every certificate per estimate, so a wider pool buys little bound
+	// and costs the hot path (the S-partition tier's strength on the
+	// R = Δ+1 instances comes from the pair and arrival certificates).
 	const maxCands = 16
 	for i := 0; i < len(all) && i < maxCands; i++ {
 		lb.cands = append(lb.cands, all[i].cand)
+	}
+	if lb.spart {
+		lb.buildPairConstraints(needed0)
 	}
 }
 

@@ -48,6 +48,7 @@ type parNode struct {
 type proposal struct {
 	hash       uint64
 	g          int64
+	srcShard   int32 // shard owning the parent node (used by the async engine)
 	parentNode int32
 	move       pebble.Move
 }
@@ -177,22 +178,11 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 
 	report()
 	// Reconstruct the incumbent's move chain across shard node logs.
-	var rev []pebble.Move
-	s, n := incShard, incNode
-	for {
-		nd := workers[s].nodes[n]
-		if nd.parentShard < 0 {
-			break
-		}
-		rev = append(rev, nd.move)
-		s, n = nd.parentShard, nd.parentNode
+	logs := make([][]parNode, nw)
+	for i, w := range workers {
+		logs[i] = w.nodes
 	}
-	moves := make([]pebble.Move, len(rev))
-	for i := range rev {
-		moves[i] = rev[len(rev)-1-i]
-	}
-	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: moves}
-	return verify(p, tr), nil
+	return shardTrace(p, logs, incShard, incNode), nil
 }
 
 // expandBatch pops up to parBatch fresh entries from this shard's open

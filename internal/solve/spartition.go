@@ -1,0 +1,361 @@
+package solve
+
+import (
+	"rbpebble/internal/bitset"
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+)
+
+// S-partition packing term (HeuristicSPartition / HeuristicAuto).
+//
+// The single-certificate capacity bound (capacityTerm) picks the one
+// pending compute event whose live values overflow its spare red slots
+// the most and charges 2 transfers per overflow value. Hong and Kung's
+// S-partition argument says more: the remaining computation decomposes
+// into segments, and EVERY segment whose dominator set overflows the
+// red capacity forces its own transfers. This file realizes that as a
+// packing over the precomputed capacity certificates: certificates
+// whose live shells are disjoint constrain disjoint sets of values, so
+// their overflow charges add.
+//
+// Soundness of the summation (the disjoint-charging argument): let X be
+// the set of nodes that receive at least one future Store and one
+// future Load in some fixed optimal completion from the current state.
+// For a pending event w with live shell L(w) (values that must exist
+// before w's compute and be consumed after it), at w's compute moment
+// at most slots(w) = R - indeg(w) - 1 of those values can sit in spare
+// red slots and the currently-blue ones can sit blue for free; every
+// other live value must cross to blue and back, so
+//
+//	|X ∩ L(w)|  >=  |L(w)| - slots(w) - blue(L(w)).
+//
+// Process certificates greedily, keeping a set C of already-charged
+// values; for the next certificate count only eligible values L'(w) =
+// L(w) \ C. Charged values already in C could at worst occupy w's spare
+// red slots or blue positions — which only makes MORE eligible values
+// overflow — so
+//
+//	|X ∩ (L(w) \ C)|  >=  |L'(w)| - slots(w) - blue(L'(w))
+//
+// still holds. After counting, all of L'(w) joins C, so the regions
+// L'(w_1), L'(w_2), ... are pairwise disjoint subsets of X and the
+// per-certificate overflows sum to a lower bound on |X|. Each node of X
+// pays 2 transfers on distinct nodes, disjoint from the forced-load
+// term (those nodes are currently blue; live overflow values are not)
+// and from the forced-store term (shell values have successors, sinks
+// do not). Total: 2·scale·Σ overflow — and since the largest-overflow
+// certificate is processed first, the packing never falls below the
+// single-certificate bound.
+
+// pairConstraint is the second certificate family of the S-partition
+// tier, aimed at the R = Δ+1 regime where every full-indegree compute
+// event pins the entire red set. It is precomputed statically for a
+// value u feeding two full events v1, v2 (indeg = R-1, both initially
+// needed):
+//
+// In oneshot, consider any completion that still has to compute v1 and
+// v2, say v1 first. At v1's moment the red set is exactly
+// preds(v1) ∪ {v1}, so no value of b12 = preds(v2) \ (preds(v1) ∪ {v1})
+// is red then; each must arrive at v2's moment by a later load or
+// compute. Three cases, assuming (statically checked) every b-value has
+// full indegree and is not a successor of u:
+//
+//   - some b-value is computed between the two events: its event's red
+//     set excludes u, so u is evicted while its value is still needed
+//     at v2 — u pays a future Store and a future Load (recompute is
+//     banned in oneshot);
+//   - some b-value arrives by load only: its value must already sit
+//     blue, and since no b-value is currently blue (checked
+//     dynamically), both its Store and its Load lie in the future;
+//   - likewise when a b-value was computed before v1's moment: it
+//     cannot be red at v1 (the red set is full), so it crosses through
+//     blue — future Store + Load.
+//
+// Either way ≥2 future transfers land on cset = {u} ∪ b12 ∪ b21 (the
+// b21 set covers the opposite order), and none of them coincides with a
+// Load counted by the forced-load term: a Load pebble is consumed by
+// the move (blue does not persist), so even a currently-blue u that is
+// evicted between the two events needs a fresh future Store + Load
+// beyond its counted first Load. The constraint is skipped when any
+// b-value is currently blue (its Load is then the counted one and its
+// Store lies in the past, so no extra transfer is guaranteed). Charged
+// values have successors, so they are never sinks and stay disjoint
+// from the forced-store term; disjointness among summed certificates is
+// enforced by the shared charged set in spartitionTerm.
+type pairConstraint struct {
+	u      int32
+	v1, v2 int32
+	cset   []int32 // u first, then the b12 ∪ b21 values
+}
+
+// maxPairs caps the precomputed pair-constraint pool.
+const maxPairs = 512
+
+// buildPairConstraints precomputes the pair certificates (S-partition
+// tier, oneshot, small graphs — called from buildCapCandidates under
+// the same gates). needed0 is the initially-needed set.
+func (lb *lowerBound) buildPairConstraints(needed0 *bitset.Set) {
+	g := lb.p.G
+	full := func(v dag.NodeID) bool { return g.InDegree(v) == lb.p.R-1 }
+	for ui := 0; ui < g.N(); ui++ {
+		u := dag.NodeID(ui)
+		succs := g.Succs(u)
+		for i := 0; i < len(succs); i++ {
+			v1 := succs[i]
+			if !needed0.Get(int(v1)) || !full(v1) {
+				continue
+			}
+			for j := i + 1; j < len(succs); j++ {
+				v2 := succs[j]
+				if !needed0.Get(int(v2)) || !full(v2) {
+					continue
+				}
+				// b-set for the order va-before-vb: preds(vb) outside
+				// N[va]. Every b-value must itself be a full event that
+				// does not consume u, or the eviction case breaks.
+				addB := func(cset []int32, va, vb dag.NodeID) ([]int32, bool) {
+					n := 0
+					for _, x := range g.Preds(vb) {
+						if x == u || x == va || hasPred(g, va, x) {
+							continue
+						}
+						if !full(x) || hasPred(g, x, u) {
+							return cset, false
+						}
+						n++
+						cset = appendUnique(cset, int32(x))
+					}
+					return cset, n > 0
+				}
+				cset := []int32{int32(ui)}
+				var ok bool
+				if cset, ok = addB(cset, v1, v2); !ok {
+					continue
+				}
+				if cset, ok = addB(cset, v2, v1); !ok {
+					continue
+				}
+				lb.pairs = append(lb.pairs, pairConstraint{
+					u: int32(ui), v1: int32(v1), v2: int32(v2), cset: cset,
+				})
+				if len(lb.pairs) >= maxPairs {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Arrival term. At a full event (a compute of a node with
+// indeg = R-1), the red set is pinned to exactly N[v] = preds(v) ∪ {v}.
+// Order the pending full events by their future compute times
+// v_1, ..., v_k (other moves, and computes of non-needed full events,
+// may fall in between). For i >= 2, no node of N[v_i] was red at the
+// moment of the full event immediately preceding v_i unless it lies in
+// that event's neighborhood, so at least R - maxIn(v_i) nodes must
+// freshly ARRIVE — by a Compute or a Load — in the half-open interval
+// ending at v_i's moment, where maxIn(v_i) is the largest static
+// overlap |N[v_i] ∩ N[u]| over all full events u (a superset of the
+// pending ones, so the allowance is conservative). The intervals are
+// disjoint and the arriving nodes per event are distinct, so the
+// arrival moves are all distinct. Summing and dropping the largest
+// contribution (for the unknown first event, whose reds are
+// unconstrained) gives A total arrivals. In oneshot each node computes
+// at most once, so Computes cover at most U = #uncomputed nodes among
+// the event neighborhoods; the remaining A - U arrivals are Loads, and
+// each Load consumes a blue pebble, of which only B = #currently-blue
+// neighborhood nodes exist without a future Store. Hence
+//
+//	future Loads  >= A - U
+//	future Stores >= A - U - B.
+//
+// The term is admissible on its own but counts the same Loads the
+// forced-load and packing terms count, so estimate combines it with
+// them by max, never by sum.
+
+// buildArrivalTables precomputes the full-event marks and their static
+// neighborhood overlaps (oneshot, small graphs).
+func (lb *lowerBound) buildArrivalTables() {
+	g := lb.p.G
+	n := g.N()
+	lb.fullMaxIn = make([]int32, n)
+	var events []dag.NodeID
+	for v := 0; v < n; v++ {
+		if g.InDegree(dag.NodeID(v)) == lb.p.R-1 {
+			lb.fullMaxIn[v] = 0
+			events = append(events, dag.NodeID(v))
+		} else {
+			lb.fullMaxIn[v] = -1
+		}
+	}
+	if len(events) < 2 {
+		lb.fullMaxIn = nil
+		return
+	}
+	inN := make([]bool, n)
+	for _, v := range events {
+		for _, p := range g.Preds(v) {
+			inN[p] = true
+		}
+		inN[v] = true
+		for _, u := range events {
+			if u == v {
+				continue
+			}
+			ov := int32(0)
+			if inN[u] {
+				ov++
+			}
+			for _, p := range g.Preds(u) {
+				if inN[p] {
+					ov++
+				}
+			}
+			if ov > lb.fullMaxIn[v] {
+				lb.fullMaxIn[v] = ov
+			}
+		}
+		for _, p := range g.Preds(v) {
+			inN[p] = false
+		}
+		inN[v] = false
+	}
+	lb.arrUnion = bitset.New(n)
+}
+
+// arrivalTerm returns the arrival lower bound on remaining transfers
+// from st in scaled cost units (0 when the tables are not built).
+func (lb *lowerBound) arrivalTerm(st *pebble.State) int64 {
+	if lb.fullMaxIn == nil {
+		return 0
+	}
+	g := lb.p.G
+	sum, maxContrib, events := 0, 0, 0
+	lb.arrUnion.Reset()
+	lb.mustCompute.ForEach(func(vi int) bool {
+		mi := lb.fullMaxIn[vi]
+		if mi < 0 {
+			return true
+		}
+		events++
+		if c := lb.p.R - int(mi); c > 0 {
+			sum += c
+			if c > maxContrib {
+				maxContrib = c
+			}
+		}
+		lb.arrUnion.Set(vi)
+		for _, p := range g.Preds(dag.NodeID(vi)) {
+			lb.arrUnion.Set(int(p))
+		}
+		return true
+	})
+	if events < 2 {
+		return 0
+	}
+	a := sum - maxContrib
+	uncomputed, blue := 0, 0
+	lb.arrUnion.ForEach(func(x int) bool {
+		v := dag.NodeID(x)
+		if !st.WasComputed(v) {
+			uncomputed++
+		}
+		if st.IsBlue(v) {
+			blue++
+		}
+		return true
+	})
+	loads := a - uncomputed
+	if loads <= 0 {
+		return 0
+	}
+	stores := loads - blue
+	if stores < 0 {
+		stores = 0
+	}
+	return lb.scale * int64(loads+stores)
+}
+
+// hasPred reports whether p is a direct predecessor of v.
+func hasPred(g *dag.DAG, v, p dag.NodeID) bool {
+	for _, x := range g.Preds(v) {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(s []int32, x int32) []int32 {
+	for _, y := range s {
+		if y == x {
+			return s
+		}
+	}
+	return append(s, x)
+}
+
+// spartitionTerm returns the packed certificate charge for st in
+// scaled cost units: pair constraints first (2 transfers each), then
+// the capacity certificates on the residual uncharged values.
+// Allocation-free: the order/overflow slices and the charged set are
+// reused scratch on the lowerBound.
+func (lb *lowerBound) spartitionTerm(st *pebble.State) int64 {
+	if len(lb.cands) == 0 && len(lb.pairs) == 0 {
+		return 0
+	}
+	lb.charged.Reset()
+	total := 0
+	for pi := range lb.pairs {
+		pc := &lb.pairs[pi]
+		if !lb.mustCompute.Get(int(pc.v1)) || !lb.mustCompute.Get(int(pc.v2)) {
+			continue // an event is gone: the separation argument is void
+		}
+		ok := true
+		for ci, x := range pc.cset {
+			if lb.charged.Get(int(x)) || (ci > 0 && st.IsBlue(dag.NodeID(x))) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		total += 2
+		for _, x := range pc.cset {
+			lb.charged.Set(int(x))
+		}
+	}
+	// Disjoint charging of the capacity certificates on top of the pair
+	// charges, processed in their static score order (the precompute
+	// sorts by overflow potential, so the strongest shells charge
+	// first): count each certificate over values not yet charged, add
+	// its residual overflow, and charge its whole eligible live shell.
+	for ci := range lb.cands {
+		cd := &lb.cands[ci]
+		if !lb.mustCompute.Get(int(cd.w)) {
+			continue // event already computed (or not needed): it is gone
+		}
+		fl, curBlue := 0, 0
+		for i := range cd.shell {
+			cu := &cd.shell[i]
+			if lb.charged.Get(int(cu.u)) || !lb.liveUse(st, cu) {
+				continue
+			}
+			fl++
+			if st.IsBlue(dag.NodeID(cu.u)) {
+				curBlue++
+			}
+		}
+		if b := fl - cd.slots - curBlue; b > 0 {
+			total += 2 * b
+			for i := range cd.shell {
+				cu := &cd.shell[i]
+				if !lb.charged.Get(int(cu.u)) && lb.liveUse(st, cu) {
+					lb.charged.Set(int(cu.u))
+				}
+			}
+		}
+	}
+	return lb.scale * int64(total)
+}

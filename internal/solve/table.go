@@ -68,6 +68,15 @@ func newStateTable(kw, hintStates int) *stateTable {
 // count returns the number of distinct states stored.
 func (t *stateTable) count() int { return len(t.best) }
 
+// reset empties the table while keeping its capacity, so iterative
+// searches (IDA* re-runs the memo once per threshold) reuse the slots,
+// arena and cost arrays instead of reallocating them.
+func (t *stateTable) reset() {
+	clear(t.slots)
+	t.arena = t.arena[:0]
+	t.best = t.best[:0]
+}
+
 // key returns the packed key of state ref (a view into the arena).
 func (t *stateTable) key(ref int32) pebble.PackedKey {
 	return pebble.PackedKey(t.arena[int(ref)*t.kw : (int(ref)+1)*t.kw])

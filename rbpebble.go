@@ -159,15 +159,24 @@ type (
 	// Solution is a solver output with its verified result.
 	Solution = solve.Solution
 	// ExactOptions configures the exact solver: state budget
-	// (MaxStates), A* lower bound (Heuristic), hash-sharded parallel
-	// expansion (Parallel), search counters (Stats) and the dominance
-	// pruning ablation switch (DisablePruning).
+	// (MaxStates), A* lower-bound tier (Heuristic: S-partition by
+	// default), hash-sharded parallel expansion (Parallel workers,
+	// ParallelAlgo engine — async HDA* by default, synchronous rounds
+	// for ablation), search counters (Stats) and the dominance pruning
+	// ablation switch (DisablePruning).
 	ExactOptions = solve.ExactOptions
 	// ExactStats reports search-effort counters from one Exact run
 	// (states expanded, open-list pushes, distinct states reached).
 	ExactStats = solve.ExactStats
-	// Heuristic selects the exact solver's A* lower bound mode.
+	// Heuristic selects the exact solver's A* lower bound tier.
 	Heuristic = solve.Heuristic
+	// ParallelAlgo selects the parallel expansion engine of Exact.
+	ParallelAlgo = solve.ParallelAlgo
+	// DFSAlgorithm selects the depth-first exact solver's scheme.
+	DFSAlgorithm = solve.DFSAlgorithm
+	// ExactDFSStats reports search effort and bound progress from one
+	// ExactDFS run (also populated alongside ErrVisitLimit).
+	ExactDFSStats = solve.ExactDFSStats
 	// PackedKey is the packed []uint64 encoding of a pebbling position
 	// (State.AppendPacked/RestorePacked), the representation the exact
 	// solvers key their visited tables on.
@@ -191,21 +200,45 @@ const (
 	RedRatio         = solve.RedRatio
 )
 
-// Exact-solver heuristic modes. HeuristicAuto (the zero value) enables
-// the admissible model-aware lower bound; HeuristicOff reverts to plain
-// Dijkstra. The proven optimal cost is identical either way.
+// Exact-solver heuristic tiers. HeuristicAuto (the zero value) enables
+// the strongest admissible bound (the Hong-Kung-style S-partition
+// packing); HeuristicLowerBound is the single-certificate bound kept
+// for ablation; HeuristicOff reverts to plain Dijkstra. The proven
+// optimal cost is identical in every tier.
 const (
 	HeuristicAuto       = solve.HeuristicAuto
 	HeuristicOff        = solve.HeuristicOff
 	HeuristicLowerBound = solve.HeuristicLowerBound
+	HeuristicSPartition = solve.HeuristicSPartition
+)
+
+// Parallel expansion engines for ExactOptions.ParallelAlgo.
+// ParallelAsyncHDA (the zero value) is the asynchronous HDA*-style
+// engine — per-edge mailboxes, no round barriers, counting-based
+// distributed termination detection; ParallelSyncRounds keeps the
+// synchronous-rounds expander as the ablation baseline.
+const (
+	ParallelAsyncHDA   = solve.ParallelAsyncHDA
+	ParallelSyncRounds = solve.ParallelSyncRounds
+)
+
+// Depth-first solver schemes for ExactDFSOptions.Algorithm. DFSAuto
+// (the zero value) runs iterative-deepening A* on f = g+h;
+// DFSBranchAndBound keeps the plain branch and bound as the ablation
+// baseline.
+const (
+	DFSAuto           = solve.DFSAuto
+	DFSIDAStar        = solve.DFSIDAStar
+	DFSBranchAndBound = solve.DFSBranchAndBound
 )
 
 var (
 	// Exact finds a provably optimal pebbling by best-first state-space
-	// search: A* under an admissible model-aware lower bound (Dijkstra
-	// with ExactOptions.Heuristic = HeuristicOff), over packed states in
-	// an open-addressing table, with optional hash-sharded parallel
-	// expansion (ExactOptions.Parallel).
+	// search: A* under an admissible model-aware lower bound (the
+	// S-partition tier by default; Dijkstra with HeuristicOff), over
+	// packed states in an open-addressing table, with optional
+	// hash-sharded parallel expansion (ExactOptions.Parallel workers,
+	// async HDA* engine unless ParallelSyncRounds is selected).
 	Exact = solve.Exact
 	// OrderOpt finds the oneshot optimum by order enumeration + Belady.
 	OrderOpt = solve.OrderOpt
@@ -219,7 +252,9 @@ var (
 	TopoBelady = solve.TopoBelady
 	// MinVisitOrder solves the minimum-cost visit-order DP (Held-Karp).
 	MinVisitOrder = solve.MinVisitOrder
-	// ExactDFS is the branch-and-bound exact solver (oneshot/nodel).
+	// ExactDFS is the depth-first exact solver (oneshot/nodel):
+	// iterative-deepening A* by default, branch and bound via
+	// ExactDFSOptions.Algorithm.
 	ExactDFS = solve.ExactDFS
 	// RandomOrders samples random topological orders with Belady eviction.
 	RandomOrders = solve.RandomOrders
