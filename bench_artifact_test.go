@@ -1,0 +1,47 @@
+package rbpebble
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestBenchArtifactParses guards the committed machine-readable
+// benchmark artifact: it must parse, carry the core solver rows and the
+// anytime rows, and every row must be internally coherent. CI runs this
+// on every push, so a bad regeneration cannot land silently.
+func TestBenchArtifactParses(t *testing.T) {
+	data, err := os.ReadFile("BENCH_solver.json")
+	if err != nil {
+		t.Fatalf("missing benchmark artifact: %v (regenerate with "+
+			`go test ./internal/solve ./internal/anytime -p 1 -bench . -benchtime 1x -benchjson "$PWD"/BENCH_solver.json)`, err)
+	}
+	var rows []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		UpperScaled int64   `json:"upper_scaled_cost"`
+		LowerScaled int64   `json:"lower_scaled_cost"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("artifact is empty")
+	}
+	hasAnytime := false
+	for _, r := range rows {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("malformed row: %+v", r)
+		}
+		if strings.HasPrefix(r.Name, "BenchmarkAnytime") {
+			hasAnytime = true
+			if r.LowerScaled <= 0 || r.LowerScaled > r.UpperScaled {
+				t.Fatalf("anytime row with incoherent interval: %+v", r)
+			}
+		}
+	}
+	if !hasAnytime {
+		t.Fatal("artifact has no anytime rows")
+	}
+}

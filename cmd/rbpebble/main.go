@@ -9,13 +9,22 @@
 //	rbpebble -graph pyr.dag -model oneshot -r 3 -solver topobelady
 //	rbpebble -graph pyr.dag -model oneshot -r 3 -solver exact -trace out.trace
 //	rbpebble -graph pyr.dag -model compcost -eps 100 -r 3 -solver greedy
+//	rbpebble -graph big.dag -model oneshot -r 4 -deadline 500ms
+//
+// With -deadline the run goes through the anytime orchestrator: on
+// instances too hard to solve exactly in time it prints a certified
+// [lower, upper] interval (plus the incumbent's verified cost) instead
+// of dying on a budget error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"rbpebble/internal/anytime"
 	"rbpebble/internal/dag"
 	"rbpebble/internal/pebble"
 	"rbpebble/internal/solve"
@@ -38,6 +47,7 @@ func main() {
 		heuristic = flag.String("heuristic", "auto", "exact solver lower bound: auto|off|lower-bound|s-partition")
 		dfsAlgo   = flag.String("dfs-algo", "auto", "dfs solver scheme: auto|ida-star|branch-and-bound")
 		maxVisits = flag.Int("maxvisits", 0, "dfs solver visit budget (0 = default)")
+		deadline  = flag.Duration("deadline", 0, "anytime budget: race heuristics and exact engines, print a certified [lower, upper] interval (overrides -solver)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -64,8 +74,26 @@ func main() {
 	}
 
 	var sol solve.Solution
-	switch *solver {
-	case "exact":
+	anytimeInfo := ""
+	switch {
+	case *deadline > 0:
+		res, aerr := anytime.Solve(context.Background(), p, anytime.Options{
+			Budget:  *deadline,
+			Workers: *workers,
+		})
+		if aerr != nil {
+			fatal(aerr)
+		}
+		sol = res.Solution
+		state := "certified interval (deadline hit)"
+		if res.Optimal {
+			state = "proven optimal"
+		}
+		anytimeInfo = fmt.Sprintf("anytime:   [%d, %d] scaled, gap=%.1f%%, %s via %s in %s\n",
+			res.LowerScaled, res.UpperScaled, 100*res.Gap(), state, res.Source,
+			res.Elapsed.Round(time.Millisecond))
+		err = nil
+	case *solver == "exact":
 		h, herr := parseHeuristic(*heuristic)
 		if herr != nil {
 			fatal(herr)
@@ -75,23 +103,23 @@ func main() {
 			opts.ParallelAlgo = solve.ParallelSyncRounds
 		}
 		sol, err = solve.Exact(p, opts)
-	case "dfs":
+	case *solver == "dfs":
 		a, aerr := parseDFSAlgo(*dfsAlgo)
 		if aerr != nil {
 			fatal(aerr)
 		}
 		sol, err = solve.ExactDFS(p, solve.ExactDFSOptions{MaxVisits: *maxVisits, Algorithm: a})
-	case "orderopt":
+	case *solver == "orderopt":
 		sol, err = solve.OrderOpt(p, solve.OrderOptOptions{})
-	case "greedy":
+	case *solver == "greedy":
 		gr, perr := parseRule(*rule)
 		if perr != nil {
 			fatal(perr)
 		}
 		sol, err = solve.Greedy(p, gr)
-	case "topo":
+	case *solver == "topo":
 		sol, err = solve.Topological(p)
-	case "topobelady":
+	case *solver == "topobelady":
 		sol, err = solve.TopoBelady(p)
 	default:
 		fatal(fmt.Errorf("unknown solver %q", *solver))
@@ -103,7 +131,12 @@ func main() {
 	res := sol.Result
 	fmt.Printf("graph:     n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxInDegree())
 	fmt.Printf("problem:   model=%s R=%d\n", model, rr)
-	fmt.Printf("solver:    %s\n", *solver)
+	if anytimeInfo != "" {
+		fmt.Printf("solver:    anytime (deadline %s)\n", *deadline)
+		fmt.Print(anytimeInfo)
+	} else {
+		fmt.Printf("solver:    %s\n", *solver)
+	}
 	fmt.Printf("cost:      %.4f (transfers=%d computes=%d)\n", res.Cost.Value(model), res.Cost.Transfers, res.Cost.Computes)
 	fmt.Printf("steps:     %d (loads=%d stores=%d computes=%d deletes=%d)\n",
 		res.Steps, res.Loads, res.Stores, res.Computes, res.Deletes)

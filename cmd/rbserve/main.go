@@ -1,0 +1,78 @@
+// Command rbserve serves red-blue pebbling solves over HTTP: a JSON API
+// backed by the anytime orchestrator, a canonical instance cache with
+// singleflight deduplication, and a worker-pool job queue for async
+// requests.
+//
+// Usage:
+//
+//	rbserve -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/solve -d '{
+//	    "dag": {"nodes": 3, "edges": [[0,2],[1,2]]},
+//	    "model": "oneshot", "r": 3, "deadline_ms": 1000}'
+//	curl -s localhost:8080/metrics
+//
+// Hard instances return a certified [lower, upper] interval when the
+// deadline fires; repeated and concurrent identical instances (under
+// any node numbering) share one solve through the cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rbpebble/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "async job worker-pool size")
+		queueDepth   = flag.Int("queue", 64, "async job queue depth")
+		cacheSize    = flag.Int("cache", 256, "solution cache entries (LRU)")
+		deadline     = flag.Duration("deadline", 2*time.Second, "default per-request solve budget")
+		maxDeadline  = flag.Duration("max-deadline", 30*time.Second, "largest accepted per-request budget")
+		solveWorkers = flag.Int("solve-workers", 1, "parallel expansion workers inside each exact solve")
+		maxNodes     = flag.Int("max-nodes", 100000, "largest accepted instance")
+	)
+	flag.Parse()
+
+	s := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		SolveWorkers:    *solveWorkers,
+		MaxNodes:        *maxNodes,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("rbserve: listening on %s (deadline=%s cache=%d workers=%d)",
+		*addr, *deadline, *cacheSize, *workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "rbserve:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		log.Printf("rbserve: %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("rbserve: shutdown: %v", err)
+		}
+		s.Close()
+	}
+}

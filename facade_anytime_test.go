@@ -1,0 +1,44 @@
+package rbpebble_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rbpebble"
+)
+
+// TestAnytimeFacade exercises the serving-layer exports end to end:
+// root bound, anytime solve under a deadline, canonical identity.
+func TestAnytimeFacade(t *testing.T) {
+	p := rbpebble.Problem{G: rbpebble.Pyramid(4), Model: rbpebble.NewModel(rbpebble.Oneshot), R: 3}
+	lb, err := rbpebble.RootLowerBound(p, rbpebble.HeuristicAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 {
+		t.Fatalf("root bound = %d", lb)
+	}
+	res, err := rbpebble.Anytime(context.Background(), p, rbpebble.AnytimeOptions{Budget: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.LowerScaled < lb {
+		t.Fatalf("anytime result incoherent: %v (root bound %d)", res, lb)
+	}
+
+	d0, perm := rbpebble.CanonicalDAG(p.G)
+	if len(perm) != p.G.N() {
+		t.Fatalf("perm length %d", len(perm))
+	}
+	d1, _ := rbpebble.CanonicalDAG(rbpebble.Pyramid(4))
+	if d0 != d1 {
+		t.Fatal("canonical digest unstable")
+	}
+
+	s := rbpebble.NewServer(rbpebble.ServiceConfig{})
+	defer s.Close()
+	if s.Handler() == nil {
+		t.Fatal("no handler")
+	}
+}

@@ -1,0 +1,367 @@
+// Package anytime orchestrates the library's solvers under a deadline:
+// it races the cheap upper-bound heuristics (topological+Belady, the
+// greedy rules) against the exact refinement engines (best-first A* and
+// iterative-deepening A*), tracking the best incumbent trace and the
+// best certified lower bound the whole time. When the budget runs out
+// it returns the certified [lower, upper] interval and the incumbent's
+// verified trace instead of an error — the contract a serving system
+// needs on instances where the paper's hardness results make unbounded
+// exact solves impossible.
+//
+// The certificate chain:
+//
+//   - the root S-partition heuristic gives an instant admissible lower
+//     bound before any search runs (solve.RootLowerBound);
+//   - the A* engine raises it continuously (the min f on its open
+//     frontier never exceeds the optimum) and harvests a final frontier
+//     bound when canceled;
+//   - each completed IDA* pass raises it further (a pass at threshold T
+//     that finds nothing cheaper proves no completion below the
+//     smallest f it pruned);
+//   - every upper bound is a replay-verified trace.
+//
+// The upper and lower streams meet exactly when either engine proves
+// optimality; a Result with Gap() == 0 carries a proven optimum.
+package anytime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/solve"
+)
+
+// Options configures one anytime solve.
+type Options struct {
+	// Budget is the wall-clock budget. Zero means no budget: the solve
+	// runs until an exact engine proves optimality (or ctx fires).
+	Budget time.Duration
+	// Workers > 1 expands the best-first engine with that many
+	// hash-sharded async HDA* workers. Note the parallel engine
+	// certifies its frontier bound only at shutdown, while the serial
+	// engine (the default) streams it continuously.
+	Workers int
+	// MaxStates caps the best-first engine's expansions (0 = 1<<40,
+	// effectively unbounded: the deadline is the real budget).
+	MaxStates int
+	// MaxVisits caps the depth-first engine's expansions (0 = 1<<40).
+	MaxVisits int
+	// DisableDFS turns off the IDA* refinement engine (it only runs for
+	// the oneshot and nodel models regardless).
+	DisableDFS bool
+	// OnProgress, when non-nil, receives a snapshot every time the
+	// certified interval tightens (new incumbent or higher lower
+	// bound). Called from solver goroutines; must be fast and safe for
+	// concurrent use.
+	OnProgress func(Snapshot)
+}
+
+// Snapshot is one point of the anytime convergence curve.
+type Snapshot struct {
+	// Elapsed is the time since Solve started.
+	Elapsed time.Duration
+	// UpperScaled and LowerScaled are the certified interval ends in
+	// scaled cost units (see pebble.Cost.Scaled). UpperScaled is
+	// math.MaxInt64 until a first incumbent exists.
+	UpperScaled, LowerScaled int64
+	// Source names what produced this tightening ("root-bound",
+	// "topo-belady", "greedy/most-red-inputs", "astar", "ida*", ...).
+	Source string
+}
+
+// Result is a certified anytime answer.
+type Result struct {
+	// Solution is the best incumbent: a replay-verified trace.
+	Solution solve.Solution
+	// UpperScaled is the incumbent's scaled cost; LowerScaled the best
+	// certified scaled lower bound on the optimum.
+	UpperScaled, LowerScaled int64
+	// Upper and Lower are the same interval in model cost units.
+	Upper, Lower float64
+	// Optimal reports that the interval closed: the incumbent is a
+	// proven optimum.
+	Optimal bool
+	// Source names the strategy that produced the incumbent.
+	Source string
+	// Elapsed is the wall-clock time the solve used.
+	Elapsed time.Duration
+	// Expanded and Visits report the refinement engines' search effort
+	// (best-first expansions, depth-first visits).
+	Expanded, Visits int
+}
+
+// Gap returns the relative optimality gap (upper-lower)/upper of a
+// scaled certified interval: 0 for a proven optimum (and for the
+// degenerate zero-cost optimum).
+func Gap(upperScaled, lowerScaled int64) float64 {
+	if upperScaled <= 0 || upperScaled <= lowerScaled {
+		return 0
+	}
+	return float64(upperScaled-lowerScaled) / float64(upperScaled)
+}
+
+// Gap returns the result's relative optimality gap (see Gap).
+func (r Result) Gap() float64 { return Gap(r.UpperScaled, r.LowerScaled) }
+
+func (r Result) String() string {
+	state := "certified"
+	if r.Optimal {
+		state = "optimal"
+	}
+	return fmt.Sprintf("anytime: [%d, %d] gap=%.1f%% %s via %s in %s",
+		r.LowerScaled, r.UpperScaled, 100*r.Gap(), state, r.Source, r.Elapsed.Round(time.Millisecond))
+}
+
+// unbounded is the effective search budget when only the deadline
+// should stop an engine.
+const unbounded = 1 << 40
+
+// collector accumulates the certified interval across phases and
+// engines, emitting a snapshot whenever it tightens.
+type collector struct {
+	p     solve.Problem
+	start time.Time
+	onP   func(Snapshot)
+
+	mu     sync.Mutex
+	upper  int64
+	lower  int64
+	best   solve.Solution
+	source string
+	found  bool
+}
+
+// snapshotLocked captures the current interval; the caller emits it
+// after releasing the lock (the callback may be arbitrarily slow, and
+// emitting outside the lock keeps solver goroutines from serializing on
+// it while preserving per-goroutine ordering).
+func (c *collector) snapshotLocked(source string) (Snapshot, bool) {
+	if c.onP == nil {
+		return Snapshot{}, false
+	}
+	return Snapshot{
+		Elapsed:     time.Since(c.start),
+		UpperScaled: c.upper,
+		LowerScaled: c.lower,
+		Source:      source,
+	}, true
+}
+
+// improveUpper installs sol as the incumbent if it beats the current
+// one. sol must already be replay-verified (every solve.Solution is).
+func (c *collector) improveUpper(sol solve.Solution, source string) {
+	scaled := sol.Result.Cost.Scaled(c.p.Model)
+	c.mu.Lock()
+	if scaled >= c.upper {
+		c.mu.Unlock()
+		return
+	}
+	c.upper, c.best, c.source, c.found = scaled, sol, source, true
+	s, emit := c.snapshotLocked(source)
+	c.mu.Unlock()
+	if emit {
+		c.onP(s)
+	}
+}
+
+// improveUpperMoves verifies a raw move sequence (from the DFS
+// incumbent callback) and installs it.
+func (c *collector) improveUpperMoves(moves []pebble.Move, source string) {
+	tr := &pebble.Trace{Model: c.p.Model, R: c.p.R, Convention: c.p.Convention, Moves: moves}
+	res, err := tr.Run(c.p.G)
+	if err != nil {
+		// An unreplayable incumbent would be a solver bug; drop it
+		// rather than serve an invalid trace.
+		return
+	}
+	c.improveUpper(solve.Solution{Trace: tr, Result: res}, source)
+}
+
+// raiseLower ratchets the certified lower bound.
+func (c *collector) raiseLower(v int64, source string) {
+	c.mu.Lock()
+	if v <= c.lower {
+		c.mu.Unlock()
+		return
+	}
+	c.lower = v
+	s, emit := c.snapshotLocked(source)
+	c.mu.Unlock()
+	if emit {
+		c.onP(s)
+	}
+}
+
+// closed reports whether the interval has met.
+func (c *collector) closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.found && c.upper <= c.lower
+}
+
+// Solve runs the orchestration: instant root bound, fast upper-bound
+// heuristics, then concurrent exact refinement until optimality, the
+// budget, or ctx. It returns an error only when the instance is
+// invalid, infeasible, or no heuristic produced any pebbling within the
+// budget; a deadline alone yields a certified non-optimal Result.
+func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
+	start := time.Now()
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
+	// The refinement engines race under their own cancelable context so
+	// that the first proof of optimality stops the other engine.
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+
+	// upper starts at MaxInt64 (the documented "no incumbent yet"
+	// sentinel for snapshots) so pre-incumbent snapshots never show an
+	// inverted [lower, 0] interval.
+	c := &collector{p: p, start: start, onP: opts.OnProgress, upper: math.MaxInt64}
+
+	// Phase 0: instant certificate. Also validates the instance.
+	lb0, err := solve.RootLowerBound(p, solve.HeuristicAuto)
+	if err != nil {
+		return Result{}, err
+	}
+	c.lower = lb0
+	if s, emit := c.snapshotLocked("root-bound"); emit {
+		c.onP(s)
+	}
+
+	// Phase 1: cheap upper bounds, best-first order (TopoBelady is the
+	// strongest order-oblivious heuristic; the greedy rules can beat it
+	// on structured DAGs; random-order sampling adds diversity, with
+	// each sampled order budget-pruned against the incumbent inside
+	// sched.Execute). Each runs to completion — they are polynomial and
+	// fast — but later ones are skipped once the budget fires.
+	if sol, err := solve.TopoBelady(p); err == nil {
+		c.improveUpper(sol, "topo-belady")
+	}
+	for _, rule := range solve.AllGreedyRules() {
+		if ctx.Err() != nil {
+			break
+		}
+		if sol, err := solve.Greedy(p, rule); err == nil {
+			c.improveUpper(sol, "greedy/"+rule.String())
+		}
+	}
+	if !c.found {
+		return Result{}, errors.New("anytime: no heuristic produced a pebbling (infeasible instance?)")
+	}
+	if ctx.Err() == nil && !c.closed() {
+		c.mu.Lock()
+		incumbent := c.upper
+		c.mu.Unlock()
+		if sol, err := solve.RandomOrders(p, solve.RandomOrdersOptions{
+			Samples: 8, Seed: 1, InitialBound: incumbent,
+		}); err == nil {
+			c.improveUpper(sol, "random-orders")
+		}
+	}
+
+	// Phase 2: exact refinement, unless the interval already met (or
+	// the budget died during phase 1).
+	var exactStats solve.ExactStats
+	var dfsStats solve.ExactDFSStats
+	if !c.closed() && ctx.Err() == nil {
+		var wg sync.WaitGroup
+
+		maxStates := opts.MaxStates
+		if maxStates == 0 {
+			maxStates = unbounded
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sol, err := solve.Exact(p, solve.ExactOptions{
+				MaxStates: maxStates,
+				Parallel:  opts.Workers,
+				Cancel:    rctx.Done(),
+				Stats:     &exactStats,
+				Progress: func(pr solve.ExactProgress) {
+					c.raiseLower(pr.LowerBound, "astar")
+				},
+			})
+			if err == nil {
+				c.improveUpper(sol, "astar")
+				c.raiseLower(sol.Result.Cost.Scaled(p.Model), "astar")
+				rcancel() // optimum proven: stop the DFS
+				return
+			}
+			// Canceled or out of budget: harvest the frontier bound.
+			c.raiseLower(exactStats.LowerBound, "astar")
+		}()
+
+		runDFS := !opts.DisableDFS &&
+			(p.Model.Kind == pebble.Oneshot || p.Model.Kind == pebble.NoDel)
+		if runDFS {
+			maxVisits := opts.MaxVisits
+			if maxVisits == 0 {
+				maxVisits = unbounded
+			}
+			c.mu.Lock()
+			seed := c.upper + 1 // exclusive: only strict improvements
+			c.mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sol, err := solve.ExactDFS(p, solve.ExactDFSOptions{
+					MaxVisits:    maxVisits,
+					InitialBound: seed,
+					Cancel:       rctx.Done(),
+					Stats:        &dfsStats,
+					OnIncumbent: func(scaled int64, moves []pebble.Move) {
+						c.improveUpperMoves(moves, "ida*")
+					},
+					Progress: func(st solve.ExactDFSStats) {
+						c.raiseLower(st.LowerBound, "ida*")
+					},
+				})
+				if err == nil {
+					if sol.Trace != nil {
+						c.improveUpper(sol, "ida*")
+					}
+					c.raiseLower(dfsStats.LowerBound, "ida*")
+					rcancel() // optimum proven: stop the A* engine
+					return
+				}
+				c.raiseLower(dfsStats.LowerBound, "ida*")
+			}()
+		}
+		wg.Wait()
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := Result{
+		Solution:    c.best,
+		UpperScaled: c.upper,
+		LowerScaled: min(c.lower, c.upper), // an achievable cost caps any certificate
+		Optimal:     c.upper <= c.lower,
+		Source:      c.source,
+		Elapsed:     time.Since(start),
+		Expanded:    exactStats.Expanded,
+		Visits:      dfsStats.Visits,
+	}
+	res.Upper = float64(res.UpperScaled) / CostScale(p.Model)
+	res.Lower = float64(res.LowerScaled) / CostScale(p.Model)
+	return res, nil
+}
+
+// CostScale returns the divisor converting scaled cost units
+// (pebble.Cost.Scaled) back to model cost values — shared with the
+// serving layer so cost-unit semantics live in one place.
+func CostScale(m pebble.Model) float64 {
+	if m.Kind == pebble.CompCost {
+		return float64(m.EpsDenom)
+	}
+	return 1
+}

@@ -1,0 +1,73 @@
+package anytime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rbpebble/internal/benchharness"
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/solve"
+)
+
+// Anytime orchestration benchmarks. The deadline rows measure the
+// certified interval a fixed budget buys on an instance too hard to
+// close (fft(3) R=3: seconds of exact search), so their interesting
+// outputs are upper/lower/optimal rather than ns/op (which tracks the
+// deadline by construction). The full-budget rows measure orchestration
+// overhead against the bare exact engine on instances it closes fast.
+//
+// Refresh the repo-root artifact together with the solver suite:
+//
+//	go test ./internal/solve ./internal/anytime -p 1 -bench . -benchtime 1x -benchjson "$PWD"/BENCH_solver.json
+
+func TestMain(m *testing.M) { benchharness.Main(m) }
+
+func benchAnytime(b *testing.B, p solve.Problem, opts Options) {
+	b.Helper()
+	b.ReportAllocs()
+	m0 := benchharness.Mallocs()
+	var res Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Solve(context.Background(), p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.UpperScaled), "upper/op")
+	b.ReportMetric(float64(res.LowerScaled), "lower/op")
+	benchharness.Capture(b, m0, benchharness.Record{
+		UpperScaled:    res.UpperScaled,
+		LowerScaled:    res.LowerScaled,
+		Optimal:        res.Optimal,
+		StatesExpanded: res.Expanded,
+		Visits:         res.Visits,
+	})
+}
+
+// Deadline rows: the gap-vs-budget curve on the hard instance.
+
+func BenchmarkAnytimeFFT3R3Deadline20ms(b *testing.B) {
+	benchAnytime(b, solve.Problem{G: daggen.FFT(3), Model: pebble.NewModel(pebble.Oneshot), R: 3},
+		Options{Budget: 20 * time.Millisecond})
+}
+
+func BenchmarkAnytimeFFT3R3Deadline100ms(b *testing.B) {
+	benchAnytime(b, solve.Problem{G: daggen.FFT(3), Model: pebble.NewModel(pebble.Oneshot), R: 3},
+		Options{Budget: 100 * time.Millisecond})
+}
+
+// Full-budget rows: orchestration overhead on instances the engines
+// close (compare BenchmarkExactAStarPyramid5R4 in internal/solve).
+
+func BenchmarkAnytimePyramid5R4Full(b *testing.B) {
+	benchAnytime(b, solve.Problem{G: daggen.Pyramid(5), Model: pebble.NewModel(pebble.Oneshot), R: 4},
+		Options{})
+}
+
+func BenchmarkAnytimeGrid44R3Full(b *testing.B) {
+	benchAnytime(b, solve.Problem{G: daggen.Grid(4, 4), Model: pebble.NewModel(pebble.Oneshot), R: 3},
+		Options{})
+}

@@ -1,0 +1,109 @@
+// Package benchharness is the machine-readable benchmark recorder
+// shared by the solver and anytime benchmark suites. Each suite's
+// TestMain delegates to Main; when the -benchjson flag names a file,
+// the collected records are merged into it by benchmark name (so
+// several packages can refresh one artifact — run them with -p 1 to
+// serialize the read-modify-write):
+//
+//	go test ./internal/solve ./internal/anytime -p 1 -bench . \
+//	    -benchtime 1x -benchjson "$PWD"/BENCH_solver.json
+//
+// (The flag is named -benchjson because the go tool claims -json for
+// its own test2json stream.)
+package benchharness
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// out, when set, receives the merged record array after the run.
+var out = flag.String("benchjson", "", "write machine-readable benchmark results to this JSON file (merged by name)")
+
+// Record is one benchmark's machine-readable result row.
+type Record struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	StatesExpanded int     `json:"states_expanded,omitempty"`
+	DistinctStates int     `json:"distinct_states,omitempty"`
+	Visits         int     `json:"visits,omitempty"`
+	OptimalScaled  int64   `json:"optimal_scaled_cost,omitempty"`
+	// Anytime rows: the certified interval and whether it closed.
+	UpperScaled int64 `json:"upper_scaled_cost,omitempty"`
+	LowerScaled int64 `json:"lower_scaled_cost,omitempty"`
+	Optimal     bool  `json:"optimal,omitempty"`
+}
+
+var records []Record
+
+// Capture records one benchmark's metrics (ns/op from the timer,
+// allocs/op from the runtime's malloc counter since mallocs0). The
+// harness invokes each benchmark function several times while
+// calibrating b.N; only the latest (converged) invocation is kept.
+func Capture(b *testing.B, mallocs0 uint64, rec Record) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec.Name = b.Name()
+	rec.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	rec.AllocsPerOp = float64(ms.Mallocs-mallocs0) / float64(b.N)
+	for i := range records {
+		if records[i].Name == rec.Name {
+			records[i] = rec
+			return
+		}
+	}
+	records = append(records, rec)
+}
+
+// Mallocs returns the runtime's cumulative malloc count (pass to
+// Capture as the baseline).
+func Mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// Main runs the tests and flushes the records; call it from TestMain.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 && *out != "" && len(records) > 0 {
+		if err := flush(*out); err != nil {
+			os.Stderr.WriteString("benchjson: " + err.Error() + "\n")
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// flush merges the collected records into path: rows already present
+// keep their position and are replaced by name; new rows append.
+func flush(path string) error {
+	var merged []Record
+	if data, err := os.ReadFile(path); err == nil {
+		// A malformed existing artifact is overwritten rather than
+		// failing the refresh.
+		_ = json.Unmarshal(data, &merged)
+	}
+	for _, rec := range records {
+		replaced := false
+		for i := range merged {
+			if merged[i].Name == rec.Name {
+				merged[i] = rec
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged = append(merged, rec)
+		}
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,86 @@
+package dag_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/daggen"
+)
+
+// Round-trip tests on daggen-generated graphs at >= 10^4 nodes: the
+// text and JSON codecs are the wire format of both the CLIs and the
+// rbserve HTTP API, and the instcache canonical-key path hashes
+// whatever they accept — a lossy codec would silently fracture (or
+// worse, alias) cache identities.
+
+func equalDAGs(t *testing.T, want, got *dag.DAG) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("shape changed: n %d->%d, m %d->%d", want.N(), got.N(), want.M(), got.M())
+	}
+	for v := 0; v < want.N(); v++ {
+		a, b := want.SortedSuccs(dag.NodeID(v)), got.SortedSuccs(dag.NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("node %d: out-degree %d -> %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: successor set changed", v)
+			}
+		}
+		if want.Label(dag.NodeID(v)) != got.Label(dag.NodeID(v)) {
+			t.Fatalf("node %d: label changed", v)
+		}
+	}
+}
+
+func bigGraphs() map[string]*dag.DAG {
+	// All at or above 10^4 nodes, covering distinct shapes: a deep
+	// chain (worst case for the line-oriented codec's scanner), a wide
+	// random layered DAG, a long stencil, and an FFT butterfly.
+	return map[string]*dag.DAG{
+		"chain10k":   daggen.Chain(10_000),
+		"layered10k": daggen.RandomLayered(100, 100, 4, 7),
+		"stencil10k": daggen.Stencil1D(100, 100),
+		"fft16k":     daggen.FFT(10), // 11 * 1024 nodes
+	}
+}
+
+func TestTextRoundTripBig(t *testing.T) {
+	for name, g := range bigGraphs() {
+		t.Run(name, func(t *testing.T) {
+			if g.N() < 10_000 {
+				t.Fatalf("test graph has only %d nodes", g.N())
+			}
+			g.SetLabel(0, "source-label")
+			g.SetLabel(dag.NodeID(g.N()-1), "sink label with spaces")
+			var buf bytes.Buffer
+			if err := g.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := dag.ReadText(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalDAGs(t, g, got)
+		})
+	}
+}
+
+func TestJSONRoundTripBig(t *testing.T) {
+	for name, g := range bigGraphs() {
+		t.Run(name, func(t *testing.T) {
+			data, err := json.Marshal(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got dag.DAG
+			if err := json.Unmarshal(data, &got); err != nil {
+				t.Fatal(err)
+			}
+			equalDAGs(t, g, &got)
+		})
+	}
+}

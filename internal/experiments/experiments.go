@@ -102,6 +102,7 @@ func All() []*Report {
 		AblationExactPruning(),
 		AblationGreedyRules(),
 		AblationAsyncScaling(),
+		AblationAnytime(),
 		Multilevel(),
 		ParallelPebbling(),
 	}

@@ -34,6 +34,7 @@ func AllParallel() []*Report {
 		AblationExactPruning,
 		AblationGreedyRules,
 		AblationAsyncScaling,
+		AblationAnytime,
 		Multilevel,
 		ParallelPebbling,
 	}

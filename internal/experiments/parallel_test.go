@@ -47,6 +47,14 @@ func TestAllParallelMatchesSequential(t *testing.T) {
 				if seq[i].ID == "Ablation D" && c >= 4 {
 					continue
 				}
+				// Ablation E measures anytime solves under wall-clock
+				// deadlines: how far the certified interval converges
+				// (lower, gap, optimal, source — every column past the
+				// deadline) depends on scheduler timing. Only the
+				// workload and deadline labels are deterministic.
+				if seq[i].ID == "Ablation E" && c >= 2 {
+					continue
+				}
 				if seq[i].Rows[r][c] != par[i].Rows[r][c] {
 					t.Fatalf("%s row %d col %d: %q vs %q — experiments are not deterministic",
 						seq[i].ID, r, c, seq[i].Rows[r][c], par[i].Rows[r][c])

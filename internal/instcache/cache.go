@@ -1,0 +1,165 @@
+package instcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"rbpebble/internal/pebble"
+)
+
+// Value is one cached solution, stored in canonical node numbering so
+// every isomorphic requester can share it (translate with
+// ToCanonical/FromCanonical around the cache).
+type Value struct {
+	// Moves is the incumbent trace in canonical node IDs.
+	Moves []pebble.Move
+	// UpperScaled and LowerScaled are the certified interval ends.
+	UpperScaled, LowerScaled int64
+	// Optimal marks a closed interval (proven optimum). Only optimal
+	// values are retained in the cache: a deadline-limited answer is
+	// returned to its requester but never served to a later request
+	// that might have budget to do better.
+	Optimal bool
+	// Source names the strategy that produced the incumbent.
+	Source string
+}
+
+// Stats are the cache's monotone counters, exposed via /metrics.
+type Stats struct {
+	// Hits and Misses count lookups against stored entries.
+	Hits, Misses uint64
+	// SharedFlights counts lookups that latched onto another request's
+	// in-flight solve instead of starting their own.
+	SharedFlights uint64
+	// Evictions counts LRU evictions.
+	Evictions uint64
+	// Entries is the current number of stored entries.
+	Entries int
+}
+
+// flight is one in-progress solve that concurrent identical requests
+// wait on.
+type flight struct {
+	done chan struct{}
+	val  Value
+	err  error
+}
+
+// Cache is a bounded LRU of solved instances with singleflight
+// deduplication. The zero value is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recent; values are *entry
+	entries map[string]*list.Element
+	flights map[string]*flight
+
+	hits, misses, shared, evictions uint64
+}
+
+type entry struct {
+	key string
+	val Value
+}
+
+// New returns a cache bounded to max entries (max <= 0 means 256).
+func New(max int) *Cache {
+	if max <= 0 {
+		max = 256
+	}
+	return &Cache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached value for key, or runs fn to produce it. At
+// most one fn runs per key at a time: concurrent callers with the same
+// key share the first caller's result (shared=true). Results with
+// Optimal=true are stored; others are passed through uncached.
+//
+// ctx bounds only the caller's WAIT on another request's in-flight
+// solve — a short-deadline request latching onto a long-budget flight
+// gives up with ctx.Err() at its own deadline instead of inheriting
+// the leader's. The leader's fn itself is never interrupted by ctx.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (Value, error)) (val Value, hit, shared bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, false, nil
+	}
+	c.misses++
+	if f, ok := c.flights[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, false, true, f.err
+		case <-ctx.Done():
+			return Value{}, false, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	// If fn panics the flight must still be torn down — waiters freed
+	// with an error, the flights entry removed — or the key would be
+	// poisoned forever (every later request blocking its full deadline
+	// on a done channel nobody will close). The panic then propagates.
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("instcache: solve panicked: %v", r)
+			c.mu.Lock()
+			delete(c.flights, key)
+			c.mu.Unlock()
+			close(f.done)
+			panic(r)
+		}
+	}()
+	f.val, f.err = fn()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil && f.val.Optimal {
+		c.insertLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	return f.val, false, false, f.err
+}
+
+func (c *Cache) insertLocked(key string, v Value) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: v})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		SharedFlights: c.shared,
+		Evictions:     c.evictions,
+		Entries:       c.ll.Len(),
+	}
+}

@@ -1,0 +1,262 @@
+// Package instcache gives pebbling instances canonical identities and
+// caches their solutions behind a bounded LRU with singleflight
+// deduplication, so a serving front end never solves the same instance
+// twice — not even when two concurrent requests describe it with
+// different node numberings.
+//
+// The canonical key is computed by color refinement (1-WL) over the
+// DAG followed by bounded individualize-and-refine tie-breaking: within
+// the search budget the resulting labeling is isomorphism-invariant, so
+// relabeled copies of an instance share a cache line. Graphs above
+// canonMaxN nodes skip the search and key on their exact
+// representation instead (bounding key cost on the serving request
+// path). Correctness never depends on either budget: the key always
+// hashes the exact adjacency structure under the chosen labeling, so
+// two instances with equal keys are genuinely isomorphic (up to
+// SHA-256 collisions) — a budget exhaustion can only cost cache hits,
+// never poison the cache.
+package instcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/pebble"
+)
+
+// canonMaxN bounds the graph size that gets full canonical labeling.
+// Beyond it Canonical degrades to the representation-exact key (the
+// identity labeling): isomorphic relabelings of huge graphs stop
+// sharing cache lines, but identical representations — the common
+// retry/duplicate case — still do, and the key stays O(n + m) instead
+// of the superlinear refinement search a request-path attacker could
+// lean on. Within the bound, refinement runs to full stabilization
+// (at most n rounds), so path-like graphs become discrete without any
+// individualization.
+const canonMaxN = 512
+
+// canonBudget caps the number of individualization branches explored
+// while breaking refinement ties. Within budget the labeling is
+// isomorphism-invariant; beyond it the first cell member is taken,
+// which is deterministic for a given input but labeling-dependent.
+const canonBudget = 128
+
+// Canonical computes a canonical form of g: a digest identifying the
+// graph up to isomorphism (within the size and search budgets; see the
+// package comment) and the permutation perm with perm[orig] =
+// canonical ID. Labels are ignored: they do not affect pebbling cost.
+func Canonical(g *dag.DAG) ([sha256.Size]byte, []dag.NodeID) {
+	n := g.N()
+	if n == 0 {
+		return sha256.Sum256(nil), nil
+	}
+	perm := make([]dag.NodeID, n)
+	if n > canonMaxN {
+		for v := range perm {
+			perm[v] = dag.NodeID(v)
+		}
+		return sha256.Sum256(serialize(g, perm)), perm
+	}
+	colors := refine(g, make([]int32, n))
+	budget := canonBudget
+	ser, cperm := canonSearch(g, colors, &budget)
+	return sha256.Sum256(ser), cperm
+}
+
+// refine runs color refinement to a stable partition: each round
+// recolors every node by the signature (own color, sorted pred colors,
+// sorted succ colors), with new color IDs assigned by the lexicographic
+// order of the signatures so the result is independent of node
+// numbering. The class count grows strictly until stable, so at most n
+// rounds run (and Canonical caps n at canonMaxN).
+func refine(g *dag.DAG, colors []int32) []int32 {
+	n := g.N()
+	classes := countClasses(colors)
+	sig := make([]string, n)
+	var buf []byte
+	var nb []int32
+	for iter := 0; iter < n; iter++ {
+		for v := 0; v < n; v++ {
+			buf = binary.BigEndian.AppendUint32(buf[:0], uint32(colors[v]))
+			buf = appendSortedColors(buf, &nb, colors, g.Preds(dag.NodeID(v)))
+			buf = append(buf, 0xff)
+			buf = appendSortedColors(buf, &nb, colors, g.Succs(dag.NodeID(v)))
+			sig[v] = string(buf)
+		}
+		uniq := make([]string, 0, classes+1)
+		seen := make(map[string]int32, classes+1)
+		for _, s := range sig {
+			if _, ok := seen[s]; !ok {
+				seen[s] = 0
+				uniq = append(uniq, s)
+			}
+		}
+		sort.Strings(uniq)
+		for i, s := range uniq {
+			seen[s] = int32(i)
+		}
+		for v := 0; v < n; v++ {
+			colors[v] = seen[sig[v]]
+		}
+		if len(uniq) == classes || len(uniq) == n {
+			break // stable (or discrete)
+		}
+		classes = len(uniq)
+	}
+	return colors
+}
+
+func appendSortedColors(buf []byte, scratch *[]int32, colors []int32, nodes []dag.NodeID) []byte {
+	nb := (*scratch)[:0]
+	for _, u := range nodes {
+		nb = append(nb, colors[u])
+	}
+	sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	for _, c := range nb {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+	}
+	*scratch = nb
+	return buf
+}
+
+func countClasses(colors []int32) int {
+	seen := map[int32]struct{}{}
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// canonSearch resolves refinement ties by individualize-and-refine:
+// pick the smallest-color cell with >= 2 members, individualize each
+// member in turn (budget permitting), refine, recurse, and keep the
+// lexicographically smallest serialization. Trying every member of an
+// invariantly-chosen cell is what makes the result independent of the
+// input labeling.
+func canonSearch(g *dag.DAG, colors []int32, budget *int) ([]byte, []dag.NodeID) {
+	n := g.N()
+	cell := targetCell(colors)
+	if cell == nil {
+		perm := make([]dag.NodeID, n)
+		for v, c := range colors {
+			perm[v] = dag.NodeID(c)
+		}
+		return serialize(g, perm), perm
+	}
+	var bestSer []byte
+	var bestPerm []dag.NodeID
+	for i, v := range cell {
+		if i > 0 && *budget <= 0 {
+			break // budget gone: keep only the first branch
+		}
+		*budget--
+		branch := make([]int32, n)
+		copy(branch, colors)
+		branch[v] = int32(n) // fresh marker color, re-densified by refine
+		ser, perm := canonSearch(g, refine(g, branch), budget)
+		if bestSer == nil || lessBytes(ser, bestSer) {
+			bestSer, bestPerm = ser, perm
+		}
+	}
+	return bestSer, bestPerm
+}
+
+// targetCell returns the members of the smallest color value that still
+// holds >= 2 nodes (nil when the coloring is discrete). Cells are
+// identified by color value, which is labeling-invariant.
+func targetCell(colors []int32) []dag.NodeID {
+	byColor := map[int32][]dag.NodeID{}
+	var best int32 = -1
+	for v, c := range colors {
+		byColor[c] = append(byColor[c], dag.NodeID(v))
+		if len(byColor[c]) >= 2 && (best == -1 || c < best) {
+			best = c
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return byColor[best]
+}
+
+// serialize emits the adjacency structure under a discrete labeling:
+// node count, then for each canonical node its sorted canonical
+// predecessor list. The output determines the graph up to isomorphism.
+func serialize(g *dag.DAG, perm []dag.NodeID) []byte {
+	n := g.N()
+	inv := make([]dag.NodeID, n)
+	for v, c := range perm {
+		inv[c] = dag.NodeID(v)
+	}
+	buf := binary.BigEndian.AppendUint32(nil, uint32(n))
+	var preds []int32
+	for c := 0; c < n; c++ {
+		v := inv[c]
+		preds = preds[:0]
+		for _, u := range g.Preds(v) {
+			preds = append(preds, int32(perm[u]))
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(preds)))
+		for _, u := range preds {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(u))
+		}
+	}
+	return buf
+}
+
+func lessBytes(a, b []byte) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Instance is one cacheable pebbling problem.
+type Instance struct {
+	G          *dag.DAG
+	Model      pebble.Model
+	R          int
+	Convention pebble.Convention
+}
+
+// Key returns the canonical cache key of the instance — the canonical
+// graph digest combined with every cost-relevant parameter — and the
+// canonical permutation (perm[orig] = canonical ID) needed to translate
+// traces in and out of canonical node numbering.
+func (in Instance) Key() (string, []dag.NodeID) {
+	digest, perm := Canonical(in.G)
+	key := fmt.Sprintf("%x|%s|eps%d|r%d|sb%t|bb%t",
+		digest, in.Model.Kind, in.Model.EpsDenom, in.R,
+		in.Convention.SourcesStartBlue, in.Convention.SinksMustBeBlue)
+	return key, perm
+}
+
+// ToCanonical maps a move sequence from original node IDs to canonical
+// ones (perm[orig] = canonical).
+func ToCanonical(moves []pebble.Move, perm []dag.NodeID) []pebble.Move {
+	out := make([]pebble.Move, len(moves))
+	for i, m := range moves {
+		out[i] = pebble.Move{Kind: m.Kind, Node: perm[m.Node]}
+	}
+	return out
+}
+
+// FromCanonical maps a canonical-ID move sequence back to the node IDs
+// of an instance whose canonical permutation is perm.
+func FromCanonical(moves []pebble.Move, perm []dag.NodeID) []pebble.Move {
+	inv := make([]dag.NodeID, len(perm))
+	for v, c := range perm {
+		inv[c] = dag.NodeID(v)
+	}
+	out := make([]pebble.Move, len(moves))
+	for i, m := range moves {
+		out[i] = pebble.Move{Kind: m.Kind, Node: inv[m.Node]}
+	}
+	return out
+}

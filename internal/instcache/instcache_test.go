@@ -1,0 +1,370 @@
+package instcache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rbpebble/internal/dag"
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/solve"
+)
+
+// relabel returns a copy of g with node v renamed to perm[v].
+func relabel(g *dag.DAG, perm []dag.NodeID) *dag.DAG {
+	h := dag.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Succs(dag.NodeID(v)) {
+			h.AddEdge(perm[v], perm[w])
+		}
+	}
+	return h
+}
+
+func randPerm(n int, rng *rand.Rand) []dag.NodeID {
+	p := make([]dag.NodeID, n)
+	for i, v := range rng.Perm(n) {
+		p[i] = dag.NodeID(v)
+	}
+	return p
+}
+
+// TestCanonicalInvariance: relabeled copies of a graph get the same
+// digest, and the permutations map both onto the same canonical graph.
+func TestCanonicalInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	graphs := map[string]*dag.DAG{
+		"pyramid4":  daggen.Pyramid(4),
+		"fft2":      daggen.FFT(2),
+		"chain9":    daggen.Chain(9),
+		"tree3":     daggen.BinaryTree(3),
+		"grid33":    daggen.Grid(3, 3),
+		"layered":   daggen.RandomLayered(3, 4, 2, 5),
+		"singleton": dag.New(1),
+	}
+	for name, g := range graphs {
+		d0, perm0 := Canonical(g)
+		if len(perm0) != g.N() {
+			t.Fatalf("%s: perm length %d != n %d", name, len(perm0), g.N())
+		}
+		seen := make([]bool, g.N())
+		for _, c := range perm0 {
+			if int(c) >= g.N() || seen[c] {
+				t.Fatalf("%s: perm is not a permutation", name)
+			}
+			seen[c] = true
+		}
+		for trial := 0; trial < 5; trial++ {
+			perm := randPerm(g.N(), rng)
+			h := relabel(g, perm)
+			d1, _ := Canonical(h)
+			if d0 != d1 {
+				t.Fatalf("%s: digest changed under relabeling (trial %d)", name, trial)
+			}
+		}
+	}
+}
+
+// TestCanonicalDistinguishes: structurally different graphs get
+// different digests.
+func TestCanonicalDistinguishes(t *testing.T) {
+	// Note Grid(2,3) and Grid(3,2) are deliberately absent: the stencil
+	// grid is transpose-symmetric, so they are isomorphic and SHOULD
+	// share a digest (the invariance test covers that direction).
+	gs := []*dag.DAG{
+		daggen.Pyramid(3), daggen.Pyramid(4), daggen.Chain(6), daggen.Chain(7),
+		daggen.FFT(2), daggen.Grid(2, 3), daggen.Grid(2, 4), daggen.BinaryTree(3),
+		daggen.Stencil1D(4, 2), daggen.MatMul(2),
+	}
+	seen := map[[32]byte]int{}
+	for i, g := range gs {
+		d, _ := Canonical(g)
+		if j, dup := seen[d]; dup {
+			t.Fatalf("graphs %d and %d share a digest", i, j)
+		}
+		seen[d] = i
+	}
+}
+
+// TestKeySeparatesParameters: same graph, different model/R/convention
+// must produce different keys.
+func TestKeySeparatesParameters(t *testing.T) {
+	g := daggen.Pyramid(3)
+	keys := map[string]bool{}
+	for _, in := range []Instance{
+		{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 3},
+		{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 4},
+		{G: g, Model: pebble.NewModel(pebble.Base), R: 3},
+		{G: g, Model: pebble.NewModel(pebble.CompCost), R: 3},
+		{G: g, Model: pebble.NewModel(pebble.Oneshot), R: 3,
+			Convention: pebble.Convention{SinksMustBeBlue: true}},
+	} {
+		k, _ := in.Key()
+		if keys[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		keys[k] = true
+	}
+}
+
+// TestTranslationRoundTrip solves a canonical instance, stores the
+// trace canonically, and replays it on a relabeled copy through
+// FromCanonical — the cached solution must be valid (and optimal) for
+// the relabeled instance.
+func TestTranslationRoundTrip(t *testing.T) {
+	g := daggen.Pyramid(4)
+	model := pebble.NewModel(pebble.Oneshot)
+	sol, err := solve.Exact(solve.Problem{G: g, Model: model, R: 3}, solve.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perm := Canonical(g)
+	canonMoves := ToCanonical(sol.Trace.Moves, perm)
+
+	rng := rand.New(rand.NewSource(7))
+	rp := randPerm(g.N(), rng)
+	h := relabel(g, rp)
+	_, hperm := Canonical(h)
+	tr := &pebble.Trace{Model: model, R: 3, Convention: pebble.Convention{},
+		Moves: FromCanonical(canonMoves, hperm)}
+	res, err := tr.Run(h)
+	if err != nil {
+		t.Fatalf("translated trace does not replay on the relabeled graph: %v", err)
+	}
+	if res.Cost != sol.Result.Cost {
+		t.Fatalf("translated cost %v != original %v", res.Cost, sol.Result.Cost)
+	}
+}
+
+// TestCacheLRUAndStats exercises hit/miss/eviction accounting.
+func TestCacheLRUAndStats(t *testing.T) {
+	c := New(2)
+	get := func(key string) (Value, bool) {
+		v, hit, _, err := c.Do(context.Background(), key, func() (Value, error) {
+			return Value{UpperScaled: 1, LowerScaled: 1, Optimal: true}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, hit
+	}
+	if _, hit := get("a"); hit {
+		t.Fatal("first lookup hit")
+	}
+	if _, hit := get("a"); !hit {
+		t.Fatal("second lookup missed")
+	}
+	get("b")
+	get("c") // evicts a
+	if _, hit := get("a"); hit {
+		t.Fatal("evicted entry still hit")
+	}
+	st := c.Stats()
+	if st.Evictions == 0 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want evictions > 0 and 2 entries", st)
+	}
+	// Non-optimal results pass through uncached.
+	c.Do(context.Background(), "partial", func() (Value, error) { return Value{Optimal: false}, nil })
+	if _, hit, _, _ := c.Do(context.Background(), "partial", func() (Value, error) { return Value{}, nil }); hit {
+		t.Fatal("non-optimal value was cached")
+	}
+}
+
+// TestSingleflight: N concurrent identical requests run fn exactly
+// once; the rest share the result.
+func TestSingleflight(t *testing.T) {
+	c := New(8)
+	const n = 16
+	gate := make(chan struct{})
+	var calls int
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sharedCount := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, shared, err := c.Do(context.Background(), "k", func() (Value, error) {
+				calls++ // safe: singleflight guarantees one caller
+				<-gate
+				return Value{Optimal: true}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			mu.Lock()
+			if shared {
+				sharedCount++
+			}
+			mu.Unlock()
+		}()
+	}
+	// Let the requests pile onto the flight, then release it. The
+	// stats-based wait avoids a racy sleep.
+	for {
+		st := c.Stats()
+		if st.Misses >= n {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if sharedCount != n-1 {
+		t.Fatalf("%d shared flights, want %d", sharedCount, n-1)
+	}
+	if st := c.Stats(); st.SharedFlights != n-1 {
+		t.Fatalf("stats shared = %d, want %d", st.SharedFlights, n-1)
+	}
+}
+
+// FuzzCanonicalInvariance guards the canonical-key path: any parsed
+// DAG must digest identically under a relabeling derived from the
+// input bytes.
+func FuzzCanonicalInvariance(f *testing.F) {
+	seedGraph := func(g *dag.DAG) {
+		var buf bytes.Buffer
+		if err := g.WriteText(&buf); err == nil {
+			f.Add(buf.Bytes(), int64(1))
+		}
+	}
+	seedGraph(daggen.Pyramid(3))
+	seedGraph(daggen.FFT(2))
+	seedGraph(daggen.Chain(5))
+	seedGraph(daggen.Grid(2, 2))
+	seedGraph(daggen.RandomLayered(2, 3, 2, 9))
+	f.Add([]byte("nodes 3\nedge 0 1\nedge 1 2\n"), int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		g, err := dag.ReadText(bytes.NewReader(data))
+		if err != nil || g.N() == 0 || g.N() > 64 {
+			return
+		}
+		d0, perm0 := Canonical(g)
+		if len(perm0) != g.N() {
+			t.Fatalf("perm length %d != n %d", len(perm0), g.N())
+		}
+		rng := rand.New(rand.NewSource(seed))
+		h := relabel(g, randPerm(g.N(), rng))
+		d1, _ := Canonical(h)
+		if d0 != d1 {
+			t.Fatalf("digest not invariant under relabeling (n=%d)", g.N())
+		}
+	})
+}
+
+// BenchmarkCanonicalPyramid6 tracks the canonical-key cost on a
+// 21-node symmetric instance (the worst common case: symmetry forces
+// individualization).
+func BenchmarkCanonicalPyramid6(b *testing.B) {
+	g := daggen.Pyramid(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Canonical(g)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging edits
+
+// TestSingleflightWaitHonorsContext: a waiter with an expired context
+// gives up instead of inheriting the leader's budget.
+func TestSingleflightWaitHonorsContext(t *testing.T) {
+	c := New(8)
+	gate := make(chan struct{})
+	leaderRunning := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(context.Background(), "k", func() (Value, error) {
+			close(leaderRunning)
+			<-gate
+			return Value{Optimal: true}, nil
+		})
+		done <- err
+	}()
+	<-leaderRunning
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, shared, err := c.Do(ctx, "k", func() (Value, error) {
+		t.Error("waiter must not run fn")
+		return Value{}, nil
+	})
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("shared=%v err=%v, want shared wait aborted by context", shared, err)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("leader failed: %v", err)
+	}
+	// The completed optimal result is cached despite the waiter bailing.
+	if _, hit, _, _ := c.Do(context.Background(), "k", func() (Value, error) { return Value{}, nil }); !hit {
+		t.Fatal("leader result not cached")
+	}
+}
+
+// TestCanonicalBoundedCost guards the serving request path against the
+// canonical-labeling blowup: path-like graphs inside the canonMaxN
+// window refine to discrete without individualization, and graphs
+// beyond it take the representation-exact fast path. (Before the size
+// cap, chain(4000) took seconds in the recursion.)
+func TestCanonicalBoundedCost(t *testing.T) {
+	for _, n := range []int{500, 4000, 50000} {
+		start := time.Now()
+		Canonical(daggen.Chain(n))
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("Canonical(chain(%d)) took %s", n, d)
+		}
+	}
+}
+
+// TestPanickingSolveDoesNotPoisonKey: a panic inside fn frees waiters
+// with an error, propagates, and leaves the key usable.
+func TestPanickingSolveDoesNotPoisonKey(t *testing.T) {
+	c := New(8)
+	leaderRunning := make(chan struct{})
+	release := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		<-leaderRunning
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _, _, err := c.Do(ctx, "k", func() (Value, error) { return Value{}, nil })
+		waiterErr <- err
+	}()
+	go func() {
+		// Release the leader's panic only once the waiter has latched
+		// onto the flight, so the waiter provably waits on teardown.
+		for c.Stats().SharedFlights == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		c.Do(context.Background(), "k", func() (Value, error) {
+			close(leaderRunning)
+			<-release
+			panic("solver bug")
+		})
+	}()
+	if err := <-waiterErr; err == nil {
+		t.Fatal("waiter got nil error from panicked flight")
+	}
+	// The key recovers: a fresh request runs fn again.
+	v, hit, shared, err := c.Do(context.Background(), "k", func() (Value, error) {
+		return Value{UpperScaled: 1, LowerScaled: 1, Optimal: true}, nil
+	})
+	if err != nil || hit || shared || !v.Optimal {
+		t.Fatalf("key did not recover: v=%+v hit=%v shared=%v err=%v", v, hit, shared, err)
+	}
+}

@@ -11,6 +11,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -18,6 +19,13 @@ import (
 	"rbpebble/internal/dag"
 	"rbpebble/internal/pebble"
 )
+
+// ErrCostBudget is returned by Execute when Options.CostBudget is set
+// and the partial schedule's cost exceeds it — the order cannot beat
+// the budget, so finishing it would be wasted work. Anytime callers
+// racing many candidate orders against an incumbent use this to prune
+// losers early.
+var ErrCostBudget = errors.New("sched: cost budget exceeded")
 
 // Policy selects which red pebble to evict when fast memory is full.
 type Policy int
@@ -66,6 +74,14 @@ type Options struct {
 	Policy Policy
 	// Seed drives the Random policy.
 	Seed int64
+	// CostBudget, when > 0, aborts the execution with ErrCostBudget as
+	// soon as the accumulated scaled cost (pebble.Cost.Scaled) exceeds
+	// it. Costs only grow as a schedule extends, so an execution that
+	// trips the budget can never end at or below it. The check runs
+	// once per order position, so a run that overruns only on its final
+	// moves can still return normally — callers racing an incumbent
+	// must compare the returned cost as usual.
+	CostBudget int64
 }
 
 const never = int(^uint(0) >> 1) // max int: "no future use"
@@ -208,6 +224,9 @@ func Execute(g *dag.DAG, model pebble.Model, r int, conv pebble.Convention, orde
 	}
 
 	for i, v := range order {
+		if opts.CostBudget > 0 && rec.Cost().Scaled(model) > opts.CostBudget {
+			return nil, pebble.Result{}, fmt.Errorf("%w: %d at order position %d", ErrCostBudget, opts.CostBudget, i)
+		}
 		preds := g.Preds(v)
 		pinned := make(map[int]struct{}, len(preds)+1)
 		needSlots := 1 // for v itself

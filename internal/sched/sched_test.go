@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -291,5 +292,37 @@ func BenchmarkExecuteBelady(b *testing.B) {
 		if _, _, err := Execute(g, m, r, pebble.Convention{}, order, Options{Policy: Belady}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestCostBudgetPrunes: a budget below the schedule's true cost aborts
+// with ErrCostBudget; a budget at or above it leaves the result
+// untouched.
+func TestCostBudgetPrunes(t *testing.T) {
+	g := daggen.Pyramid(5)
+	m := pebble.NewModel(pebble.Oneshot)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := Execute(g, m, 4, pebble.Convention{}, order, Options{Policy: Belady})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res.Cost.Scaled(m)
+	if full < 2 {
+		t.Fatalf("test wants a schedule with cost >= 2, got %d", full)
+	}
+	if _, _, err := Execute(g, m, 4, pebble.Convention{}, order,
+		Options{Policy: Belady, CostBudget: full - 1}); !errors.Is(err, ErrCostBudget) {
+		t.Fatalf("budget %d: err = %v, want ErrCostBudget", full-1, err)
+	}
+	_, res2, err := Execute(g, m, 4, pebble.Convention{}, order,
+		Options{Policy: Belady, CostBudget: full})
+	if err != nil {
+		t.Fatalf("budget == cost must succeed: %v", err)
+	}
+	if res2.Cost != res.Cost {
+		t.Fatalf("budgeted run changed the cost: %v vs %v", res2.Cost, res.Cost)
 	}
 }

@@ -1,0 +1,506 @@
+// Package service is the rbserve HTTP layer: a JSON API over the
+// anytime orchestrator with a canonical instance cache, singleflight
+// deduplication of concurrent identical solves, a worker-pool job queue
+// for async requests, per-request deadlines and operational metrics.
+//
+// Endpoints:
+//
+//	POST /solve            solve an instance (async=true enqueues a job)
+//	GET  /solve/{id}       poll an async job
+//	GET  /healthz          liveness probe
+//	GET  /metrics          Prometheus-style counters
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbpebble/internal/anytime"
+	"rbpebble/internal/dag"
+	"rbpebble/internal/instcache"
+	"rbpebble/internal/pebble"
+	"rbpebble/internal/solve"
+)
+
+// Config tunes a Server. Zero values select the defaults.
+type Config struct {
+	// Workers is the async job worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the async job queue (default 64); beyond it
+	// POST /solve with async=true returns 503.
+	QueueDepth int
+	// CacheSize bounds the solution LRU (default 256 entries).
+	CacheSize int
+	// DefaultDeadline applies when a request has no deadline_ms
+	// (default 2s). MaxDeadline clamps requested deadlines (default 30s).
+	DefaultDeadline, MaxDeadline time.Duration
+	// SolveWorkers is forwarded to anytime.Options.Workers (parallel
+	// expansion inside one solve; default 1, serial).
+	SolveWorkers int
+	// MaxNodes rejects instances above this size (default 100000). It
+	// is enforced before the graph is materialized, so a tiny request
+	// body declaring a huge node count cannot allocate.
+	MaxNodes int
+	// MaxBodyBytes caps the request body (default 64 MiB).
+	MaxBodyBytes int64
+	// KeepJobs bounds how many finished async jobs stay pollable
+	// (default 1024; the oldest finished jobs are dropped beyond it).
+	KeepJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 100000
+	}
+	if c.KeepJobs <= 0 {
+		c.KeepJobs = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// SolveRequest is the POST /solve body.
+type SolveRequest struct {
+	// DAG is the graph in the library's JSON form:
+	// {"nodes": n, "edges": [[u,v], ...]}. It stays raw until the node
+	// count has been checked against Config.MaxNodes, so a malicious
+	// 50-byte body declaring two billion nodes never allocates them.
+	DAG json.RawMessage `json:"dag"`
+	// Model is base|oneshot|nodel|compcost (default oneshot);
+	// EpsDenom is the compcost ε denominator (default 100).
+	Model    string `json:"model,omitempty"`
+	EpsDenom int    `json:"eps_denom,omitempty"`
+	// R is the red-pebble limit (default Δ+1, the minimum feasible).
+	R int `json:"r,omitempty"`
+	// Convention flags (Appendix C).
+	SourcesStartBlue bool `json:"sources_start_blue,omitempty"`
+	SinksMustBeBlue  bool `json:"sinks_must_be_blue,omitempty"`
+	// DeadlineMS is the solve budget in milliseconds (0 = server
+	// default; clamped to the server maximum).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Async enqueues the solve and returns a job ID immediately.
+	Async bool `json:"async,omitempty"`
+	// IncludeTrace adds the verified move sequence to the response.
+	IncludeTrace bool `json:"include_trace,omitempty"`
+}
+
+// MoveJSON is one trace move on the wire.
+type MoveJSON struct {
+	Op   string `json:"op"`
+	Node int    `json:"node"`
+}
+
+// SolveResponse is the solve result on the wire: the certified
+// [lower, upper] interval, incumbent cost and provenance.
+type SolveResponse struct {
+	Cost      float64    `json:"cost"`
+	Upper     float64    `json:"upper"`
+	Lower     float64    `json:"lower"`
+	Gap       float64    `json:"gap"`
+	Optimal   bool       `json:"optimal"`
+	Source    string     `json:"source"`
+	Cached    bool       `json:"cached"`
+	Shared    bool       `json:"shared"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Moves     []MoveJSON `json:"moves,omitempty"`
+}
+
+// JobResponse is the async job envelope.
+type JobResponse struct {
+	ID     string         `json:"id"`
+	Status string         `json:"status"` // queued|running|done|error
+	Error  string         `json:"error,omitempty"`
+	Result *SolveResponse `json:"result,omitempty"`
+}
+
+type job struct {
+	id string
+	// The request is parsed once at submission; the worker reuses the
+	// materialized problem instead of re-decoding the DAG JSON.
+	p            solve.Problem
+	deadline     time.Duration
+	includeTrace bool
+
+	mu     sync.Mutex
+	status string
+	resp   *SolveResponse
+	errMsg string
+}
+
+func (j *job) snapshot() JobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobResponse{ID: j.id, Status: j.status, Error: j.errMsg, Result: j.resp}
+}
+
+func (j *job) set(status string, resp *SolveResponse, errMsg string) {
+	j.mu.Lock()
+	j.status, j.resp, j.errMsg = status, resp, errMsg
+	j.mu.Unlock()
+}
+
+// metrics are the server's monotone counters (cache counters live in
+// the cache itself).
+type metrics struct {
+	requests, solves, solveErrors                     atomic.Uint64
+	jobsSubmitted, jobsDone, jobsFailed, jobsRejected atomic.Uint64
+}
+
+// Server is the rbserve HTTP service. Create with New, serve
+// Handler(), stop with Close.
+type Server struct {
+	cfg   Config
+	cache *instcache.Cache
+	mux   *http.ServeMux
+	queue chan *job
+	wg    sync.WaitGroup
+
+	jobMu    sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // submission order, for bounded retention
+	jobSeq   atomic.Uint64
+
+	m metrics
+
+	// solveFn is the underlying solver, swappable in tests (e.g. to
+	// gate concurrency deterministically).
+	solveFn func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error)
+
+	closed chan struct{}
+	once   sync.Once
+}
+
+// New returns a started Server (its worker pool runs until Close).
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		jobs:    make(map[string]*job),
+		solveFn: anytime.Solve,
+		closed:  make(chan struct{}),
+	}
+	s.cache = instcache.New(s.cfg.CacheSize)
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /solve/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool. Jobs still queued stay in "queued"
+// state; the queue channel is never closed, so submissions racing a
+// shutdown get a 503 rather than a panic.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.closed) })
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case j := <-s.queue:
+			j.set("running", nil, "")
+			resp, err := s.runSolve(j.p, j.deadline, j.includeTrace)
+			if err != nil {
+				s.m.jobsFailed.Add(1)
+				j.set("error", nil, err.Error())
+				continue
+			}
+			s.m.jobsDone.Add(1)
+			j.set("done", &resp, "")
+		}
+	}
+}
+
+// parseRequest validates a request into a Problem and clamped deadline.
+// The graph is materialized only after its declared node count passes
+// the MaxNodes guard.
+func (s *Server) parseRequest(req SolveRequest) (solve.Problem, time.Duration, error) {
+	if len(req.DAG) == 0 || string(req.DAG) == "null" {
+		return solve.Problem{}, 0, errors.New("missing dag")
+	}
+	var head struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := json.Unmarshal(req.DAG, &head); err != nil {
+		return solve.Problem{}, 0, fmt.Errorf("bad dag: %w", err)
+	}
+	if head.Nodes > s.cfg.MaxNodes {
+		return solve.Problem{}, 0, fmt.Errorf("instance has %d nodes, limit %d", head.Nodes, s.cfg.MaxNodes)
+	}
+	g := new(dag.DAG)
+	if err := json.Unmarshal(req.DAG, g); err != nil {
+		return solve.Problem{}, 0, fmt.Errorf("bad dag: %w", err)
+	}
+	if g.N() > s.cfg.MaxNodes {
+		return solve.Problem{}, 0, fmt.Errorf("instance has %d nodes, limit %d", g.N(), s.cfg.MaxNodes)
+	}
+	var model pebble.Model
+	switch req.Model {
+	case "", "oneshot":
+		model = pebble.NewModel(pebble.Oneshot)
+	case "base":
+		model = pebble.NewModel(pebble.Base)
+	case "nodel":
+		model = pebble.NewModel(pebble.NoDel)
+	case "compcost":
+		eps := req.EpsDenom
+		if eps == 0 {
+			eps = 100
+		}
+		model = pebble.Model{Kind: pebble.CompCost, EpsDenom: eps}
+	default:
+		return solve.Problem{}, 0, fmt.Errorf("unknown model %q", req.Model)
+	}
+	r := req.R
+	if r == 0 {
+		r = pebble.MinFeasibleR(g)
+	}
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	p := solve.Problem{
+		G: g, Model: model, R: r,
+		Convention: pebble.Convention{
+			SourcesStartBlue: req.SourcesStartBlue,
+			SinksMustBeBlue:  req.SinksMustBeBlue,
+		},
+	}
+	return p, deadline, nil
+}
+
+// runSolve is the shared sync/async solve path for an already-parsed
+// request: canonical key, cache and singleflight, then the anytime
+// orchestrator.
+func (s *Server) runSolve(p solve.Problem, deadline time.Duration, includeTrace bool) (SolveResponse, error) {
+	start := time.Now()
+	inst := instcache.Instance{G: p.G, Model: p.Model, R: p.R, Convention: p.Convention}
+	key, perm := inst.Key()
+	// The wait on another request's in-flight solve is bounded by this
+	// request's own deadline (plus grace for the orchestrator's
+	// non-interruptible heuristic phase) — joining a long-budget flight
+	// must not stall a short-deadline client past its budget.
+	waitCtx, cancelWait := context.WithTimeout(context.Background(), deadline+2*time.Second)
+	defer cancelWait()
+	val, hit, shared, err := s.cache.Do(waitCtx, key, func() (instcache.Value, error) {
+		s.m.solves.Add(1)
+		// The solve is detached from any single request: concurrent
+		// identical requests share it, so one client disconnecting must
+		// not cancel it for the rest.
+		res, err := s.solveFn(context.Background(), p, anytime.Options{
+			Budget:  deadline,
+			Workers: s.cfg.SolveWorkers,
+		})
+		if err != nil {
+			return instcache.Value{}, err
+		}
+		return instcache.Value{
+			Moves:       instcache.ToCanonical(res.Solution.Trace.Moves, perm),
+			UpperScaled: res.UpperScaled,
+			LowerScaled: res.LowerScaled,
+			Optimal:     res.Optimal,
+			Source:      res.Source,
+		}, nil
+	})
+	if err != nil {
+		s.m.solveErrors.Add(1)
+		return SolveResponse{}, err
+	}
+
+	moves := instcache.FromCanonical(val.Moves, perm)
+	// Replay-verify on the requester's own graph: the response is
+	// certified even when the moves crossed the cache through another
+	// instance's labeling.
+	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: moves}
+	if _, err := tr.Run(p.G); err != nil {
+		s.m.solveErrors.Add(1)
+		return SolveResponse{}, fmt.Errorf("cached trace failed verification: %w", err)
+	}
+
+	scale := anytime.CostScale(p.Model)
+	resp := SolveResponse{
+		Cost:      float64(val.UpperScaled) / scale,
+		Upper:     float64(val.UpperScaled) / scale,
+		Lower:     float64(val.LowerScaled) / scale,
+		Gap:       anytime.Gap(val.UpperScaled, val.LowerScaled),
+		Optimal:   val.Optimal,
+		Source:    val.Source,
+		Cached:    hit,
+		Shared:    shared,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if includeTrace {
+		resp.Moves = make([]MoveJSON, len(moves))
+		for i, m := range moves {
+			resp.Moves[i] = MoveJSON{Op: m.Kind.String(), Node: int(m.Node)}
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req SolveRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	// Parse once; async jobs carry the materialized problem so the
+	// worker never re-decodes the DAG JSON.
+	p, deadline, err := s.parseRequest(req)
+	if err != nil {
+		if req.Async {
+			httpError(w, http.StatusBadRequest, err.Error())
+		} else {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+		}
+		return
+	}
+	if req.Async {
+		j := &job{
+			id:           "job-" + strconv.FormatUint(s.jobSeq.Add(1), 10),
+			p:            p,
+			deadline:     deadline,
+			includeTrace: req.IncludeTrace,
+			status:       "queued",
+		}
+		select {
+		case <-s.closed:
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		default:
+		}
+		select {
+		case s.queue <- j:
+		default:
+			s.m.jobsRejected.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "job queue full")
+			return
+		}
+		s.m.jobsSubmitted.Add(1)
+		s.registerJob(j)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(j.snapshot())
+		return
+	}
+	resp, err := s.runSolve(p, deadline, req.IncludeTrace)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			httpError(w, http.StatusServiceUnavailable,
+				"an identical solve is in flight and exceeded this request's deadline; retry shortly")
+			return
+		}
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) registerJob(j *job) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for len(s.jobOrder) > s.cfg.KeepJobs {
+		// Drop the oldest finished job; stop if the oldest is still live
+		// (it must stay pollable).
+		old := s.jobs[s.jobOrder[0]]
+		if st := old.snapshot().Status; st != "done" && st != "error" {
+			break
+		}
+		delete(s.jobs, s.jobOrder[0])
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	s.jobMu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.jobMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, j.snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, kv := range []struct {
+		name string
+		v    uint64
+	}{
+		{"rbserve_requests_total", s.m.requests.Load()},
+		{"rbserve_solves_total", s.m.solves.Load()},
+		{"rbserve_solve_errors_total", s.m.solveErrors.Load()},
+		{"rbserve_cache_hits_total", cs.Hits},
+		{"rbserve_cache_misses_total", cs.Misses},
+		{"rbserve_cache_evictions_total", cs.Evictions},
+		{"rbserve_cache_entries", uint64(cs.Entries)},
+		{"rbserve_singleflight_shared_total", cs.SharedFlights},
+		{"rbserve_jobs_submitted_total", s.m.jobsSubmitted.Load()},
+		{"rbserve_jobs_done_total", s.m.jobsDone.Load()},
+		{"rbserve_jobs_failed_total", s.m.jobsFailed.Load()},
+		{"rbserve_jobs_rejected_total", s.m.jobsRejected.Load()},
+	} {
+		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

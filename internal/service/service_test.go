@@ -1,0 +1,300 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rbpebble/internal/anytime"
+	"rbpebble/internal/dag"
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/solve"
+)
+
+func dagJSON(t *testing.T, g *dag.DAG) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, body string) (int, SolveResponse, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var sr SolveResponse
+	json.Unmarshal(buf.Bytes(), &sr)
+	return resp.StatusCode, sr, buf.String()
+}
+
+func metric(t *testing.T, ts *httptest.Server, name string) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		var v int
+		if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, buf.String())
+	return 0
+}
+
+// TestSolveOptimalAndCacheHit is the smoke path: pyramid(4) solves to a
+// proven optimum; an identical repeat (different node numbering!) is a
+// cache hit with the same certified answer, observable via /metrics.
+func TestSolveOptimalAndCacheHit(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := daggen.Pyramid(4)
+	body := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"include_trace":true}`, dagJSON(t, g))
+	code, sr, raw := postSolve(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if !sr.Optimal || sr.Cached || sr.Gap != 0 {
+		t.Fatalf("first solve: %+v", sr)
+	}
+	if len(sr.Moves) == 0 {
+		t.Fatal("include_trace returned no moves")
+	}
+	want := sr.Cost
+
+	// Repeat with a relabeled isomorphic copy: still a cache hit.
+	perm := make([]dag.NodeID, g.N())
+	for v := 0; v < g.N(); v++ {
+		perm[v] = dag.NodeID(g.N() - 1 - v)
+	}
+	h := dag.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Succs(dag.NodeID(v)) {
+			h.AddEdge(perm[v], perm[w])
+		}
+	}
+	code, sr2, raw := postSolve(t, ts, fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3}`, dagJSON(t, h)))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if !sr2.Cached || !sr2.Optimal || sr2.Cost != want {
+		t.Fatalf("relabeled repeat not served from cache: %+v", sr2)
+	}
+	if got := metric(t, ts, "rbserve_cache_hits_total"); got != 1 {
+		t.Fatalf("cache_hits_total = %d, want 1", got)
+	}
+	if got := metric(t, ts, "rbserve_solves_total"); got != 1 {
+		t.Fatalf("solves_total = %d, want 1", got)
+	}
+}
+
+// TestSingleflightConcurrentRequests gates the solver so that N
+// concurrent identical requests demonstrably share one solve.
+func TestSingleflightConcurrentRequests(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{}, 64)
+	var calls int // guarded by singleflight: only one caller runs
+	s.solveFn = func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error) {
+		calls++
+		started <- struct{}{}
+		<-gate
+		return anytime.Solve(ctx, p, anytime.Options{})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3}`, dagJSON(t, daggen.Pyramid(4)))
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]SolveResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, sr, raw := postSolve(t, ts, body)
+			if code != http.StatusOK {
+				t.Errorf("status %d: %s", code, raw)
+			}
+			results[i] = sr
+		}(i)
+	}
+	<-started // the one solve is running; the rest must latch on
+	for {
+		if metric(t, ts, "rbserve_cache_misses_total") >= n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("solver ran %d times for %d concurrent identical requests", calls, n)
+	}
+	sharedCount := 0
+	for _, sr := range results {
+		if !sr.Optimal {
+			t.Fatalf("non-optimal result: %+v", sr)
+		}
+		if sr.Shared {
+			sharedCount++
+		}
+	}
+	if sharedCount != n-1 {
+		t.Fatalf("%d requests shared the flight, want %d", sharedCount, n-1)
+	}
+	if got := metric(t, ts, "rbserve_singleflight_shared_total"); got != n-1 {
+		t.Fatalf("singleflight_shared_total = %d, want %d", got, n-1)
+	}
+	if got := metric(t, ts, "rbserve_solves_total"); got != 1 {
+		t.Fatalf("solves_total = %d, want 1", got)
+	}
+}
+
+// TestAsyncJob exercises the queue: enqueue, poll until done, check
+// the certified result.
+func TestAsyncJob(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"async":true}`, dagJSON(t, daggen.Pyramid(4)))
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JobResponse
+	json.NewDecoder(resp.Body).Decode(&jr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || jr.ID == "" {
+		t.Fatalf("submit: status %d, job %+v", resp.StatusCode, jr)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		resp, err := http.Get(ts.URL + "/solve/" + jr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got JobResponse
+		json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if got.Status == "done" {
+			if got.Result == nil || !got.Result.Optimal {
+				t.Fatalf("done without optimal result: %+v", got)
+			}
+			break
+		}
+		if got.Status == "error" {
+			t.Fatalf("job failed: %s", got.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := metric(t, ts, "rbserve_jobs_done_total"); got != 1 {
+		t.Fatalf("jobs_done_total = %d, want 1", got)
+	}
+}
+
+// TestDeadlineReturnsCertifiedInterval: a tiny deadline on a hard
+// instance returns 200 with a non-optimal certified interval.
+func TestDeadlineReturnsCertifiedInterval(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"deadline_ms":60}`, dagJSON(t, daggen.FFT(3)))
+	code, sr, raw := postSolve(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if sr.Optimal {
+		t.Skip("host solved fft(3) within 60ms; interval check not reachable")
+	}
+	if sr.Lower <= 0 || sr.Lower > sr.Upper || sr.Gap <= 0 {
+		t.Fatalf("incoherent certified interval: %+v", sr)
+	}
+	// A deadline-limited (non-optimal) answer must not poison the cache.
+	_, sr2, _ := postSolve(t, ts, body)
+	if sr2.Cached {
+		t.Fatalf("non-optimal result was served from cache: %+v", sr2)
+	}
+}
+
+// TestBadRequests covers the error paths.
+func TestBadRequests(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, body string
+		wantCode   int
+	}{
+		{"empty", `{}`, http.StatusUnprocessableEntity},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"bad model", fmt.Sprintf(`{"dag":%s,"model":"nope"}`, dagJSON(t, daggen.Chain(3))), http.StatusUnprocessableEntity},
+		{"r too small", fmt.Sprintf(`{"dag":%s,"r":1}`, dagJSON(t, daggen.Pyramid(3))), http.StatusUnprocessableEntity},
+		{"bad async", `{"async":true}`, http.StatusBadRequest},
+		// The declared node count is rejected before the graph is
+		// materialized — a 50-byte body must not allocate 2B nodes.
+		{"huge node count", `{"dag":{"nodes":2000000000,"edges":[]}}`, http.StatusUnprocessableEntity},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, raw := postSolve(t, ts, tc.body)
+			if code != tc.wantCode {
+				t.Fatalf("status %d, want %d (%s)", code, tc.wantCode, raw)
+			}
+		})
+	}
+	resp, err := http.Get(ts.URL + "/solve/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthz sanity-checks the probe.
+func TestHealthz(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}

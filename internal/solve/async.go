@@ -124,6 +124,7 @@ type asyncShared struct {
 	expanded atomic.Int64 // states expanded (for the budget and stats)
 	done     atomic.Bool  // optimum proven
 	abort    atomic.Bool  // state budget exhausted
+	stop     atomic.Bool  // cancellation requested: drain to quiescence, expand nothing
 	passive  []atomic.Bool
 	fmins    []atomic.Int64 // per-worker published heap minimum (the watermark)
 	gtops    []atomic.Int64 // g of the same top entry (for the plateau dive window)
@@ -202,6 +203,7 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 		workers[i] = w
 	}
 
+	var lowerBound int64
 	report := func() {
 		if opts.Stats != nil {
 			var st ExactStats
@@ -210,6 +212,7 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 				st.Pushed += w.pushed
 				st.Distinct += w.table.count()
 			}
+			st.LowerBound = lowerBound
 			*opts.Stats = st
 		}
 	}
@@ -219,7 +222,7 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 	h0, dead := base.lb.estimate(start)
 	if dead {
 		report()
-		return Solution{}, errors.New("solve: instance is infeasible under this convention")
+		return Solution{}, ErrInfeasible
 	}
 	rw := workers[rootHash%uint64(nw)]
 	rootRef, _ := rw.table.lookupOrAdd(rootKey, rootHash)
@@ -238,15 +241,28 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 		}(w)
 	}
 
-	// Coordinator: poll the state budget and run the termination probe.
-	// The poll interval escalates so that long solves are not taxed by
-	// coordinator wakeups (the workers keep the watermark cache fresh
-	// themselves); short solves still terminate within ~20us.
+	// Coordinator: poll the state budget, watch for cancellation and run
+	// the termination probe. The poll interval escalates so that long
+	// solves are not taxed by coordinator wakeups (the workers keep the
+	// watermark cache fresh themselves); short solves still terminate
+	// within ~20us. A cancellation does not kill the workers outright:
+	// it flips the stop flag so they cease expanding but keep draining
+	// mailboxes, and the ordinary counting probe then detects the
+	// quiescent point — at which every generated proposal sits relaxed
+	// in some shard heap, so the heap tops are the full open frontier
+	// and their minimum is a certified lower bound on the optimum.
 	coSleep := 20 * time.Microsecond
 	for {
 		if sh.expanded.Load() > int64(maxStates) {
 			sh.abort.Store(true)
 			break
+		}
+		if opts.Cancel != nil && !sh.stop.Load() {
+			select {
+			case <-opts.Cancel:
+				sh.stop.Store(true)
+			default:
+			}
 		}
 		if sh.terminated() {
 			sh.done.Store(true)
@@ -258,13 +274,36 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 		}
 	}
 	wg.Wait()
-	report()
 	if sh.abort.Load() {
+		// The workers quit mid-flight, so mailbox batches may still hold
+		// unrelaxed proposals; only the root estimate stays certified.
+		lowerBound = h0
+		report()
 		return Solution{}, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
 	}
-	if sh.incG.Load() == costUnreached {
+	incG := sh.incG.Load()
+	minTop := int64(costUnreached)
+	for _, w := range workers {
+		if w.open.len() > 0 && w.open.a[0].f < minTop {
+			minTop = w.open.a[0].f
+		}
+	}
+	if sh.stop.Load() && !(incG != costUnreached && minTop >= incG) &&
+		!(incG == costUnreached && minTop == costUnreached) {
+		// Canceled before the optimum was proven: harvest the certified
+		// frontier bound. (If the frontier had already emptied past the
+		// incumbent, the solve finished despite the cancellation and
+		// falls through to the normal success path.)
+		lowerBound = max(h0, min(minTop, incG))
+		report()
+		return Solution{}, fmt.Errorf("%w after %d states (lower bound %d)", ErrCanceled, sh.expanded.Load(), lowerBound)
+	}
+	if incG == costUnreached {
+		report()
 		return Solution{}, errors.New("solve: state space exhausted without completing (unreachable for feasible R)")
 	}
+	lowerBound = incG // proven optimal
+	report()
 
 	logs := make([][]parNode, nw)
 	for i, w := range workers {
@@ -317,10 +356,13 @@ func (w *asyncWorker) run(sh *asyncShared) {
 			spins, backoff = 0, time.Microsecond
 			continue
 		}
-		if w.open.len() > 0 && w.open.a[0].f < sh.incG.Load() {
+		if !sh.stop.Load() && w.open.len() > 0 && w.open.a[0].f < sh.incG.Load() {
 			// Blocked behind the watermark: useful frontier exists but a
 			// cheaper one lives on another shard. Stay active (never
 			// passive) and retry; the watermark holder always advances.
+			// (Under a stop request the frontier is deliberately left
+			// unexpanded, so fall through to passive instead: quiescence
+			// is what the coordinator is waiting to observe.)
 			wait()
 			continue
 		}
@@ -365,7 +407,6 @@ func (w *asyncWorker) publish(sh *asyncShared) {
 // instead of flooding the plateau breadth-first, while still letting
 // several shards work the dive front concurrently.
 const asyncDiveWindow = 2
-
 
 // watermark recomputes the merged watermark — the smallest published f
 // across shard heaps and pending mailboxes, and the largest g published
@@ -480,6 +521,9 @@ func (w *asyncWorker) expand(sh *asyncShared) int {
 	c := w.ctx
 	did := 0
 	for did < asyncExpandBatch && w.open.len() > 0 {
+		if sh.stop.Load() {
+			break // canceled: stop generating work, keep draining
+		}
 		top := w.open.a[0].f
 		if top >= sh.incG.Load() {
 			// Under an admissible bound nothing at or beyond the

@@ -1,12 +1,9 @@
 package solve
 
 import (
-	"encoding/json"
-	"flag"
-	"os"
-	"runtime"
 	"testing"
 
+	"rbpebble/internal/benchharness"
 	"rbpebble/internal/daggen"
 	"rbpebble/internal/pebble"
 )
@@ -18,7 +15,7 @@ import (
 // path resolves against the package directory, so pass an absolute one
 // to refresh the repo-root artifact):
 //
-//	go test ./internal/solve -bench . -benchtime 1x -benchjson "$PWD"/BENCH_solver.json
+//	go test ./internal/solve ./internal/anytime -p 1 -bench . -benchtime 1x -benchjson "$PWD"/BENCH_solver.json
 //
 // (The flag is named -benchjson because the go tool claims -json for
 // its own test2json stream.)
@@ -62,62 +59,16 @@ import (
 // slightly fewer states; the async design is the one with headroom on
 // real multicore hosts, where sync's barriers serialize every round.
 
-// benchJSON, when set, writes every benchmark's collected metrics as a
-// JSON array to the given path after the run.
-var benchJSON = flag.String("benchjson", "", "write machine-readable benchmark results to this JSON file")
+// The -benchjson flag, record type and merge-write live in
+// internal/benchharness, shared with the anytime benchmark suite.
 
-// benchRecord is one benchmark's machine-readable result row.
-type benchRecord struct {
-	Name           string  `json:"name"`
-	NsPerOp        float64 `json:"ns_per_op"`
-	AllocsPerOp    float64 `json:"allocs_per_op"`
-	StatesExpanded int     `json:"states_expanded,omitempty"`
-	DistinctStates int     `json:"distinct_states,omitempty"`
-	Visits         int     `json:"visits,omitempty"`
-	OptimalScaled  int64   `json:"optimal_scaled_cost,omitempty"`
+func TestMain(m *testing.M) { benchharness.Main(m) }
+
+func record(b *testing.B, mallocs0 uint64, rec benchharness.Record) {
+	benchharness.Capture(b, mallocs0, rec)
 }
 
-var benchRecords []benchRecord
-
-func TestMain(m *testing.M) {
-	code := m.Run()
-	if code == 0 && *benchJSON != "" && len(benchRecords) > 0 {
-		data, err := json.MarshalIndent(benchRecords, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
-		}
-		if err != nil {
-			os.Stderr.WriteString("benchjson: " + err.Error() + "\n")
-			code = 1
-		}
-	}
-	os.Exit(code)
-}
-
-// record captures one benchmark's metrics (ns/op from the timer,
-// allocs/op from the runtime's malloc counter) for the JSON output.
-// The harness invokes each benchmark function several times while
-// calibrating b.N; only the latest (converged) invocation is kept.
-func record(b *testing.B, mallocs0 uint64, rec benchRecord) {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	rec.Name = b.Name()
-	rec.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
-	rec.AllocsPerOp = float64(ms.Mallocs-mallocs0) / float64(b.N)
-	for i := range benchRecords {
-		if benchRecords[i].Name == rec.Name {
-			benchRecords[i] = rec
-			return
-		}
-	}
-	benchRecords = append(benchRecords, rec)
-}
-
-func mallocCount() uint64 {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms.Mallocs
-}
+func mallocCount() uint64 { return benchharness.Mallocs() }
 
 func pyramid5R4() Problem {
 	return Problem{G: daggen.Pyramid(5), Model: pebble.NewModel(pebble.Oneshot), R: 4}
@@ -152,7 +103,7 @@ func benchExact(b *testing.B, p Problem, opts ExactOptions) {
 	}
 	b.ReportMetric(float64(stats.Expanded), "states/op")
 	b.ReportMetric(float64(stats.Distinct), "distinct/op")
-	record(b, m0, benchRecord{
+	record(b, m0, benchharness.Record{
 		StatesExpanded: stats.Expanded,
 		DistinctStates: stats.Distinct,
 		OptimalScaled:  scaled,
@@ -237,7 +188,7 @@ func benchDFS(b *testing.B, p Problem, opts ExactDFSOptions) {
 		scaled = sol.Result.Cost.Scaled(p.Model)
 	}
 	b.ReportMetric(float64(stats.Visits), "visits/op")
-	record(b, m0, benchRecord{Visits: stats.Visits, OptimalScaled: scaled})
+	record(b, m0, benchharness.Record{Visits: stats.Visits, OptimalScaled: scaled})
 }
 
 func BenchmarkExactIDAStarPyramid5R4(b *testing.B) {
@@ -271,7 +222,7 @@ func benchTopoBelady(b *testing.B, p Problem) {
 			b.Fatal(err)
 		}
 	}
-	record(b, m0, benchRecord{})
+	record(b, m0, benchharness.Record{})
 }
 
 func BenchmarkTopoBeladyPyramid5R4(b *testing.B) { benchTopoBelady(b, pyramid5R4()) }

@@ -59,6 +59,20 @@ type ExactDFSOptions struct {
 	// also on failure, so a visit-limited run still reports how far it
 	// got and what bounds it had proven.
 	Stats *ExactDFSStats
+	// Cancel, when non-nil, makes the search stop cooperatively once
+	// the channel is closed: ExactDFS returns ErrCanceled with Stats
+	// filled. The incumbent found so far remains harvestable through
+	// OnIncumbent, which always fires before the cancellation lands.
+	Cancel <-chan struct{}
+	// OnIncumbent, when non-nil, is called (from the solver goroutine)
+	// each time the search improves its incumbent, with the achieved
+	// scaled cost and the move sequence. The slice is owned by the
+	// solver and must be treated as read-only.
+	OnIncumbent func(scaled int64, moves []pebble.Move)
+	// Progress, when non-nil, is called after every completed IDA*
+	// threshold pass with the current stats snapshot (whose LowerBound
+	// ratchets up as passes complete).
+	Progress func(ExactDFSStats)
 }
 
 // ExactDFSStats reports search effort and bound progress from one
@@ -77,6 +91,13 @@ type ExactDFSStats struct {
 	// search stopped (the optimum on success; an upper bound on
 	// ErrVisitLimit).
 	Incumbent int64
+	// LowerBound is the best certified lower bound on the optimal
+	// scaled cost when the search stopped: the optimum itself on
+	// success, else the root heuristic estimate raised by every
+	// completed IDA* pass (a pass at threshold T that finds nothing
+	// cheaper proves no completion costs less than the smallest f it
+	// pruned).
+	LowerBound int64
 }
 
 // ErrVisitLimit is returned when ExactDFS exceeds its visit budget.
@@ -128,24 +149,22 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 	}
 
 	d := &dfsSearch{
-		p:         p,
-		c:         newSearchCtx(p, ExactOptions{}, start),
-		st:        start,
-		memo:      newStateTable(start.PackedWords(), 1024),
-		hcache:    newStateTable(start.PackedWords(), 1024),
-		maxVisits: maxVisits,
-		bound:     bound,
-		bestMoves: bestMoves,
-		maxDepth:  dfsMaxDepth(p),
+		p:           p,
+		c:           newSearchCtx(p, ExactOptions{}, start),
+		st:          start,
+		memo:        newStateTable(start.PackedWords(), 1024),
+		hcache:      newStateTable(start.PackedWords(), 1024),
+		maxVisits:   maxVisits,
+		bound:       bound,
+		bestMoves:   bestMoves,
+		maxDepth:    dfsMaxDepth(p),
+		cancel:      opts.Cancel,
+		onIncumbent: opts.OnIncumbent,
+		onProgress:  opts.Progress,
 	}
 	report := func() {
 		if opts.Stats != nil {
-			*opts.Stats = ExactDFSStats{
-				Visits:     d.visits,
-				Iterations: d.iterations,
-				Threshold:  d.threshold,
-				Incumbent:  d.bound,
-			}
+			*opts.Stats = d.stats()
 		}
 	}
 	switch opts.Algorithm {
@@ -204,17 +223,54 @@ type dfsSearch struct {
 
 	threshold  int64 // current IDA* f-threshold
 	minExceed  int64 // smallest f seen above the threshold this pass
+	lower      int64 // certified lower bound (root estimate, raised per completed pass)
 	visits     int
 	iterations int
 	limitErr   error
+
+	cancel      <-chan struct{}
+	onIncumbent func(scaled int64, moves []pebble.Move)
+	onProgress  func(ExactDFSStats)
 }
 
-// visitLimited counts one expansion, registers budget exhaustion
-// (once) and reports it. Visits count states actually expanded —
-// memo- and bound-pruned re-entries are free, matching what the
-// best-first solver's Expanded counter means.
+// stats snapshots the search counters and bounds.
+func (d *dfsSearch) stats() ExactDFSStats {
+	return ExactDFSStats{
+		Visits:     d.visits,
+		Iterations: d.iterations,
+		Threshold:  d.threshold,
+		Incumbent:  d.bound,
+		LowerBound: d.lower,
+	}
+}
+
+// improved records a new incumbent (a complete pebbling of scaled cost
+// `cost` along the live move prefix) and notifies the callback.
+func (d *dfsSearch) improved(cost int64) {
+	d.bound = cost
+	d.bestMoves = append([]pebble.Move(nil), d.moves...)
+	if d.onIncumbent != nil {
+		d.onIncumbent(cost, d.bestMoves)
+	}
+}
+
+// visitLimited counts one expansion, registers budget exhaustion or
+// cancellation (once) and reports it. Visits count states actually
+// expanded — memo- and bound-pruned re-entries are free, matching what
+// the best-first solver's Expanded counter means.
 func (d *dfsSearch) visitLimited() bool {
 	d.visits++
+	if d.cancel != nil && d.visits&255 == 0 {
+		select {
+		case <-d.cancel:
+			if d.limitErr == nil {
+				d.limitErr = fmt.Errorf("%w after %d visits (incumbent %d, lower bound %d)",
+					ErrCanceled, d.visits, d.bound, d.lower)
+			}
+			return true
+		default:
+		}
+	}
 	if d.visits <= d.maxVisits {
 		return false
 	}
@@ -261,9 +317,10 @@ func (d *dfsSearch) cachedH(hash uint64) (int32, int64) {
 func (d *dfsSearch) idaStar() error {
 	h0, dead := d.c.lb.estimate(d.st)
 	if dead {
-		return errors.New("solve: instance is infeasible under this convention")
+		return ErrInfeasible
 	}
 	d.threshold = h0
+	d.lower = h0
 	// The threshold grows by a doubling gap (capped) rather than to the
 	// minimal exceeding f. Minimal steps are safe but hopeless on wide
 	// searches: the per-pass cost grows roughly geometrically in f, so
@@ -284,13 +341,25 @@ func (d *dfsSearch) idaStar() error {
 			return d.limitErr
 		}
 		if d.bound <= d.threshold {
-			return nil // incumbent proven optimal
+			d.lower = d.bound // incumbent proven optimal
+			return nil
 		}
 		if d.minExceed >= d.bound {
 			// Every unexplored branch already costs at least the
 			// incumbent: it is optimal (covers minExceed == unreached,
 			// the exhausted case).
+			d.lower = d.bound
 			return nil
+		}
+		// The completed pass proves no completion costs less than
+		// minExceed: every cheaper one would have a prefix with
+		// f <= threshold all the way to its goal, so the pass would
+		// have reached it.
+		if d.minExceed > d.lower {
+			d.lower = d.minExceed
+		}
+		if d.onProgress != nil {
+			d.onProgress(d.stats())
 		}
 		next := d.threshold + gap*int64(d.c.scale)
 		if d.minExceed > next {
@@ -315,8 +384,7 @@ func (d *dfsSearch) recIDA() bool {
 		return true
 	}
 	if st.Complete() {
-		d.bound = cost
-		d.bestMoves = append([]pebble.Move(nil), d.moves...)
+		d.improved(cost)
 		return true
 	}
 	if st.Steps() >= d.maxDepth {
@@ -410,7 +478,15 @@ func orderMovesForDFS(c *searchCtx, moves []pebble.Move) {
 // memo keyed on best entry cost.
 func (d *dfsSearch) branchAndBound() error {
 	d.iterations = 1
+	h0, dead := d.c.lb.estimate(d.st)
+	if dead {
+		return ErrInfeasible
+	}
+	d.lower = h0
 	d.recBnB()
+	if d.limitErr == nil {
+		d.lower = d.bound // exhausted: incumbent proven optimal
+	}
 	return d.limitErr
 }
 
@@ -426,8 +502,7 @@ func (d *dfsSearch) recBnB() bool {
 		return true
 	}
 	if st.Complete() {
-		d.bound = cost
-		d.bestMoves = append([]pebble.Move(nil), d.moves...)
+		d.improved(cost)
 		return true
 	}
 	if st.Steps() >= d.maxDepth {

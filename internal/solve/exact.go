@@ -14,6 +14,12 @@ import (
 // ExactOptions.MaxStates before proving an optimum.
 var ErrStateLimit = errors.New("solve: state limit exceeded")
 
+// ErrCanceled is returned by the exact solvers when their Cancel channel
+// fires before the optimum is proven. The Stats snapshot (including the
+// certified LowerBound harvested from the open frontier) is still
+// filled, so anytime callers can salvage the partial certificate.
+var ErrCanceled = errors.New("solve: search canceled")
+
 // ExactOptions configures the exact solver.
 type ExactOptions struct {
 	// MaxStates caps the number of expanded states (0 means the default
@@ -41,6 +47,30 @@ type ExactOptions struct {
 	// Stats, when non-nil, receives search counters (states expanded,
 	// pushed, distinct) after the solve, successful or not.
 	Stats *ExactStats
+	// Cancel, when non-nil, makes the search stop cooperatively once the
+	// channel is closed: Exact returns ErrCanceled with Stats filled,
+	// including the certified frontier lower bound harvested at
+	// shutdown. The anytime orchestrator uses this to turn a deadline
+	// into a [lower, upper] certificate instead of a wasted solve.
+	Cancel <-chan struct{}
+	// Progress, when non-nil, receives periodic snapshots from the
+	// serial search (every few thousand expansions) and from the
+	// synchronous-rounds parallel engine (once per round). The default
+	// async HDA* engine does not stream progress: in-flight mailbox
+	// proposals make a mid-flight frontier minimum uncertifiable, so it
+	// reports its bound only in Stats at termination or cancellation
+	// harvest. The callback runs on the solver goroutine and must be
+	// fast.
+	Progress func(ExactProgress)
+}
+
+// ExactProgress is one periodic snapshot of a running exact search.
+type ExactProgress struct {
+	// Expanded is the number of states expanded so far.
+	Expanded int
+	// LowerBound is the certified scaled lower bound on the optimal
+	// cost proven so far (see ExactStats.LowerBound).
+	LowerBound int64
 }
 
 // ExactStats reports search-effort counters from one Exact run.
@@ -52,6 +82,13 @@ type ExactStats struct {
 	Pushed int
 	// Distinct is the number of distinct states ever reached.
 	Distinct int
+	// LowerBound is the best certified lower bound (scaled cost units)
+	// on the optimum when the search stopped: the optimum itself on
+	// success, else the largest min-f observed over the open frontier.
+	// Under an admissible heuristic every completion always has an open
+	// entry with f no larger than its cost, so the min open f never
+	// exceeds the true optimum — each observation is a certificate.
+	LowerBound int64
 }
 
 // searchNode records how a state was reached, for path reconstruction:
@@ -327,9 +364,10 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 	var hs []int64
 
 	expanded, pushed := 0, 0
+	lower := int64(0) // certified lower bound: running max of min open f
 	report := func() {
 		if opts.Stats != nil {
-			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: table.count()}
+			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: table.count(), LowerBound: lower}
 		}
 	}
 
@@ -340,14 +378,22 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 	h0, dead := c.lb.estimate(start)
 	if dead {
 		report()
-		return Solution{}, errors.New("solve: instance is infeasible under this convention")
+		return Solution{}, ErrInfeasible
 	}
 	hs = append(hs, h0)
+	lower = h0
 	open.push(heapEntry{f: h0, g: 0, node: 0})
 	pushed = 1
 
 	for open.len() > 0 {
 		e := open.pop()
+		// e has the smallest f on the open list, so min open f = e.f at
+		// this instant; the optimum is at least that (every completion
+		// keeps an open entry with f <= its cost), and the running max
+		// of these instants is the certificate the anytime layer reads.
+		if e.f > lower {
+			lower = e.f
+		}
 		nd := nodes[e.node]
 		if e.g > table.best[nd.ref] {
 			continue // stale entry
@@ -355,6 +401,7 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 		key := table.key(nd.ref)
 		c.scratch.RestorePacked(key)
 		if c.scratch.Complete() {
+			lower = e.g // proven optimal
 			report()
 			return reconstruct(p, nodes, e.node), nil
 		}
@@ -362,6 +409,19 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 		if expanded > maxStates {
 			report()
 			return Solution{}, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
+		}
+		if expanded&1023 == 0 {
+			if opts.Cancel != nil {
+				select {
+				case <-opts.Cancel:
+					report()
+					return Solution{}, fmt.Errorf("%w after %d states (lower bound %d)", ErrCanceled, expanded, lower)
+				default:
+				}
+			}
+			if opts.Progress != nil && expanded&8191 == 0 {
+				opts.Progress(ExactProgress{Expanded: expanded, LowerBound: lower})
+			}
 		}
 
 		c.moveBuf = c.moveBuf[:0]

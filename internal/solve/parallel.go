@@ -88,13 +88,14 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 	}
 
 	expanded, pushed := 0, 0
+	lower := int64(0) // certified lower bound (see exactSerial)
 	report := func() {
 		if opts.Stats != nil {
 			distinct := 0
 			for _, w := range workers {
 				distinct += w.table.count()
 			}
-			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: distinct}
+			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: distinct, LowerBound: lower}
 		}
 	}
 
@@ -103,7 +104,7 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 	h0, dead := base.lb.estimate(start)
 	if dead {
 		report()
-		return Solution{}, errors.New("solve: instance is infeasible under this convention")
+		return Solution{}, ErrInfeasible
 	}
 	rw := workers[rootHash%uint64(nw)]
 	rootRef, _ := rw.table.lookupOrAdd(rootKey, rootHash)
@@ -112,6 +113,7 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 	rw.nodes = append(rw.nodes, parNode{parentShard: -1, parentNode: -1, ref: rootRef})
 	rw.open.push(heapEntry{f: h0, g: 0, node: 0})
 	pushed = 1
+	lower = h0
 
 	var (
 		incMu    sync.Mutex
@@ -141,8 +143,25 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 			report()
 			return Solution{}, errors.New("solve: state space exhausted without completing (unreachable for feasible R)")
 		}
+		// At a round boundary every proposal has been relaxed into a
+		// heap, so fmin is the true min open f — a certified lower bound
+		// on the optimum (capped by the incumbent, which is achievable).
+		if rl := min(fmin, incG); rl > lower {
+			lower = rl
+		}
 		if incG <= fmin { // covers "all heaps empty" when an incumbent exists
 			break
+		}
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				report()
+				return Solution{}, fmt.Errorf("%w after %d states (lower bound %d)", ErrCanceled, expanded, lower)
+			default:
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(ExactProgress{Expanded: expanded, LowerBound: lower})
 		}
 
 		// Expand phase.

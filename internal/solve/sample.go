@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"math/rand"
 
 	"rbpebble/internal/dag"
@@ -15,6 +16,13 @@ type RandomOrdersOptions struct {
 	Samples int
 	// Seed drives the sampling.
 	Seed int64
+	// InitialBound, if > 0, is a scaled cost the caller has already
+	// achieved elsewhere: sampled orders are pruned against it (as well
+	// as against the best sample so far), so samples that cannot beat
+	// the caller's incumbent are abandoned mid-execution. The returned
+	// solution may then be no better than the caller's — compare costs
+	// as usual.
+	InitialBound int64
 }
 
 // RandomOrders is a randomized heuristic for instances too large for the
@@ -33,14 +41,29 @@ func RandomOrders(p Problem, opts RandomOrdersOptions) (Solution, error) {
 	}
 	bestCost := best.Result.Cost.Scaled(p.Model)
 	rng := rand.New(rand.NewSource(opts.Seed))
+	pruneAt := bestCost
+	if opts.InitialBound > 0 && opts.InitialBound < pruneAt {
+		pruneAt = opts.InitialBound
+	}
 	for s := 0; s < samples; s++ {
 		order := randomTopoOrder(p.G, p.Convention, rng)
-		tr, res, err := sched.Execute(p.G, p.Model, p.R, p.Convention, order, sched.Options{Policy: sched.Belady})
+		// Budget-pruned execution: a sampled order is abandoned the
+		// moment its partial cost exceeds the best complete one (or the
+		// caller's incumbent), which is where most of the sampling time
+		// goes on large DAGs.
+		tr, res, err := sched.Execute(p.G, p.Model, p.R, p.Convention, order,
+			sched.Options{Policy: sched.Belady, CostBudget: pruneAt})
 		if err != nil {
+			if errors.Is(err, sched.ErrCostBudget) {
+				continue // provably not an improvement
+			}
 			return Solution{}, err
 		}
 		if c := res.Cost.Scaled(p.Model); c < bestCost {
 			best, bestCost = Solution{Trace: tr, Result: res}, c
+			if bestCost < pruneAt {
+				pruneAt = bestCost
+			}
 		}
 	}
 	return best, nil

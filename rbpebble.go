@@ -19,20 +19,28 @@
 //   - solvers: exact state-space search, order enumeration, greedy
 //   - the paper's gadgets (CD, H2C, tradeoff DAG, greedy grid) and
 //     reductions (Hamiltonian Path, Vertex Cover)
+//   - the anytime layer: deadline-driven orchestration racing the
+//     heuristics against the exact engines, returning certified
+//     [lower, upper] intervals (Anytime, AnytimeOptions)
+//   - the serving layer: instance canonicalization + solution cache
+//     (CanonicalDAG) and the rbserve HTTP service (NewServer)
 //   - the experiment harness regenerating every table and figure
 package rbpebble
 
 import (
+	"rbpebble/internal/anytime"
 	"rbpebble/internal/dag"
 	"rbpebble/internal/daggen"
 	"rbpebble/internal/experiments"
 	"rbpebble/internal/gadgets"
 	"rbpebble/internal/hampath"
+	"rbpebble/internal/instcache"
 	"rbpebble/internal/multilevel"
 	"rbpebble/internal/parpeb"
 	"rbpebble/internal/pebble"
 	"rbpebble/internal/reduce"
 	"rbpebble/internal/sched"
+	"rbpebble/internal/service"
 	"rbpebble/internal/solve"
 	"rbpebble/internal/ugraph"
 	"rbpebble/internal/vcover"
@@ -261,6 +269,57 @@ var (
 	// Portfolio runs every heuristic (optionally exact search) and
 	// returns the cheapest verified pebbling.
 	Portfolio = solve.Portfolio
+)
+
+// ---- Anytime orchestration and serving ----
+
+type (
+	// AnytimeOptions configures the deadline-driven orchestrator
+	// (budget, parallel workers, progress streaming).
+	AnytimeOptions = anytime.Options
+	// AnytimeResult is a certified anytime answer: the incumbent's
+	// verified trace plus the [lower, upper] interval and its gap.
+	AnytimeResult = anytime.Result
+	// AnytimeSnapshot is one point of the anytime convergence curve,
+	// streamed through AnytimeOptions.OnProgress.
+	AnytimeSnapshot = anytime.Snapshot
+	// ExactProgress is a periodic snapshot of a running exact search
+	// (ExactOptions.Progress).
+	ExactProgress = solve.ExactProgress
+	// ServiceConfig tunes an embedded rbserve HTTP server.
+	ServiceConfig = service.Config
+)
+
+var (
+	// Anytime races the heuristics against the exact engines under a
+	// deadline: on hard instances it returns the best incumbent trace
+	// with a certified optimality gap instead of an error, and with an
+	// unconstrained budget it runs to a proven optimum.
+	Anytime = anytime.Solve
+	// RootLowerBound returns the admissible heuristic's instant lower
+	// bound on an instance's optimal scaled cost.
+	RootLowerBound = solve.RootLowerBound
+	// CanonicalDAG computes an isomorphism-invariant digest and
+	// canonical node permutation of a DAG — the identity the rbserve
+	// instance cache deduplicates on.
+	CanonicalDAG = instcache.Canonical
+	// NewServer builds the rbserve HTTP service (solve endpoints, job
+	// queue, canonical cache, metrics) for embedding; cmd/rbserve is
+	// the standalone binary.
+	NewServer = service.New
+)
+
+// Sentinel errors of the exact solvers.
+var (
+	// ErrStateLimit: Exact exhausted ExactOptions.MaxStates.
+	ErrStateLimit = solve.ErrStateLimit
+	// ErrVisitLimit: ExactDFS exhausted ExactDFSOptions.MaxVisits.
+	ErrVisitLimit = solve.ErrVisitLimit
+	// ErrCanceled: a solver's Cancel channel fired first; the stats
+	// snapshot still carries the certified LowerBound it had proven.
+	ErrCanceled = solve.ErrCanceled
+	// ErrInfeasible: the instance admits no complete pebbling.
+	ErrInfeasible = solve.ErrInfeasible
 )
 
 // ---- Gadgets and constructions ----
