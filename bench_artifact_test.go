@@ -22,6 +22,8 @@ func TestBenchArtifactParses(t *testing.T) {
 		NsPerOp     float64 `json:"ns_per_op"`
 		UpperScaled int64   `json:"upper_scaled_cost"`
 		LowerScaled int64   `json:"lower_scaled_cost"`
+		GapFirst    float64 `json:"gap_first_solve"`
+		GapSecond   float64 `json:"gap_second_solve"`
 	}
 	if err := json.Unmarshal(data, &rows); err != nil {
 		t.Fatalf("artifact does not parse: %v", err)
@@ -29,7 +31,7 @@ func TestBenchArtifactParses(t *testing.T) {
 	if len(rows) == 0 {
 		t.Fatal("artifact is empty")
 	}
-	hasAnytime := false
+	hasAnytime, hasConvergence := false, false
 	for _, r := range rows {
 		if r.Name == "" || r.NsPerOp <= 0 {
 			t.Fatalf("malformed row: %+v", r)
@@ -40,8 +42,22 @@ func TestBenchArtifactParses(t *testing.T) {
 				t.Fatalf("anytime row with incoherent interval: %+v", r)
 			}
 		}
+		if strings.HasPrefix(r.Name, "BenchmarkIntervalConvergence") {
+			hasConvergence = true
+			if r.LowerScaled <= 0 || r.LowerScaled > r.UpperScaled {
+				t.Fatalf("convergence row with incoherent interval: %+v", r)
+			}
+			// Warm-starting the second solve from the first's interval
+			// must never widen the certified gap.
+			if r.GapSecond > r.GapFirst {
+				t.Fatalf("convergence row regressed across requests: %+v", r)
+			}
+		}
 	}
 	if !hasAnytime {
 		t.Fatal("artifact has no anytime rows")
+	}
+	if !hasConvergence {
+		t.Fatal("artifact has no interval-cache convergence row")
 	}
 }

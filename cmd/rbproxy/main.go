@@ -1,0 +1,83 @@
+// Command rbproxy is the cluster front end for a fleet of rbserve
+// replicas: it routes each POST /solve to the node that owns the
+// request's canonical instance key on a consistent-hash ring (so
+// repeated and isomorphic submissions of an instance warm the same
+// node's interval cache), fails over along the ring when a node dies
+// or drains, fans async-job polls out across the fleet, and merges the
+// nodes' /metrics and /healthz into cluster-level views.
+//
+// Usage:
+//
+//	rbserve -addr :8081 & rbserve -addr :8082 &
+//	rbproxy -addr :8080 -members 127.0.0.1:8081,127.0.0.1:8082
+//	curl -s -X POST localhost:8080/solve -d '{
+//	    "dag": {"nodes": 3, "edges": [[0,2],[1,2]]},
+//	    "model": "oneshot", "r": 3, "deadline_ms": 1000}'
+//	curl -s localhost:8080/healthz     # per-node cluster view
+//	curl -s localhost:8080/metrics     # cluster_rbserve_* aggregates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rbpebble/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		members  = flag.String("members", "", "comma-separated rbserve replicas (host:port), required")
+		vnodes   = flag.Int("vnodes", 64, "virtual nodes per member on the hash ring")
+		probe    = flag.Duration("probe", 2*time.Second, "member health-probe interval")
+		maxBody  = flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+		maxNodes = flag.Int("max-nodes", 100000, "largest accepted instance (guards the routing parse)")
+		fwdLimit = flag.Duration("forward-timeout", 60*time.Second, "per-forward timeout (must exceed the nodes' max solve deadline)")
+	)
+	flag.Parse()
+
+	var memberList []string
+	for _, m := range strings.Split(*members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			memberList = append(memberList, m)
+		}
+	}
+	if len(memberList) == 0 {
+		fmt.Fprintln(os.Stderr, "rbproxy: -members is required (e.g. -members 127.0.0.1:8081,127.0.0.1:8082)")
+		os.Exit(2)
+	}
+
+	p := cluster.NewProxy(cluster.ProxyConfig{
+		Members:       memberList,
+		VirtualNodes:  *vnodes,
+		ProbeInterval: *probe,
+		MaxBodyBytes:  *maxBody,
+		MaxNodes:      *maxNodes,
+		Client:        &http.Client{Timeout: *fwdLimit},
+	})
+	defer p.Close()
+	srv := &http.Server{Addr: *addr, Handler: p.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("rbproxy: listening on %s, routing to %d members (probe=%s vnodes=%d)",
+		*addr, len(memberList), *probe, *vnodes)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "rbproxy:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		log.Printf("rbproxy: %s, shutting down", sig)
+		srv.Close()
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 		maxDeadline  = flag.Duration("max-deadline", 30*time.Second, "largest accepted per-request budget")
 		solveWorkers = flag.Int("solve-workers", 1, "parallel expansion workers inside each exact solve")
 		maxNodes     = flag.Int("max-nodes", 100000, "largest accepted instance")
+		grace        = flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight solves on SIGTERM")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		SolveWorkers:    *solveWorkers,
 		MaxNodes:        *maxNodes,
+		GracePeriod:     *grace,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -67,12 +69,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rbserve:", err)
 		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("rbserve: %s, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful node lifecycle: fail /healthz FIRST so the routing
+		// proxy's next probe stops sending work here, then let in-flight
+		// HTTP requests and async jobs finish within the grace window —
+		// solves still running at its end are canceled cooperatively and
+		// land their partial certified intervals in the cache.
+		log.Printf("rbserve: %s, draining (grace %s)", sig, *grace)
+		s.Drain()
+		// One grace window covers BOTH teardown steps: the HTTP listener
+		// drain and the async worker drain share the deadline, so the
+		// total never exceeds -grace (an operator aligning it with e.g.
+		// a kubelet termination grace must not see it spent twice).
+		deadline := time.Now().Add(*grace)
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("rbserve: shutdown: %v", err)
+			log.Printf("rbserve: http shutdown: %v", err)
 		}
-		s.Close()
+		s.ShutdownWithin(time.Until(deadline))
+		log.Printf("rbserve: drained, exiting")
 	}
 }

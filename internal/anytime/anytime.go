@@ -59,6 +59,31 @@ type Options struct {
 	// bound). Called from solver goroutines; must be fast and safe for
 	// concurrent use.
 	OnProgress func(Snapshot)
+	// Warm, when non-nil, resumes refinement from a previously certified
+	// interval of the SAME instance (e.g. a cached deadline-limited
+	// result): the cached incumbent is replay-verified and installed
+	// before any heuristic runs, its cost seeds the depth-first engine's
+	// ExactDFSOptions.InitialBound and the best-first engine's
+	// PruneBound, and the cached lower bound seeds both engines'
+	// InitialLowerBound — so a repeated hard instance picks up exactly
+	// where the previous request's budget died instead of starting over.
+	Warm *WarmStart
+}
+
+// WarmStart carries a previously certified interval into a new solve.
+// The caller vouches for LowerScaled (it must come from a certificate
+// chain on the same instance); Moves is re-verified here, so a corrupt
+// trace degrades to a cold start rather than an invalid answer.
+type WarmStart struct {
+	// Moves is the cached incumbent trace in this instance's node IDs
+	// (translate with instcache.FromCanonical when it crossed the
+	// canonical cache). Empty means no incumbent, only a lower bound.
+	Moves []pebble.Move
+	// LowerScaled is the certified scaled lower bound (0 = none).
+	LowerScaled int64
+	// Source names where the warm data came from, for provenance
+	// ("cache:astar" etc.); empty defaults to "warm-start".
+	Source string
 }
 
 // Snapshot is one point of the anytime convergence curve.
@@ -120,6 +145,41 @@ func (r Result) String() string {
 // unbounded is the effective search budget when only the deadline
 // should stop an engine.
 const unbounded = 1 << 40
+
+// refinementOptions assembles the phase-2 engine options from the
+// orchestrator options and the certified interval at phase-2 start:
+// the incumbent (warm-started or heuristic) seeds the depth-first
+// engine's InitialBound and the best-first engine's PruneBound
+// (both incumbent+1, so equal-cost optima are still found and proven),
+// and the certified floor seeds both engines' InitialLowerBound. It is
+// a separate function so tests can assert the warm-start values really
+// reach the exact engines.
+func refinementOptions(opts Options, incumbentScaled, lowerScaled int64) (solve.ExactOptions, solve.ExactDFSOptions) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = unbounded
+	}
+	maxVisits := opts.MaxVisits
+	if maxVisits == 0 {
+		maxVisits = unbounded
+	}
+	exact := solve.ExactOptions{
+		MaxStates:         maxStates,
+		Parallel:          opts.Workers,
+		InitialLowerBound: lowerScaled,
+	}
+	dfs := solve.ExactDFSOptions{
+		MaxVisits:         maxVisits,
+		InitialLowerBound: lowerScaled,
+	}
+	if incumbentScaled < math.MaxInt64 {
+		// Exclusive bounds: keep equal-cost completions so the engines
+		// can still PROVE the incumbent optimal, prune anything worse.
+		exact.PruneBound = incumbentScaled + 1
+		dfs.InitialBound = incumbentScaled + 1
+	}
+	return exact, dfs
+}
 
 // collector accumulates the certified interval across phases and
 // engines, emitting a snapshot whenever it tightens.
@@ -236,6 +296,22 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 		c.onP(s)
 	}
 
+	// Phase 0.5: warm start. Install the cached certificate before any
+	// heuristic runs, so even a zero-budget repeat of a hard instance
+	// returns an interval no wider than the cached one. The incumbent is
+	// replay-verified inside improveUpperMoves — a corrupt cache entry
+	// costs the warm upper bound, never correctness.
+	if opts.Warm != nil {
+		src := opts.Warm.Source
+		if src == "" {
+			src = "warm-start"
+		}
+		c.raiseLower(opts.Warm.LowerScaled, src)
+		if len(opts.Warm.Moves) > 0 {
+			c.improveUpperMoves(opts.Warm.Moves, src)
+		}
+	}
+
 	// Phase 1: cheap upper bounds, best-first order (TopoBelady is the
 	// strongest order-oblivious heuristic; the greedy rules can beat it
 	// on structured DAGs; random-order sampling adds diversity, with
@@ -274,57 +350,50 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 	if !c.closed() && ctx.Err() == nil {
 		var wg sync.WaitGroup
 
-		maxStates := opts.MaxStates
-		if maxStates == 0 {
-			maxStates = unbounded
-		}
+		c.mu.Lock()
+		incumbent, floor := c.upper, c.lower
+		c.mu.Unlock()
+		exactOpts, dfsOpts := refinementOptions(opts, incumbent, floor)
+
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sol, err := solve.Exact(p, solve.ExactOptions{
-				MaxStates: maxStates,
-				Parallel:  opts.Workers,
-				Cancel:    rctx.Done(),
-				Stats:     &exactStats,
-				Progress: func(pr solve.ExactProgress) {
-					c.raiseLower(pr.LowerBound, "astar")
-				},
-			})
+			exactOpts.Cancel = rctx.Done()
+			exactOpts.Stats = &exactStats
+			exactOpts.Progress = func(pr solve.ExactProgress) {
+				c.raiseLower(pr.LowerBound, "astar")
+			}
+			sol, err := solve.Exact(p, exactOpts)
 			if err == nil {
 				c.improveUpper(sol, "astar")
 				c.raiseLower(sol.Result.Cost.Scaled(p.Model), "astar")
 				rcancel() // optimum proven: stop the DFS
 				return
 			}
-			// Canceled or out of budget: harvest the frontier bound.
+			// Canceled, out of budget, or bound-exhausted (every branch
+			// at or above the incumbent cut: the incumbent is optimal) —
+			// harvest the certified bound either way.
 			c.raiseLower(exactStats.LowerBound, "astar")
+			if errors.Is(err, solve.ErrBoundExhausted) {
+				rcancel()
+			}
 		}()
 
 		runDFS := !opts.DisableDFS &&
 			(p.Model.Kind == pebble.Oneshot || p.Model.Kind == pebble.NoDel)
 		if runDFS {
-			maxVisits := opts.MaxVisits
-			if maxVisits == 0 {
-				maxVisits = unbounded
-			}
-			c.mu.Lock()
-			seed := c.upper + 1 // exclusive: only strict improvements
-			c.mu.Unlock()
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				sol, err := solve.ExactDFS(p, solve.ExactDFSOptions{
-					MaxVisits:    maxVisits,
-					InitialBound: seed,
-					Cancel:       rctx.Done(),
-					Stats:        &dfsStats,
-					OnIncumbent: func(scaled int64, moves []pebble.Move) {
-						c.improveUpperMoves(moves, "ida*")
-					},
-					Progress: func(st solve.ExactDFSStats) {
-						c.raiseLower(st.LowerBound, "ida*")
-					},
-				})
+				dfsOpts.Cancel = rctx.Done()
+				dfsOpts.Stats = &dfsStats
+				dfsOpts.OnIncumbent = func(scaled int64, moves []pebble.Move) {
+					c.improveUpperMoves(moves, "ida*")
+				}
+				dfsOpts.Progress = func(st solve.ExactDFSStats) {
+					c.raiseLower(st.LowerBound, "ida*")
+				}
+				sol, err := solve.ExactDFS(p, dfsOpts)
 				if err == nil {
 					if sol.Trace != nil {
 						c.improveUpper(sol, "ida*")

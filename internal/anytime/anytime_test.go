@@ -2,6 +2,7 @@ package anytime
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -171,5 +172,114 @@ func TestInfeasible(t *testing.T) {
 	p := solve.Problem{G: daggen.Pyramid(3), Model: pebble.NewModel(pebble.Oneshot), R: 1}
 	if _, err := Solve(context.Background(), p, Options{}); err == nil {
 		t.Fatal("want error for R too small")
+	}
+}
+
+// TestRefinementOptionsSeedEngines is the warm-start plumbing proof the
+// acceptance criterion asks for: the values handed to the exact engines
+// (ExactDFSOptions.InitialBound, both engines' InitialLowerBound, the
+// best-first PruneBound) must carry the certified interval at phase-2
+// start — which, for a warm-started solve, is the cached interval.
+func TestRefinementOptionsSeedEngines(t *testing.T) {
+	exact, dfs := refinementOptions(Options{Workers: 3}, 31, 8)
+	if exact.PruneBound != 32 {
+		t.Fatalf("ExactOptions.PruneBound = %d, want 32", exact.PruneBound)
+	}
+	if exact.InitialLowerBound != 8 {
+		t.Fatalf("ExactOptions.InitialLowerBound = %d, want 8", exact.InitialLowerBound)
+	}
+	if exact.Parallel != 3 {
+		t.Fatalf("ExactOptions.Parallel = %d, want 3", exact.Parallel)
+	}
+	if dfs.InitialBound != 32 {
+		t.Fatalf("ExactDFSOptions.InitialBound = %d, want 32", dfs.InitialBound)
+	}
+	if dfs.InitialLowerBound != 8 {
+		t.Fatalf("ExactDFSOptions.InitialLowerBound = %d, want 8", dfs.InitialLowerBound)
+	}
+	// No incumbent yet (MaxInt64 sentinel): no bound seeding at all.
+	exact, dfs = refinementOptions(Options{}, math.MaxInt64, 5)
+	if exact.PruneBound != 0 || dfs.InitialBound != 0 {
+		t.Fatalf("sentinel incumbent leaked into bounds: prune=%d initial=%d", exact.PruneBound, dfs.InitialBound)
+	}
+}
+
+// TestWarmStartTightensInterval is the convergence contract: a second
+// deadline-limited solve of the same hard instance, warm-started from
+// the first one's certified interval, returns an interval at least as
+// tight on both ends.
+func TestWarmStartTightensInterval(t *testing.T) {
+	p := solve.Problem{G: daggen.FFT(3), Model: pebble.NewModel(pebble.Oneshot), R: 3}
+	first, err := Solve(context.Background(), p, Options{Budget: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Optimal {
+		t.Skip("host closed fft(3) R=3 in 80ms; warm-start tightening not observable")
+	}
+	second, err := Solve(context.Background(), p, Options{
+		Budget: 80 * time.Millisecond,
+		Warm: &WarmStart{
+			Moves:       first.Solution.Trace.Moves,
+			LowerScaled: first.LowerScaled,
+			Source:      "cache:" + first.Source,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.UpperScaled > first.UpperScaled {
+		t.Fatalf("warm upper regressed: %d > %d", second.UpperScaled, first.UpperScaled)
+	}
+	if second.LowerScaled < first.LowerScaled {
+		t.Fatalf("warm lower regressed: %d < %d", second.LowerScaled, first.LowerScaled)
+	}
+}
+
+// TestWarmStartClosedIntervalShortCircuits: warm data that already
+// closes the interval must return optimal without running any engine.
+func TestWarmStartClosedIntervalShortCircuits(t *testing.T) {
+	p := solve.Problem{G: daggen.Pyramid(4), Model: pebble.NewModel(pebble.Oneshot), R: 3}
+	opt, err := solve.Exact(p, solve.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := opt.Result.Cost.Scaled(p.Model)
+	res, err := Solve(context.Background(), p, Options{
+		Warm: &WarmStart{Moves: opt.Trace.Moves, LowerScaled: scaled, Source: "cache:astar"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.UpperScaled != scaled {
+		t.Fatalf("closed warm interval not honored: %v", res)
+	}
+	if res.Source != "cache:astar" {
+		t.Fatalf("source = %q, want the warm provenance", res.Source)
+	}
+	if res.Expanded != 0 || res.Visits != 0 {
+		t.Fatalf("engines ran despite closed warm interval: expanded=%d visits=%d", res.Expanded, res.Visits)
+	}
+}
+
+// TestWarmStartCorruptTraceDegrades: an unreplayable warm trace must
+// cost only the warm upper bound, never correctness.
+func TestWarmStartCorruptTraceDegrades(t *testing.T) {
+	p := solve.Problem{G: daggen.Pyramid(4), Model: pebble.NewModel(pebble.Oneshot), R: 3}
+	res, err := Solve(context.Background(), p, Options{
+		Warm: &WarmStart{
+			Moves:       []pebble.Move{{Kind: pebble.Compute, Node: 0}, {Kind: pebble.Compute, Node: 0}},
+			LowerScaled: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := solve.Exact(p, solve.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.UpperScaled != opt.Result.Cost.Scaled(p.Model) {
+		t.Fatalf("corrupt warm trace broke the solve: %v", res)
 	}
 }

@@ -71,3 +71,52 @@ func BenchmarkAnytimeGrid44R3Full(b *testing.B) {
 	benchAnytime(b, solve.Problem{G: daggen.Grid(4, 4), Model: pebble.NewModel(pebble.Oneshot), R: 3},
 		Options{})
 }
+
+// BenchmarkIntervalConvergenceFFT3R3 measures what the interval cache
+// buys across requests: two 300ms deadline-limited solves of fft(3)
+// R=3, the second warm-started from the first's certified interval
+// (exactly what rbserve's interval cache does between repeated
+// requests). The recorded gap_first_solve / gap_second_solve pair is
+// the convergence row; the committed interval is the merged (tightest)
+// one, as the cache would store it.
+func BenchmarkIntervalConvergenceFFT3R3(b *testing.B) {
+	p := solve.Problem{G: daggen.FFT(3), Model: pebble.NewModel(pebble.Oneshot), R: 3}
+	b.ReportAllocs()
+	m0 := benchharness.Mallocs()
+	var first, second Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		first, err = Solve(context.Background(), p, Options{Budget: 300 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		second, err = Solve(context.Background(), p, Options{
+			Budget: 300 * time.Millisecond,
+			Warm: &WarmStart{
+				Moves:       first.Solution.Trace.Moves,
+				LowerScaled: first.LowerScaled,
+				Source:      "cache:" + first.Source,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Merge as the interval cache does: the tightest certified ends.
+	upper, lower := second.UpperScaled, second.LowerScaled
+	if first.UpperScaled < upper {
+		upper = first.UpperScaled
+	}
+	if first.LowerScaled > lower {
+		lower = first.LowerScaled
+	}
+	b.ReportMetric(first.Gap(), "gap1/op")
+	b.ReportMetric(Gap(upper, lower), "gap2/op")
+	benchharness.Capture(b, m0, benchharness.Record{
+		UpperScaled: upper,
+		LowerScaled: lower,
+		Optimal:     lower >= upper,
+		GapFirst:    first.Gap(),
+		GapSecond:   Gap(upper, lower),
+	})
+}

@@ -36,6 +36,12 @@ type Record struct {
 	UpperScaled int64 `json:"upper_scaled_cost,omitempty"`
 	LowerScaled int64 `json:"lower_scaled_cost,omitempty"`
 	Optimal     bool  `json:"optimal,omitempty"`
+	// Interval-cache convergence rows: the certified relative gap after
+	// the first deadline-limited solve and after a second one
+	// warm-started from the first (the cross-request convergence the
+	// interval cache buys).
+	GapFirst  float64 `json:"gap_first_solve,omitempty"`
+	GapSecond float64 `json:"gap_second_solve,omitempty"`
 }
 
 var records []Record

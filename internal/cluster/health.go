@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Prober keeps the ring's member health current by polling each
+// member's /healthz on a fixed interval. A member is up iff the probe
+// returns 2xx — an rbserve node that is draining for shutdown answers
+// 503, so the ring stops routing to it before it goes away (the
+// graceful half of node lifecycle; hard crashes are caught by the
+// connection error instead).
+type Prober struct {
+	ring     *Ring
+	client   *http.Client
+	interval time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewProber returns a started prober (poll loop runs until Stop).
+// interval <= 0 selects 2s. client nil selects a 1s-timeout client.
+func NewProber(ring *Ring, interval time.Duration, client *http.Client) *Prober {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if client == nil {
+		client = &http.Client{Timeout: time.Second}
+	}
+	p := &Prober{ring: ring, client: client, interval: interval, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Prober) loop() {
+	defer p.wg.Done()
+	// Probe immediately at start so a dead seed member is demoted
+	// before the first interval elapses.
+	p.ProbeOnce()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.ProbeOnce()
+		}
+	}
+}
+
+// ProbeOnce probes every member once, in parallel, and updates the
+// ring. Exported so tests (and the proxy's failover path) can force a
+// re-check without waiting out the interval.
+func (p *Prober) ProbeOnce() {
+	var wg sync.WaitGroup
+	for m := range p.ring.Members() {
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			p.ring.SetHealthy(m, p.probe(m))
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probe(member string) bool {
+	resp, err := p.client.Get("http://" + member + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// Stop ends the poll loop.
+func (p *Prober) Stop() {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbpebble/internal/instcache"
+	"rbpebble/internal/service"
+)
+
+// ProxyConfig tunes a Proxy. Zero values select the defaults.
+type ProxyConfig struct {
+	// Members are the rbserve replicas, as host:port.
+	Members []string
+	// VirtualNodes per member on the ring (default 64).
+	VirtualNodes int
+	// ProbeInterval is the health-probe period (default 2s; < 0
+	// disables the background prober — tests drive health by hand).
+	ProbeInterval time.Duration
+	// MaxBodyBytes caps the request body (default 64 MiB), matching the
+	// node-side limit so the proxy rejects oversized bodies before
+	// buffering them for failover replay.
+	MaxBodyBytes int64
+	// MaxNodes rejects instances above this size before the routing
+	// parse materializes the graph (default 100000, matching the
+	// rbserve default) — a tiny body declaring two billion nodes must
+	// not allocate at the routing tier any more than at a node.
+	MaxNodes int
+	// Client performs the forwards (default: 60s-timeout client — it
+	// must outlive the longest node-side solve deadline).
+	Client *http.Client
+}
+
+// proxyMetrics are the proxy's own monotone counters.
+type proxyMetrics struct {
+	requests, routed, failovers, fanouts, errors atomic.Uint64
+}
+
+// Proxy is the cluster front end: it routes each POST /solve to the
+// replica owning the request's canonical instance key (so repeats and
+// isomorphic relabelings warm the same node's interval cache), fails
+// over along the ring on node failure, fans job polls out to every
+// node, and merges the fleet's /metrics and /healthz into
+// cluster-level views. Create with NewProxy, serve Handler, stop with
+// Close.
+type Proxy struct {
+	cfg    ProxyConfig
+	ring   *Ring
+	client *http.Client
+	prober *Prober
+	mux    *http.ServeMux
+	m      proxyMetrics
+}
+
+// NewProxy returns a started Proxy.
+func NewProxy(cfg ProxyConfig) *Proxy {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 100000
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VirtualNodes, cfg.Members...),
+		client: cfg.Client,
+	}
+	if cfg.ProbeInterval >= 0 {
+		p.prober = NewProber(p.ring, cfg.ProbeInterval, nil)
+	}
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("POST /solve", p.handleSolve)
+	p.mux.HandleFunc("GET /solve/{id}", p.handleJob)
+	p.mux.HandleFunc("DELETE /solve/{id}", p.handleJob)
+	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
+	p.mux.HandleFunc("GET /metrics", p.handleMetrics)
+	return p
+}
+
+// Ring exposes the proxy's ring (the rbproxy admin surface and tests
+// adjust membership through it).
+func (p *Proxy) Ring() *Ring { return p.ring }
+
+// Handler returns the HTTP handler.
+func (p *Proxy) Handler() http.Handler { return p.mux }
+
+// Close stops the health prober.
+func (p *Proxy) Close() {
+	if p.prober != nil {
+		p.prober.Stop()
+	}
+}
+
+// RouteKey computes the canonical routing key of a solve request by
+// parsing it exactly the way a node will (service.BuildProblem, with
+// the same node-count guard) and keying the resulting instance.
+// Isomorphic relabelings of one DAG yield one key, so they all route
+// to the same replica's cache.
+func RouteKey(req service.SolveRequest, maxNodes int) (string, error) {
+	prob, err := service.BuildProblem(req, maxNodes)
+	if err != nil {
+		return "", err
+	}
+	inst := instcache.Instance{G: prob.G, Model: prob.Model, R: prob.R, Convention: prob.Convention}
+	key, _ := inst.Key()
+	return key, nil
+}
+
+// handleSolve routes by canonical instance key with ring-order
+// failover: a connection error, a 502, or a draining 503 from the
+// owner demotes it and moves on to the next ring member.
+func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
+	p.m.requests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes))
+	if err != nil {
+		p.m.errors.Add(1)
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var req service.SolveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		p.m.errors.Add(1)
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	key, err := RouteKey(req, p.cfg.MaxNodes)
+	if err != nil {
+		p.m.errors.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	owners := p.ring.Owners(key, len(p.ring.Members()))
+	if len(owners) == 0 {
+		p.m.errors.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "no cluster members")
+		return
+	}
+	for i, member := range owners {
+		if i > 0 {
+			p.m.failovers.Add(1)
+		}
+		resp, err := p.client.Post("http://"+member+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			p.ring.SetHealthy(member, false)
+			continue
+		}
+		if resp.StatusCode == http.StatusBadGateway ||
+			(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("X-Rbserve-Draining") == "1") {
+			// The node is going away (draining) or fronting something
+			// broken: demote and fail over. Per-request 503s WITHOUT the
+			// draining header (queue full, singleflight wait timeout) are
+			// relayed instead — a healthy node emits those under load,
+			// and demoting it would cascade the whole keyspace onto
+			// cache-cold members. The body is drained so the connection
+			// can be reused.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			p.ring.SetHealthy(member, false)
+			continue
+		}
+		p.m.routed.Add(1)
+		relayResponse(w, resp, member)
+		return
+	}
+	p.m.errors.Add(1)
+	httpError(w, http.StatusBadGateway, "all cluster members failed")
+}
+
+// handleJob fans a job poll or cancellation out to every HEALTHY
+// member (job IDs are node-local; the first node that knows the ID
+// answers). Unhealthy members are skipped — probing a blackholed node
+// with the long forward timeout would hang the poll for minutes, and
+// its jobs died with it anyway.
+func (p *Proxy) handleJob(w http.ResponseWriter, r *http.Request) {
+	p.m.requests.Add(1)
+	p.m.fanouts.Add(1)
+	members := healthyMembers(p.ring)
+	if len(members) == 0 {
+		httpError(w, http.StatusServiceUnavailable, "no healthy cluster members")
+		return
+	}
+	for _, member := range members {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method,
+			"http://"+member+"/solve/"+r.PathValue("id"), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			p.ring.SetHealthy(member, false)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		relayResponse(w, resp, member)
+		return
+	}
+	httpError(w, http.StatusNotFound, "unknown job on every cluster member")
+}
+
+// NodeHealth is one member's slot in the cluster health view.
+type NodeHealth struct {
+	Member  string `json:"member"`
+	Healthy bool   `json:"healthy"`
+}
+
+// ClusterHealth is the GET /healthz body: the cluster is ok while any
+// member is routable.
+type ClusterHealth struct {
+	OK    bool         `json:"ok"`
+	Nodes []NodeHealth `json:"nodes"`
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	members := p.ring.Members()
+	view := ClusterHealth{}
+	for _, m := range sortedKeys(members) {
+		view.Nodes = append(view.Nodes, NodeHealth{Member: m, Healthy: members[m]})
+		view.OK = view.OK || members[m]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !view.OK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(view)
+}
+
+// handleMetrics merges the fleet: every downstream rbserve counter is
+// summed across reachable members and re-emitted with a cluster_
+// prefix (so rbserve_warm_starts_total across the fleet shows as
+// cluster_rbserve_warm_starts_total), followed by per-node up gauges
+// and the proxy's own counters.
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	members := p.ring.Members()
+	sums := map[string]uint64{}
+	var names []string
+	up := map[string]bool{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for m, healthy := range members {
+		if !healthy {
+			continue
+		}
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			vals, err := p.fetchMetrics(m)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				return
+			}
+			up[m] = true
+			for name, v := range vals {
+				if _, ok := sums[name]; !ok {
+					names = append(names, name)
+				}
+				sums[name] += v
+			}
+		}(m)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "cluster_%s %d\n", name, sums[name])
+	}
+	for _, m := range sortedKeys(members) {
+		v := 0
+		if members[m] && up[m] {
+			v = 1
+		}
+		fmt.Fprintf(w, "rbproxy_node_up{node=%q} %d\n", m, v)
+	}
+	for _, kv := range []struct {
+		name string
+		v    uint64
+	}{
+		{"rbproxy_requests_total", p.m.requests.Load()},
+		{"rbproxy_routed_total", p.m.routed.Load()},
+		{"rbproxy_failovers_total", p.m.failovers.Load()},
+		{"rbproxy_fanouts_total", p.m.fanouts.Load()},
+		{"rbproxy_errors_total", p.m.errors.Load()},
+	} {
+		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)
+	}
+}
+
+// fetchMetrics scrapes one member's Prometheus text exposition into
+// name -> value (only plain unlabeled integer gauges/counters, which
+// is all rbserve emits).
+func (p *Proxy) fetchMetrics(member string) (map[string]uint64, error) {
+	resp, err := p.client.Get("http://" + member + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	out := map[string]uint64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		v, err := strconv.ParseUint(valStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}
+
+// healthyMembers lists the currently-healthy members in a
+// deterministic order for fan-out endpoints.
+func healthyMembers(r *Ring) []string {
+	members := r.Members()
+	out := make([]string, 0, len(members))
+	for _, m := range sortedKeys(members) {
+		if members[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// relayResponse copies a downstream response to the client, stamping
+// the member that served it.
+func relayResponse(w http.ResponseWriter, resp *http.Response, member string) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Rbproxy-Node", member)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// TestOwnersCompleteAndDeterministic: Owners lists every member
+// exactly once, in an order that is stable across calls and across
+// rings built with different Add orders (proxy replicas must agree).
+func TestOwnersCompleteAndDeterministic(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	r1 := NewRing(0, members...)
+	r2 := NewRing(0, "d:1", "b:1", "a:1", "c:1")
+	for _, k := range keys(200) {
+		o1 := r1.Owners(k, len(members))
+		if len(o1) != len(members) {
+			t.Fatalf("owners(%s) = %v, want all %d members", k, o1, len(members))
+		}
+		seen := map[string]bool{}
+		for _, m := range o1 {
+			if seen[m] {
+				t.Fatalf("duplicate owner %s for %s", m, k)
+			}
+			seen[m] = true
+		}
+		if o2 := r2.Owners(k, len(members)); !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("add order changed routing for %s: %v vs %v", k, o1, o2)
+		}
+		if o1b := r1.Owners(k, len(members)); !reflect.DeepEqual(o1, o1b) {
+			t.Fatalf("owners not stable for %s", k)
+		}
+	}
+}
+
+// TestConsistentRemapping is the consistent-hashing property: removing
+// one member only remaps the keys it owned.
+func TestConsistentRemapping(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	r := NewRing(0, members...)
+	before := map[string]string{}
+	for _, k := range keys(2000) {
+		before[k] = r.Owners(k, 1)[0]
+	}
+	r.Remove("c:1")
+	moved := 0
+	for k, owner := range before {
+		now := r.Owners(k, 1)[0]
+		if owner == "c:1" {
+			if now == "c:1" {
+				t.Fatalf("removed member still owns %s", k)
+			}
+			moved++
+			continue
+		}
+		if now != owner {
+			t.Fatalf("key %s not owned by removed member moved %s -> %s", k, owner, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys (degenerate ring)")
+	}
+}
+
+// TestBalance: virtual nodes keep the load split roughly even.
+func TestBalance(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	r := NewRing(0, members...)
+	counts := map[string]int{}
+	const n = 9000
+	for _, k := range keys(n) {
+		counts[r.Owners(k, 1)[0]]++
+	}
+	for m, c := range counts {
+		if c < n/10 {
+			t.Fatalf("member %s owns only %d/%d keys: imbalanced ring (%v)", m, c, n, counts)
+		}
+	}
+}
+
+// TestUnhealthyMembersRankLast: a down member never leads the owner
+// list while anyone is up, but remains a last-resort candidate.
+func TestUnhealthyMembersRankLast(t *testing.T) {
+	r := NewRing(0, "a:1", "b:1", "c:1")
+	r.SetHealthy("b:1", false)
+	for _, k := range keys(300) {
+		owners := r.Owners(k, 3)
+		if owners[0] == "b:1" || owners[1] == "b:1" {
+			t.Fatalf("down member ranked %v for %s", owners, k)
+		}
+		if owners[2] != "b:1" {
+			t.Fatalf("down member missing from owner list for %s: %v", k, owners)
+		}
+	}
+	// All down: the ring still yields a routing order.
+	r.SetHealthy("a:1", false)
+	r.SetHealthy("c:1", false)
+	if owners := r.Owners("k", 3); len(owners) != 3 {
+		t.Fatalf("all-down ring returned %v", owners)
+	}
+}
+
+// TestRendezvousTieBreak (white-box): virtual nodes that collide on
+// the ring are ordered per key by rendezvous weight, not by a fixed
+// member order.
+func TestRendezvousTieBreak(t *testing.T) {
+	r := &Ring{vnodes: 1, healthy: map[string]bool{"a:1": true, "b:1": true}}
+	// Two colliding points: every key lands on this hash run, and the
+	// winner must be the higher rendezvous weight for that key.
+	r.points = []point{{h: 42, member: "a:1"}, {h: 42, member: "b:1"}}
+	winners := map[string]bool{}
+	for _, k := range keys(64) {
+		owners := r.Owners(k, 2)
+		want := "a:1"
+		if rendezvous("b:1", k) > rendezvous("a:1", k) {
+			want = "b:1"
+		}
+		if owners[0] != want {
+			t.Fatalf("tie for %s broken to %s, rendezvous says %s", k, owners[0], want)
+		}
+		winners[owners[0]] = true
+	}
+	if len(winners) != 2 {
+		t.Fatalf("tie-break never alternated across 64 keys: %v", winners)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"math/bits"
 	"sync"
+	"time"
 
 	"rbpebble/internal/pebble"
 )
@@ -17,26 +19,65 @@ type Value struct {
 	Moves []pebble.Move
 	// UpperScaled and LowerScaled are the certified interval ends.
 	UpperScaled, LowerScaled int64
-	// Optimal marks a closed interval (proven optimum). Only optimal
-	// values are retained in the cache: a deadline-limited answer is
-	// returned to its requester but never served to a later request
-	// that might have budget to do better.
+	// Optimal marks a closed interval (proven optimum). Optimal values
+	// live in the primary cache segment and are never evicted by
+	// interval entries.
 	Optimal bool
 	// Source names the strategy that produced the incumbent.
 	Source string
+	// Tier is the budget tier (TierForBudget) whose deadline produced
+	// this interval entry; 0 for proven-optimal values, where budget no
+	// longer matters.
+	Tier int
+}
+
+// TierForBudget buckets a solve budget into a doubling tier: budgets in
+// [2^(t-1), 2^t) milliseconds share tier t. Interval cache entries are
+// keyed by tier so a cheap 50ms attempt and an expensive 10s attempt at
+// the same instance are tracked separately — and a request is served a
+// stored interval directly only when a strictly HIGHER tier already
+// tried harder than this request could (lower or equal tiers instead
+// warm-start a fresh refinement, which is what makes repeated hard
+// instances converge).
+func TierForBudget(d time.Duration) int {
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return bits.Len64(uint64(ms))
 }
 
 // Stats are the cache's monotone counters, exposed via /metrics.
 type Stats struct {
-	// Hits and Misses count lookups against stored entries.
+	// Hits and Misses count lookups against stored proven-optimal
+	// entries.
 	Hits, Misses uint64
 	// SharedFlights counts lookups that latched onto another request's
 	// in-flight solve instead of starting their own.
 	SharedFlights uint64
-	// Evictions counts LRU evictions.
+	// Evictions counts LRU evictions of proven-optimal entries.
 	Evictions uint64
-	// Entries is the current number of stored entries.
+	// Entries is the current number of stored proven-optimal entries.
 	Entries int
+	// IntervalEntries is the current number of stored deadline-limited
+	// interval entries (across all budget tiers).
+	IntervalEntries int
+	// IntervalHits counts lookups served directly from a stored
+	// interval because a strictly higher budget tier had already tried
+	// harder than the request's own budget.
+	IntervalHits uint64
+	// IntervalStores counts interval entries written (new or replaced).
+	IntervalStores uint64
+	// IntervalEvictions counts LRU evictions of interval entries
+	// (interval entries only ever displace each other, never
+	// proven-optimal ones).
+	IntervalEvictions uint64
+	// WarmStarts counts solves that were seeded from a cached interval.
+	WarmStarts uint64
+	// Tightenings counts stored intervals that strictly tightened the
+	// previously cached interval for their instance (the cross-request
+	// convergence signal).
+	Tightenings uint64
 }
 
 // flight is one in-progress solve that concurrent identical requests
@@ -47,53 +88,80 @@ type flight struct {
 	err  error
 }
 
-// Cache is a bounded LRU of solved instances with singleflight
-// deduplication. The zero value is not usable; call New.
+// Cache is a bounded cache of solved instances with singleflight
+// deduplication, split into two LRU segments: proven-optimal values
+// (authoritative, never displaced by anything weaker) and
+// deadline-limited certified intervals keyed by (instance, budget
+// tier), which warm-start later refinements of the same instance. The
+// zero value is not usable; call New.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
-	ll      *list.List // front = most recent; values are *entry
+	imax    int
+	ll      *list.List // optimal entries; front = most recent
 	entries map[string]*list.Element
+	ill     *list.List // interval entries; front = most recent
+	tiers   map[string]map[int]*list.Element
 	flights map[string]*flight
 
-	hits, misses, shared, evictions uint64
+	hits, misses, shared, evictions           uint64
+	ihits, istores, ievictions, warms, tights uint64
 }
 
 type entry struct {
-	key string
-	val Value
+	key  string
+	tier int // 0 for optimal entries
+	val  Value
 }
 
-// New returns a cache bounded to max entries (max <= 0 means 256).
+// New returns a cache bounded to max proven-optimal entries and max
+// interval entries (max <= 0 means 256 each). The two segments are
+// bounded independently, so interval entries can never evict
+// proven-optimal ones.
 func New(max int) *Cache {
 	if max <= 0 {
 		max = 256
 	}
 	return &Cache{
 		max:     max,
+		imax:    max,
 		ll:      list.New(),
 		entries: make(map[string]*list.Element),
+		ill:     list.New(),
+		tiers:   make(map[string]map[int]*list.Element),
 		flights: make(map[string]*flight),
 	}
 }
 
 // Do returns the cached value for key, or runs fn to produce it. At
 // most one fn runs per key at a time: concurrent callers with the same
-// key share the first caller's result (shared=true). Results with
-// Optimal=true are stored; others are passed through uncached.
+// key share the first caller's result (shared=true). hit=true marks a
+// response served without running fn: a proven-optimal entry, or a
+// stored interval from a strictly higher budget tier than the
+// request's. Otherwise fn runs, seeded with the merged cached interval
+// for the instance when one exists (warm != nil, warmed=true). Optimal
+// results are stored in the primary segment; deadline-limited results
+// are merged with the cached interval (the interval only ever
+// tightens) and stored under the request's budget tier — and if the
+// merged interval closes, it is promoted to the optimal segment.
 //
 // ctx bounds only the caller's WAIT on another request's in-flight
 // solve — a short-deadline request latching onto a long-budget flight
 // gives up with ctx.Err() at its own deadline instead of inheriting
 // the leader's. The leader's fn itself is never interrupted by ctx.
-func (c *Cache) Do(ctx context.Context, key string, fn func() (Value, error)) (val Value, hit, shared bool, err error) {
+func (c *Cache) Do(ctx context.Context, key string, tier int, fn func(warm *Value) (Value, error)) (val Value, hit, shared, warmed bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		v := el.Value.(*entry).val
 		c.mu.Unlock()
-		return v, true, false, nil
+		return v, true, false, false, nil
+	}
+	if v, ok := c.intervalAboveLocked(key, tier); ok {
+		c.ihits++
+		c.mu.Unlock()
+		return v, true, false, false, nil
 	}
 	c.misses++
 	if f, ok := c.flights[key]; ok {
@@ -101,10 +169,16 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (Value, error)) (v
 		c.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.val, false, true, f.err
+			return f.val, false, true, false, f.err
 		case <-ctx.Done():
-			return Value{}, false, true, ctx.Err()
+			return Value{}, false, true, false, ctx.Err()
 		}
+	}
+	var warm *Value
+	if w, ok := c.mergedIntervalLocked(key); ok {
+		warm = &w
+		warmed = true
+		c.warms++
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
@@ -124,19 +198,152 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (Value, error)) (v
 			panic(r)
 		}
 	}()
-	f.val, f.err = fn()
-	close(f.done)
+	f.val, f.err = fn(warm)
 
 	c.mu.Lock()
 	delete(c.flights, key)
-	if f.err == nil && f.val.Optimal {
-		c.insertLocked(key, f.val)
+	if f.err == nil {
+		// Store (merging with the cached interval) before releasing the
+		// waiters, so they observe the tightened value too.
+		f.val = c.storeLocked(key, tier, warm, f.val)
 	}
 	c.mu.Unlock()
-	return f.val, false, false, f.err
+	close(f.done)
+	return f.val, false, false, warmed, f.err
 }
 
-func (c *Cache) insertLocked(key string, v Value) {
+// intervalAboveLocked returns the merged cached interval for key when
+// some stored tier strictly exceeds reqTier — a higher budget already
+// tried harder than this request can, so re-solving cannot be expected
+// to tighten anything.
+func (c *Cache) intervalAboveLocked(key string, reqTier int) (Value, bool) {
+	best := -1
+	for t := range c.tiers[key] {
+		if t > best {
+			best = t
+		}
+	}
+	if best <= reqTier {
+		return Value{}, false
+	}
+	return c.mergedIntervalLocked(key)
+}
+
+// mergedIntervalLocked folds every stored tier of key into the
+// tightest certified interval (max lower, min upper with its trace),
+// touching the contributing entries' LRU positions.
+func (c *Cache) mergedIntervalLocked(key string) (Value, bool) {
+	m := c.tiers[key]
+	if len(m) == 0 {
+		return Value{}, false
+	}
+	var out Value
+	first := true
+	for _, el := range m {
+		e := el.Value.(*entry)
+		c.ill.MoveToFront(el)
+		if first {
+			out = e.val
+			first = false
+			continue
+		}
+		out = tighten(out, e.val)
+	}
+	return out, true
+}
+
+// tighten merges two certified intervals of the same instance: the
+// larger lower bound, and the smaller upper bound together with its
+// witness trace and provenance.
+func tighten(a, b Value) Value {
+	out := a
+	if b.UpperScaled < a.UpperScaled {
+		out.Moves, out.UpperScaled, out.Source, out.Tier = b.Moves, b.UpperScaled, b.Source, b.Tier
+	}
+	if b.LowerScaled > out.LowerScaled {
+		out.LowerScaled = b.LowerScaled
+	}
+	return out
+}
+
+// storeLocked records a solve result: optimal values go to the primary
+// segment (dropping any interval entries for the instance — they are
+// obsolete), deadline-limited values are merged with the cached
+// interval and stored under the request's budget tier. A merged
+// interval that closes is promoted to the optimal segment. Returns the
+// value the caller should serve (the merged interval, never wider than
+// what was already known).
+func (c *Cache) storeLocked(key string, tier int, warm *Value, v Value) Value {
+	if v.Optimal {
+		v.Tier = 0
+		c.insertOptimalLocked(key, v)
+		c.dropIntervalsLocked(key)
+		return v
+	}
+	merged := v
+	if warm != nil {
+		merged = tighten(*warm, v)
+	}
+	if v.Tier > 0 && v.Tier < tier {
+		// The solve stopped well short of its requested budget
+		// (cancellation, shutdown grace): credit only the tier it
+		// actually consumed, or a weak interval would masquerade as a
+		// high-budget attempt and be served to lower-budget requests
+		// that could genuinely tighten it.
+		tier = v.Tier
+	}
+	merged.Tier = tier
+	if merged.LowerScaled >= merged.UpperScaled && merged.UpperScaled > 0 {
+		// The bounds met across requests: the interval is closed even
+		// though no single solve proved it alone.
+		merged.Optimal = true
+		merged.Tier = 0
+		c.insertOptimalLocked(key, merged)
+		c.dropIntervalsLocked(key)
+		return merged
+	}
+	if warm != nil && (merged.LowerScaled > warm.LowerScaled || merged.UpperScaled < warm.UpperScaled) {
+		c.tights++
+	}
+	c.istores++
+	m := c.tiers[key]
+	if m == nil {
+		m = make(map[int]*list.Element)
+		c.tiers[key] = m
+	}
+	if el, ok := m[tier]; ok {
+		el.Value.(*entry).val = merged
+		c.ill.MoveToFront(el)
+		return merged
+	}
+	m[tier] = c.ill.PushFront(&entry{key: key, tier: tier, val: merged})
+	for c.ill.Len() > c.imax {
+		back := c.ill.Back()
+		c.removeIntervalLocked(back)
+		c.ievictions++
+	}
+	return merged
+}
+
+func (c *Cache) removeIntervalLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ill.Remove(el)
+	if m := c.tiers[e.key]; m != nil {
+		delete(m, e.tier)
+		if len(m) == 0 {
+			delete(c.tiers, e.key)
+		}
+	}
+}
+
+func (c *Cache) dropIntervalsLocked(key string) {
+	for _, el := range c.tiers[key] {
+		c.ill.Remove(el)
+	}
+	delete(c.tiers, key)
+}
+
+func (c *Cache) insertOptimalLocked(key string, v Value) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*entry).val = v
 		c.ll.MoveToFront(el)
@@ -156,10 +363,16 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		SharedFlights: c.shared,
-		Evictions:     c.evictions,
-		Entries:       c.ll.Len(),
+		Hits:              c.hits,
+		Misses:            c.misses,
+		SharedFlights:     c.shared,
+		Evictions:         c.evictions,
+		Entries:           c.ll.Len(),
+		IntervalEntries:   c.ill.Len(),
+		IntervalHits:      c.ihits,
+		IntervalStores:    c.istores,
+		IntervalEvictions: c.ievictions,
+		WarmStarts:        c.warms,
+		Tightenings:       c.tights,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -146,7 +147,7 @@ func TestTranslationRoundTrip(t *testing.T) {
 func TestCacheLRUAndStats(t *testing.T) {
 	c := New(2)
 	get := func(key string) (Value, bool) {
-		v, hit, _, err := c.Do(context.Background(), key, func() (Value, error) {
+		v, hit, _, _, err := c.Do(context.Background(), key, 5, func(*Value) (Value, error) {
 			return Value{UpperScaled: 1, LowerScaled: 1, Optimal: true}, nil
 		})
 		if err != nil {
@@ -169,10 +170,129 @@ func TestCacheLRUAndStats(t *testing.T) {
 	if st.Evictions == 0 || st.Entries != 2 {
 		t.Fatalf("stats = %+v, want evictions > 0 and 2 entries", st)
 	}
-	// Non-optimal results pass through uncached.
-	c.Do(context.Background(), "partial", func() (Value, error) { return Value{Optimal: false}, nil })
-	if _, hit, _, _ := c.Do(context.Background(), "partial", func() (Value, error) { return Value{}, nil }); hit {
-		t.Fatal("non-optimal value was cached")
+}
+
+// TestIntervalTierLifecycle covers the deadline-limited interval path:
+// same-tier repeats warm-start a fresh solve (and tighten), lower-tier
+// requests are served a higher tier's interval directly, and a merged
+// interval that closes is promoted to the optimal segment.
+func TestIntervalTierLifecycle(t *testing.T) {
+	c := New(8)
+	do := func(tier int, fn func(warm *Value) (Value, error)) (Value, bool, bool) {
+		v, hit, _, warmed, err := c.Do(context.Background(), "k", tier, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, hit, warmed
+	}
+
+	// First deadline-limited solve: interval [5, 20] at tier 7.
+	v, hit, warmed := do(7, func(warm *Value) (Value, error) {
+		if warm != nil {
+			t.Fatal("cold start got warm data")
+		}
+		return Value{UpperScaled: 20, LowerScaled: 5, Source: "astar"}, nil
+	})
+	if hit || warmed || v.UpperScaled != 20 {
+		t.Fatalf("first interval solve: v=%+v hit=%v warmed=%v", v, hit, warmed)
+	}
+
+	// Same tier again: not a hit — warm-started refinement, which
+	// tightens, and the caller sees the MERGED interval.
+	v, hit, warmed = do(7, func(warm *Value) (Value, error) {
+		if warm == nil || warm.UpperScaled != 20 || warm.LowerScaled != 5 {
+			t.Fatalf("warm = %+v, want cached [5, 20]", warm)
+		}
+		return Value{UpperScaled: 25, LowerScaled: 9, Source: "ida*"}, nil
+	})
+	if hit || !warmed {
+		t.Fatalf("same-tier repeat: hit=%v warmed=%v", hit, warmed)
+	}
+	if v.UpperScaled != 20 || v.LowerScaled != 9 {
+		t.Fatalf("merged interval = [%d, %d], want [9, 20]", v.LowerScaled, v.UpperScaled)
+	}
+
+	// A lower-tier (smaller budget) request is served the stored
+	// interval directly: a bigger budget already tried harder.
+	v, hit, _ = do(3, func(*Value) (Value, error) {
+		t.Fatal("lower-tier request must not re-solve")
+		return Value{}, nil
+	})
+	if !hit || v.UpperScaled != 20 || v.LowerScaled != 9 {
+		t.Fatalf("lower-tier serve: v=%+v hit=%v", v, hit)
+	}
+
+	// Bounds meeting across requests closes and promotes the interval.
+	v, _, _ = do(7, func(warm *Value) (Value, error) {
+		return Value{UpperScaled: 9, LowerScaled: 9, Source: "ida*"}, nil
+	})
+	if !v.Optimal {
+		t.Fatalf("closed interval not promoted: %+v", v)
+	}
+	if _, hit, _ = do(1, func(*Value) (Value, error) { return Value{}, nil }); !hit {
+		t.Fatal("promoted optimum not served as a hit")
+	}
+	st := c.Stats()
+	if st.IntervalEntries != 0 {
+		t.Fatalf("interval entries left after promotion: %+v", st)
+	}
+	if st.WarmStarts < 2 || st.Tightenings < 1 {
+		t.Fatalf("warm/tighten counters: %+v", st)
+	}
+}
+
+// TestIntervalsNeverDisplaceOptimal fills the optimal segment, then
+// floods the cache with interval entries: every proven-optimal entry
+// must survive, with interval entries evicting only each other.
+func TestIntervalsNeverDisplaceOptimal(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("opt-%d", i)
+		c.Do(context.Background(), key, 3, func(*Value) (Value, error) {
+			return Value{UpperScaled: 1, LowerScaled: 1, Optimal: true}, nil
+		})
+	}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("int-%d", i)
+		c.Do(context.Background(), key, 3, func(*Value) (Value, error) {
+			return Value{UpperScaled: 10, LowerScaled: 2}, nil
+		})
+	}
+	st := c.Stats()
+	if st.Entries != 4 || st.Evictions != 0 {
+		t.Fatalf("optimal entries displaced: %+v", st)
+	}
+	if st.IntervalEntries != 4 || st.IntervalEvictions != 28 {
+		t.Fatalf("interval LRU accounting: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("opt-%d", i)
+		if _, hit, _, _, _ := c.Do(context.Background(), key, 3, func(*Value) (Value, error) {
+			t.Fatalf("optimal entry %s lost", key)
+			return Value{}, nil
+		}); !hit {
+			t.Fatalf("optimal entry %s not a hit", key)
+		}
+	}
+}
+
+// TestTierForBudget pins the doubling-bucket tier function.
+func TestTierForBudget(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{50 * time.Millisecond, 6},
+		{100 * time.Millisecond, 7},
+		{127 * time.Millisecond, 7},
+		{128 * time.Millisecond, 8},
+		{2 * time.Second, 11},
+	} {
+		if got := TierForBudget(tc.d); got != tc.want {
+			t.Fatalf("TierForBudget(%s) = %d, want %d", tc.d, got, tc.want)
+		}
 	}
 }
 
@@ -190,7 +310,7 @@ func TestSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, shared, err := c.Do(context.Background(), "k", func() (Value, error) {
+			_, _, shared, _, err := c.Do(context.Background(), "k", 3, func(*Value) (Value, error) {
 				calls++ // safe: singleflight guarantees one caller
 				<-gate
 				return Value{Optimal: true}, nil
@@ -281,7 +401,7 @@ func TestSingleflightWaitHonorsContext(t *testing.T) {
 	leaderRunning := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		_, _, _, err := c.Do(context.Background(), "k", func() (Value, error) {
+		_, _, _, _, err := c.Do(context.Background(), "k", 3, func(*Value) (Value, error) {
 			close(leaderRunning)
 			<-gate
 			return Value{Optimal: true}, nil
@@ -291,7 +411,7 @@ func TestSingleflightWaitHonorsContext(t *testing.T) {
 	<-leaderRunning
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, shared, err := c.Do(ctx, "k", func() (Value, error) {
+	_, _, shared, _, err := c.Do(ctx, "k", 3, func(*Value) (Value, error) {
 		t.Error("waiter must not run fn")
 		return Value{}, nil
 	})
@@ -303,7 +423,7 @@ func TestSingleflightWaitHonorsContext(t *testing.T) {
 		t.Fatalf("leader failed: %v", err)
 	}
 	// The completed optimal result is cached despite the waiter bailing.
-	if _, hit, _, _ := c.Do(context.Background(), "k", func() (Value, error) { return Value{}, nil }); !hit {
+	if _, hit, _, _, _ := c.Do(context.Background(), "k", 3, func(*Value) (Value, error) { return Value{}, nil }); !hit {
 		t.Fatal("leader result not cached")
 	}
 }
@@ -334,7 +454,7 @@ func TestPanickingSolveDoesNotPoisonKey(t *testing.T) {
 		<-leaderRunning
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		_, _, _, err := c.Do(ctx, "k", func() (Value, error) { return Value{}, nil })
+		_, _, _, _, err := c.Do(ctx, "k", 3, func(*Value) (Value, error) { return Value{}, nil })
 		waiterErr <- err
 	}()
 	go func() {
@@ -351,7 +471,7 @@ func TestPanickingSolveDoesNotPoisonKey(t *testing.T) {
 				t.Error("panic did not propagate")
 			}
 		}()
-		c.Do(context.Background(), "k", func() (Value, error) {
+		c.Do(context.Background(), "k", 3, func(*Value) (Value, error) {
 			close(leaderRunning)
 			<-release
 			panic("solver bug")
@@ -361,10 +481,81 @@ func TestPanickingSolveDoesNotPoisonKey(t *testing.T) {
 		t.Fatal("waiter got nil error from panicked flight")
 	}
 	// The key recovers: a fresh request runs fn again.
-	v, hit, shared, err := c.Do(context.Background(), "k", func() (Value, error) {
+	v, hit, shared, _, err := c.Do(context.Background(), "k", 3, func(*Value) (Value, error) {
 		return Value{UpperScaled: 1, LowerScaled: 1, Optimal: true}, nil
 	})
 	if err != nil || hit || shared || !v.Optimal {
 		t.Fatalf("key did not recover: v=%+v hit=%v shared=%v err=%v", v, hit, shared, err)
+	}
+}
+
+// TestConcurrentIsomorphicRequests is the satellite race scenario: many
+// goroutines, each holding a DIFFERENT random relabeling of the same
+// instance, compute canonical keys and hit the cache concurrently at
+// mixed budget tiers. Exactly one solve may run per generation of the
+// interval (singleflight), every caller must end with a coherent
+// interval, and the proven-optimal entry planted for a second instance
+// must survive the interval churn. Run under -race in CI.
+func TestConcurrentIsomorphicRequests(t *testing.T) {
+	base := daggen.Pyramid(4)
+	model := pebble.NewModel(pebble.Oneshot)
+	c := New(4)
+
+	// Plant a proven-optimal entry for a different instance; the
+	// concurrent interval traffic below must never evict it.
+	optKey, _ := Instance{G: daggen.FFT(2), Model: model, R: 4}.Key()
+	c.Do(context.Background(), optKey, 3, func(*Value) (Value, error) {
+		return Value{UpperScaled: 7, LowerScaled: 7, Optimal: true}, nil
+	})
+
+	rng := rand.New(rand.NewSource(99))
+	const n = 24
+	copies := make([]*dag.DAG, n)
+	for i := range copies {
+		copies[i] = relabel(base, randPerm(base.N(), rng))
+	}
+
+	var solves atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst := Instance{G: copies[i], Model: model, R: 3}
+			key, _ := inst.Key()
+			tier := 5 + i%3
+			v, _, _, _, err := c.Do(context.Background(), key, tier, func(warm *Value) (Value, error) {
+				solves.Add(1)
+				lo, hi := int64(4), int64(16)
+				if warm != nil {
+					lo, hi = warm.LowerScaled+1, warm.UpperScaled
+				}
+				return Value{UpperScaled: hi, LowerScaled: lo, Source: "test"}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if v.LowerScaled > v.UpperScaled || v.UpperScaled > 16 || v.LowerScaled < 4 {
+				t.Errorf("incoherent interval [%d, %d]", v.LowerScaled, v.UpperScaled)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// All 24 isomorphic relabelings funneled into one key: far fewer
+	// solves than requests (each non-shared, non-hit request tightens
+	// the shared interval monotonically).
+	if got := solves.Load(); got >= n {
+		t.Fatalf("no deduplication: %d solves for %d isomorphic requests", got, n)
+	}
+	if _, hit, _, _, _ := c.Do(context.Background(), optKey, 3, func(*Value) (Value, error) {
+		return Value{}, nil
+	}); !hit {
+		t.Fatal("interval churn evicted the proven-optimal entry")
+	}
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("optimal-segment evictions under interval churn: %+v", st)
 	}
 }

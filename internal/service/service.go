@@ -13,6 +13,8 @@ package service
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,6 +55,10 @@ type Config struct {
 	// KeepJobs bounds how many finished async jobs stay pollable
 	// (default 1024; the oldest finished jobs are dropped beyond it).
 	KeepJobs int
+	// GracePeriod bounds how long Shutdown waits for in-flight solves
+	// before canceling them cooperatively (default 10s). Canceled
+	// solves still return certified partial intervals.
+	GracePeriod time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.GracePeriod <= 0 {
+		c.GracePeriod = 10 * time.Second
 	}
 	return c
 }
@@ -125,6 +134,7 @@ type SolveResponse struct {
 	Source    string     `json:"source"`
 	Cached    bool       `json:"cached"`
 	Shared    bool       `json:"shared"`
+	Warmed    bool       `json:"warm_started,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
 	Moves     []MoveJSON `json:"moves,omitempty"`
 }
@@ -145,10 +155,18 @@ type job struct {
 	deadline     time.Duration
 	includeTrace bool
 
-	mu     sync.Mutex
-	status string
-	resp   *SolveResponse
-	errMsg string
+	// ctx is canceled by DELETE /solve/{id} (and by server shutdown once
+	// the grace period expires); the solver layer turns the cancellation
+	// into a certified partial interval instead of a wasted solve.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   string
+	resp     *SolveResponse
+	errMsg   string
+	canceled bool // cancellation requested (terminal status becomes "canceled")
+	done     chan struct{}
 }
 
 func (j *job) snapshot() JobResponse {
@@ -157,21 +175,74 @@ func (j *job) snapshot() JobResponse {
 	return JobResponse{ID: j.id, Status: j.status, Error: j.errMsg, Result: j.resp}
 }
 
+// terminal reports whether a job status is final.
+func terminal(status string) bool {
+	return status == "done" || status == "error" || status == "canceled"
+}
+
 func (j *job) set(status string, resp *SolveResponse, errMsg string) {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminal(j.status) {
+		return // terminal states are final
+	}
+	if j.canceled && terminal(status) {
+		// A cancellation request wins the status; the partial certified
+		// interval (if any) is still attached.
+		status = "canceled"
+	}
 	j.status, j.resp, j.errMsg = status, resp, errMsg
-	j.mu.Unlock()
+	if terminal(status) {
+		// Release the job's context child from the server's baseCtx:
+		// without this, every finished job would stay registered on
+		// baseCtx for the process lifetime.
+		j.cancel()
+		close(j.done)
+	}
+}
+
+// startRunning atomically claims a queued job for a worker. It returns
+// false when a cancellation won the race (the job is already terminal
+// and must be skipped) — the check and the transition share the lock,
+// so DELETE can never interleave between them and later double-close
+// j.done.
+func (j *job) startRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled || terminal(j.status) {
+		return false
+	}
+	j.status = "running"
+	return true
+}
+
+// requestCancel flips the job to canceled: a queued job is finalized on
+// the spot (the worker will skip it), a running one has its context
+// canceled — the solve layer harvests a certified partial interval and
+// the worker finalizes with it.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminal(j.status) || j.canceled {
+		return
+	}
+	j.canceled = true
+	j.cancel()
+	if j.status == "queued" {
+		j.status = "canceled"
+		close(j.done)
+	}
 }
 
 // metrics are the server's monotone counters (cache counters live in
 // the cache itself).
 type metrics struct {
-	requests, solves, solveErrors                     atomic.Uint64
-	jobsSubmitted, jobsDone, jobsFailed, jobsRejected atomic.Uint64
+	requests, solves, solveErrors                                   atomic.Uint64
+	jobsSubmitted, jobsDone, jobsFailed, jobsRejected, jobsCanceled atomic.Uint64
 }
 
 // Server is the rbserve HTTP service. Create with New, serve
-// Handler(), stop with Close.
+// Handler(), stop with Close or (gracefully) Shutdown.
 type Server struct {
 	cfg   Config
 	cache *instcache.Cache
@@ -183,6 +254,19 @@ type Server struct {
 	jobs     map[string]*job
 	jobOrder []string // submission order, for bounded retention
 	jobSeq   atomic.Uint64
+	// jobPrefix makes job IDs unique per server instance: behind a
+	// routing proxy that fans GET/DELETE /solve/{id} across the fleet,
+	// plain sequential IDs would collide between replicas and a poll
+	// (or worse, a cancel) could land on another node's job.
+	jobPrefix string
+
+	// interest tracks, per cache key, how many live requests care about
+	// the key's in-flight solve and how many of them have canceled. The
+	// flight is canceled only when EVERY interested request has — one
+	// job's DELETE must not kill a solve that concurrent identical
+	// requests are still waiting on.
+	interestMu sync.Mutex
+	interest   map[string]*keyInterest
 
 	m metrics
 
@@ -190,18 +274,38 @@ type Server struct {
 	// gate concurrency deterministically).
 	solveFn func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error)
 
-	closed chan struct{}
-	once   sync.Once
+	// baseCtx parents every solve; baseCancel fires when a graceful
+	// shutdown exhausts its grace period, turning the surviving
+	// in-flight solves into certified partial intervals.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+	closed   chan struct{}
+	once     sync.Once
+}
+
+// keyInterest is the per-key cancellation vote state (see
+// Server.interest).
+type keyInterest struct {
+	active       int // live requests for this key
+	votes        int // of those, how many have canceled
+	cancelFlight context.CancelFunc
 }
 
 // New returns a started Server (its worker pool runs until Close).
 func New(cfg Config) *Server {
+	var idSeed [6]byte
+	rand.Read(idSeed[:])
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		jobs:    make(map[string]*job),
-		solveFn: anytime.Solve,
-		closed:  make(chan struct{}),
+		cfg:       cfg.withDefaults(),
+		jobs:      make(map[string]*job),
+		jobPrefix: hex.EncodeToString(idSeed[:]),
+		interest:  make(map[string]*keyInterest),
+		solveFn:   anytime.Solve,
+		closed:    make(chan struct{}),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.cache = instcache.New(s.cfg.CacheSize)
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -211,6 +315,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
 	s.mux.HandleFunc("GET /solve/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /solve/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -219,12 +324,59 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool. Jobs still queued stay in "queued"
-// state; the queue channel is never closed, so submissions racing a
-// shutdown get a 503 rather than a panic.
+// Drain puts the server into draining mode: /healthz starts failing
+// (so a routing proxy stops sending new work here) and new solve
+// submissions are refused with 503. Requests already in flight keep
+// running. Drain is the first step of a graceful shutdown and may be
+// called on its own.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain (or Shutdown) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the worker pool after its in-flight jobs complete. Jobs
+// still queued stay in "queued" state; the queue channel is never
+// closed, so submissions racing a shutdown get a 503 rather than a
+// panic.
 func (s *Server) Close() {
 	s.once.Do(func() { close(s.closed) })
 	s.wg.Wait()
+	s.baseCancel()
+}
+
+// Shutdown is the graceful SIGTERM path: drain (healthz fails so the
+// proxy reroutes), let in-flight solves finish for up to the
+// configured grace period, then cancel the stragglers cooperatively —
+// a canceled solve still produces a certified partial interval, which
+// lands in the interval cache for the next node to warm-start from.
+func (s *Server) Shutdown() { s.ShutdownWithin(s.cfg.GracePeriod) }
+
+// ShutdownWithin is Shutdown with an explicit grace budget, for
+// callers that share one overall deadline across several teardown
+// steps (cmd/rbserve spends the same window on the HTTP listener
+// first and passes the remainder here, so the total never exceeds
+// the operator's -grace). grace <= 0 cancels in-flight solves
+// immediately.
+func (s *Server) ShutdownWithin(grace time.Duration) {
+	s.Drain()
+	s.once.Do(func() { close(s.closed) })
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	if grace <= 0 {
+		s.baseCancel()
+		<-finished
+		return
+	}
+	select {
+	case <-finished:
+	case <-time.After(grace):
+		s.baseCancel() // grace exhausted: harvest partial certificates
+		<-finished
+	}
+	s.baseCancel()
 }
 
 func (s *Server) worker() {
@@ -234,41 +386,59 @@ func (s *Server) worker() {
 		case <-s.closed:
 			return
 		case j := <-s.queue:
-			j.set("running", nil, "")
-			resp, err := s.runSolve(j.p, j.deadline, j.includeTrace)
+			if !j.startRunning() {
+				// Canceled while queued; requestCancel already finalized.
+				s.m.jobsCanceled.Add(1)
+				continue
+			}
+			resp, err := s.runSolve(j.ctx, j.p, j.deadline, j.includeTrace)
+			j.mu.Lock()
+			wasCanceled := j.canceled
+			j.mu.Unlock()
 			if err != nil {
-				s.m.jobsFailed.Add(1)
+				if wasCanceled {
+					s.m.jobsCanceled.Add(1)
+				} else {
+					s.m.jobsFailed.Add(1)
+				}
 				j.set("error", nil, err.Error())
 				continue
 			}
-			s.m.jobsDone.Add(1)
+			if wasCanceled {
+				s.m.jobsCanceled.Add(1)
+			} else {
+				s.m.jobsDone.Add(1)
+			}
 			j.set("done", &resp, "")
 		}
 	}
 }
 
-// parseRequest validates a request into a Problem and clamped deadline.
-// The graph is materialized only after its declared node count passes
-// the MaxNodes guard.
-func (s *Server) parseRequest(req SolveRequest) (solve.Problem, time.Duration, error) {
+// BuildProblem validates a solve request into a Problem. maxNodes <= 0
+// means no size limit. The graph is materialized only after its
+// declared node count passes the guard, so a tiny request body
+// declaring a huge node count cannot allocate. It is exported so the
+// cluster routing proxy can parse a request exactly the way the node
+// will, compute its canonical instance key, and route on it.
+func BuildProblem(req SolveRequest, maxNodes int) (solve.Problem, error) {
 	if len(req.DAG) == 0 || string(req.DAG) == "null" {
-		return solve.Problem{}, 0, errors.New("missing dag")
+		return solve.Problem{}, errors.New("missing dag")
 	}
 	var head struct {
 		Nodes int `json:"nodes"`
 	}
 	if err := json.Unmarshal(req.DAG, &head); err != nil {
-		return solve.Problem{}, 0, fmt.Errorf("bad dag: %w", err)
+		return solve.Problem{}, fmt.Errorf("bad dag: %w", err)
 	}
-	if head.Nodes > s.cfg.MaxNodes {
-		return solve.Problem{}, 0, fmt.Errorf("instance has %d nodes, limit %d", head.Nodes, s.cfg.MaxNodes)
+	if maxNodes > 0 && head.Nodes > maxNodes {
+		return solve.Problem{}, fmt.Errorf("instance has %d nodes, limit %d", head.Nodes, maxNodes)
 	}
 	g := new(dag.DAG)
 	if err := json.Unmarshal(req.DAG, g); err != nil {
-		return solve.Problem{}, 0, fmt.Errorf("bad dag: %w", err)
+		return solve.Problem{}, fmt.Errorf("bad dag: %w", err)
 	}
-	if g.N() > s.cfg.MaxNodes {
-		return solve.Problem{}, 0, fmt.Errorf("instance has %d nodes, limit %d", g.N(), s.cfg.MaxNodes)
+	if maxNodes > 0 && g.N() > maxNodes {
+		return solve.Problem{}, fmt.Errorf("instance has %d nodes, limit %d", g.N(), maxNodes)
 	}
 	var model pebble.Model
 	switch req.Model {
@@ -285,11 +455,26 @@ func (s *Server) parseRequest(req SolveRequest) (solve.Problem, time.Duration, e
 		}
 		model = pebble.Model{Kind: pebble.CompCost, EpsDenom: eps}
 	default:
-		return solve.Problem{}, 0, fmt.Errorf("unknown model %q", req.Model)
+		return solve.Problem{}, fmt.Errorf("unknown model %q", req.Model)
 	}
 	r := req.R
 	if r == 0 {
 		r = pebble.MinFeasibleR(g)
+	}
+	return solve.Problem{
+		G: g, Model: model, R: r,
+		Convention: pebble.Convention{
+			SourcesStartBlue: req.SourcesStartBlue,
+			SinksMustBeBlue:  req.SinksMustBeBlue,
+		},
+	}, nil
+}
+
+// parseRequest validates a request into a Problem and clamped deadline.
+func (s *Server) parseRequest(req SolveRequest) (solve.Problem, time.Duration, error) {
+	p, err := BuildProblem(req, s.cfg.MaxNodes)
+	if err != nil {
+		return solve.Problem{}, 0, err
 	}
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 {
@@ -298,40 +483,147 @@ func (s *Server) parseRequest(req SolveRequest) (solve.Problem, time.Duration, e
 	if deadline > s.cfg.MaxDeadline {
 		deadline = s.cfg.MaxDeadline
 	}
-	p := solve.Problem{
-		G: g, Model: model, R: r,
-		Convention: pebble.Convention{
-			SourcesStartBlue: req.SourcesStartBlue,
-			SinksMustBeBlue:  req.SinksMustBeBlue,
-		},
-	}
 	return p, deadline, nil
+}
+
+// registerInterest records that a request governed by ctx cares about
+// key's in-flight solve. The returned release must be deferred. When
+// EVERY live interested request's ctx has been canceled, the flight
+// context (installed by the leader via flightContext) is canceled —
+// so one job's DELETE stops a solve only when nobody else is waiting
+// on it.
+func (s *Server) registerInterest(key string, ctx context.Context) (release func()) {
+	s.interestMu.Lock()
+	in := s.interest[key]
+	if in == nil {
+		in = &keyInterest{}
+		s.interest[key] = in
+	}
+	in.active++
+	s.interestMu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() {
+		s.interestMu.Lock()
+		in.votes++
+		cancel := in.cancelFlight
+		fire := in.votes >= in.active && cancel != nil
+		s.interestMu.Unlock()
+		if fire {
+			cancel()
+		}
+	})
+	return func() {
+		voted := !stop() // AfterFunc already ran: retract its vote with its interest
+		s.interestMu.Lock()
+		in.active--
+		if voted {
+			in.votes--
+		}
+		// A departure can leave only canceled requests behind (e.g. a
+		// waiter times out after the leader job was DELETEd): the flight
+		// is then fully abandoned and must stop too.
+		cancel := in.cancelFlight
+		fire := in.active > 0 && in.votes >= in.active && cancel != nil
+		if in.active == 0 {
+			delete(s.interest, key)
+		}
+		s.interestMu.Unlock()
+		if fire {
+			cancel()
+		}
+	}
+}
+
+// flightContext returns the cancelable context the flight leader runs
+// the shared solve under: rooted in baseCtx (NOT any single request's
+// context — concurrent identical requests share the solve) and
+// canceled by the interest registry once every interested request has
+// canceled. The caller must defer the returned cancel (after
+// flightDone) so the baseCtx child is always released.
+func (s *Server) flightContext(key string) (context.Context, context.CancelFunc) {
+	fctx, cancel := context.WithCancel(s.baseCtx)
+	s.interestMu.Lock()
+	in := s.interest[key]
+	fire := false
+	if in != nil {
+		in.cancelFlight = cancel
+		fire = in.votes >= in.active // everyone canceled before the solve even started
+	}
+	s.interestMu.Unlock()
+	if fire {
+		cancel()
+	}
+	return fctx, cancel
+}
+
+// flightDone detaches the flight cancel func from the interest entry
+// once the solve has returned (late votes must not cancel a context
+// that a future flight for the same key will replace).
+func (s *Server) flightDone(key string) {
+	s.interestMu.Lock()
+	if in := s.interest[key]; in != nil {
+		in.cancelFlight = nil
+	}
+	s.interestMu.Unlock()
 }
 
 // runSolve is the shared sync/async solve path for an already-parsed
 // request: canonical key, cache and singleflight, then the anytime
-// orchestrator.
-func (s *Server) runSolve(p solve.Problem, deadline time.Duration, includeTrace bool) (SolveResponse, error) {
+// orchestrator — warm-started from the cached certified interval when
+// one exists, so repeated hard instances tighten across requests. ctx
+// governs this request's own wait and its cancellation vote (job
+// cancellation, shutdown grace expiry); the shared solve itself stops
+// only when every request interested in it has canceled, and a
+// canceled solve still returns a certified partial interval.
+func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Duration, includeTrace bool) (SolveResponse, error) {
 	start := time.Now()
 	inst := instcache.Instance{G: p.G, Model: p.Model, R: p.R, Convention: p.Convention}
 	key, perm := inst.Key()
+	tier := instcache.TierForBudget(deadline)
+	release := s.registerInterest(key, ctx)
+	defer release()
 	// The wait on another request's in-flight solve is bounded by this
 	// request's own deadline (plus grace for the orchestrator's
-	// non-interruptible heuristic phase) — joining a long-budget flight
-	// must not stall a short-deadline client past its budget.
-	waitCtx, cancelWait := context.WithTimeout(context.Background(), deadline+2*time.Second)
+	// non-interruptible heuristic phase) and by its cancellation —
+	// joining a long-budget flight must not stall a short-deadline
+	// client past its budget, nor pin a canceled job's worker.
+	waitCtx, cancelWait := context.WithTimeout(ctx, deadline+2*time.Second)
 	defer cancelWait()
-	val, hit, shared, err := s.cache.Do(waitCtx, key, func() (instcache.Value, error) {
+	val, hit, shared, warmed, err := s.cache.Do(waitCtx, key, tier, func(warm *instcache.Value) (instcache.Value, error) {
 		s.m.solves.Add(1)
-		// The solve is detached from any single request: concurrent
-		// identical requests share it, so one client disconnecting must
-		// not cancel it for the rest.
-		res, err := s.solveFn(context.Background(), p, anytime.Options{
+		fctx, cancelFlight := s.flightContext(key)
+		defer cancelFlight()
+		defer s.flightDone(key)
+		opts := anytime.Options{
 			Budget:  deadline,
 			Workers: s.cfg.SolveWorkers,
-		})
+		}
+		if warm != nil {
+			// Resume refinement from the cached certified interval: the
+			// incumbent trace (translated back to this requester's node
+			// IDs) seeds the engines' bounds, the cached lower bound
+			// skips already-completed work.
+			opts.Warm = &anytime.WarmStart{
+				Moves:       instcache.FromCanonical(warm.Moves, perm),
+				LowerScaled: warm.LowerScaled,
+				Source:      "cache:" + warm.Source,
+			}
+		}
+		res, err := s.solveFn(fctx, p, opts)
 		if err != nil {
 			return instcache.Value{}, err
+		}
+		// A solve canceled well short of its budget (DELETE, shutdown
+		// grace) only earned a lower tier: crediting the full requested
+		// tier would let its weak interval be served to smaller-budget
+		// requests that could genuinely tighten it. The half-budget
+		// threshold keeps normal deadline-limited solves (elapsed ≈
+		// budget, possibly a hair under) at their requested tier.
+		effTier := tier
+		if res.Elapsed > 0 && res.Elapsed*2 < deadline {
+			if t := instcache.TierForBudget(res.Elapsed); t < effTier {
+				effTier = t
+			}
 		}
 		return instcache.Value{
 			Moves:       instcache.ToCanonical(res.Solution.Trace.Moves, perm),
@@ -339,6 +631,7 @@ func (s *Server) runSolve(p solve.Problem, deadline time.Duration, includeTrace 
 			LowerScaled: res.LowerScaled,
 			Optimal:     res.Optimal,
 			Source:      res.Source,
+			Tier:        effTier,
 		}, nil
 	})
 	if err != nil {
@@ -366,6 +659,7 @@ func (s *Server) runSolve(p solve.Problem, deadline time.Duration, includeTrace 
 		Source:    val.Source,
 		Cached:    hit,
 		Shared:    shared,
+		Warmed:    warmed,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if includeTrace {
@@ -379,6 +673,14 @@ func (s *Server) runSolve(p solve.Problem, deadline time.Duration, includeTrace 
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
+	if s.draining.Load() {
+		// The header lets the routing proxy tell "this node is going
+		// away, fail over" apart from per-request 503s (queue full,
+		// singleflight wait timeout) that a healthy node also emits.
+		w.Header().Set("X-Rbserve-Draining", "1")
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
 	var req SolveRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -397,15 +699,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
+		jctx, jcancel := context.WithCancel(s.baseCtx)
 		j := &job{
-			id:           "job-" + strconv.FormatUint(s.jobSeq.Add(1), 10),
+			id:           "job-" + s.jobPrefix + "-" + strconv.FormatUint(s.jobSeq.Add(1), 10),
 			p:            p,
 			deadline:     deadline,
 			includeTrace: req.IncludeTrace,
 			status:       "queued",
+			ctx:          jctx,
+			cancel:       jcancel,
+			done:         make(chan struct{}),
 		}
 		select {
 		case <-s.closed:
+			jcancel() // rejected: release the baseCtx child
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
 			return
 		default:
@@ -413,6 +720,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.queue <- j:
 		default:
+			jcancel() // rejected: release the baseCtx child
 			s.m.jobsRejected.Add(1)
 			httpError(w, http.StatusServiceUnavailable, "job queue full")
 			return
@@ -424,7 +732,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(j.snapshot())
 		return
 	}
-	resp, err := s.runSolve(p, deadline, req.IncludeTrace)
+	resp, err := s.runSolve(s.baseCtx, p, deadline, req.IncludeTrace)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			httpError(w, http.StatusServiceUnavailable,
@@ -446,7 +754,7 @@ func (s *Server) registerJob(j *job) {
 		// Drop the oldest finished job; stop if the oldest is still live
 		// (it must stay pollable).
 		old := s.jobs[s.jobOrder[0]]
-		if st := old.snapshot().Status; st != "done" && st != "error" {
+		if st := old.snapshot().Status; !terminal(st) {
 			break
 		}
 		delete(s.jobs, s.jobOrder[0])
@@ -466,12 +774,47 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, j.snapshot())
 }
 
+// handleCancelJob is DELETE /solve/{id}: cancel a queued or running
+// async job through the solvers' cooperative cancellation layer and
+// return the job with the partial certified interval harvested at
+// cancellation (the engines hand back their frontier lower bound and
+// best incumbent instead of wasting the work done so far).
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	s.jobMu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.jobMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	j.requestCancel()
+	// Wait (bounded) for the worker to harvest the partial certificate;
+	// the engines notice cancellation within a few thousand expansions.
+	select {
+	case <-j.done:
+	case <-time.After(5 * time.Second):
+	case <-r.Context().Done():
+	}
+	writeJSON(w, j.snapshot())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]bool{"ok": false, "draining": true})
+		return
+	}
 	writeJSON(w, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
+	var drainingGauge uint64
+	if s.draining.Load() {
+		drainingGauge = 1
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, kv := range []struct {
 		name string
@@ -485,10 +828,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rbserve_cache_evictions_total", cs.Evictions},
 		{"rbserve_cache_entries", uint64(cs.Entries)},
 		{"rbserve_singleflight_shared_total", cs.SharedFlights},
+		{"rbserve_interval_entries", uint64(cs.IntervalEntries)},
+		{"rbserve_interval_hits_total", cs.IntervalHits},
+		{"rbserve_interval_stores_total", cs.IntervalStores},
+		{"rbserve_interval_evictions_total", cs.IntervalEvictions},
+		{"rbserve_interval_tightened_total", cs.Tightenings},
+		{"rbserve_warm_starts_total", cs.WarmStarts},
 		{"rbserve_jobs_submitted_total", s.m.jobsSubmitted.Load()},
 		{"rbserve_jobs_done_total", s.m.jobsDone.Load()},
 		{"rbserve_jobs_failed_total", s.m.jobsFailed.Load()},
 		{"rbserve_jobs_rejected_total", s.m.jobsRejected.Load()},
+		{"rbserve_jobs_canceled_total", s.m.jobsCanceled.Load()},
+		{"rbserve_draining", drainingGauge},
 	} {
 		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)
 	}

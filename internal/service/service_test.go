@@ -239,10 +239,220 @@ func TestDeadlineReturnsCertifiedInterval(t *testing.T) {
 	if sr.Lower <= 0 || sr.Lower > sr.Upper || sr.Gap <= 0 {
 		t.Fatalf("incoherent certified interval: %+v", sr)
 	}
-	// A deadline-limited (non-optimal) answer must not poison the cache.
+	// A deadline-limited answer is not served verbatim to an equal-budget
+	// repeat — the repeat warm-starts a fresh refinement from the cached
+	// interval, and the result must be at least as tight on both ends.
 	_, sr2, _ := postSolve(t, ts, body)
 	if sr2.Cached {
 		t.Fatalf("non-optimal result was served from cache: %+v", sr2)
+	}
+	if !sr2.Warmed {
+		t.Fatalf("second request did not warm-start: %+v", sr2)
+	}
+	if sr2.Upper > sr.Upper || sr2.Lower < sr.Lower {
+		t.Fatalf("warm-started interval regressed: first [%v, %v], second [%v, %v]",
+			sr.Lower, sr.Upper, sr2.Lower, sr2.Upper)
+	}
+	if got := metric(t, ts, "rbserve_warm_starts_total"); got != 1 {
+		t.Fatalf("warm_starts_total = %d, want 1", got)
+	}
+	if got := metric(t, ts, "rbserve_interval_stores_total"); got < 2 {
+		t.Fatalf("interval_stores_total = %d, want >= 2", got)
+	}
+
+	// A strictly smaller budget tier is served the stored interval
+	// directly: a bigger budget already tried harder.
+	small := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"deadline_ms":1}`, dagJSON(t, daggen.FFT(3)))
+	_, sr3, _ := postSolve(t, ts, small)
+	if !sr3.Cached {
+		t.Fatalf("lower-tier request not served from interval cache: %+v", sr3)
+	}
+	if got := metric(t, ts, "rbserve_interval_hits_total"); got != 1 {
+		t.Fatalf("interval_hits_total = %d, want 1", got)
+	}
+}
+
+// TestDrainFailsHealthzAndRefusesWork: Drain() must fail the health
+// probe (so a routing proxy stops sending here) and 503 new solves,
+// observable in /metrics.
+func TestDrainFailsHealthzAndRefusesWork(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain healthz = %d", resp.StatusCode)
+	}
+	s.Drain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	code, _, _ := postSolve(t, ts, fmt.Sprintf(`{"dag":%s}`, dagJSON(t, daggen.Chain(3))))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining solve = %d, want 503", code)
+	}
+	if got := metric(t, ts, "rbserve_draining"); got != 1 {
+		t.Fatalf("rbserve_draining = %d, want 1", got)
+	}
+}
+
+// TestCancelRunningJob: DELETE /solve/{id} on a running job stops the
+// solve through the cooperative cancellation layer and returns the
+// partial certified interval harvested at cancellation.
+func TestCancelRunningJob(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// fft(3) R=3 with a long budget: the exact engines would need
+	// seconds, so the DELETE provably lands mid-solve.
+	body := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"deadline_ms":30000,"async":true}`,
+		dagJSON(t, daggen.FFT(3)))
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JobResponse
+	json.NewDecoder(resp.Body).Decode(&jr)
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/solve/" + jr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got JobResponse
+		json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if got.Status == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running: %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/solve/"+jr.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled JobResponse
+	json.NewDecoder(dresp.Body).Decode(&canceled)
+	dresp.Body.Close()
+	if canceled.Status != "canceled" {
+		t.Fatalf("status after DELETE = %q, want canceled (%+v)", canceled.Status, canceled)
+	}
+	if canceled.Result == nil {
+		t.Fatalf("no partial interval harvested at cancellation: %+v", canceled)
+	}
+	if canceled.Result.Lower <= 0 || canceled.Result.Lower > canceled.Result.Upper {
+		t.Fatalf("incoherent partial interval: %+v", canceled.Result)
+	}
+	if canceled.Result.Optimal {
+		t.Fatalf("canceled mid-solve yet optimal: %+v", canceled.Result)
+	}
+	if got := metric(t, ts, "rbserve_jobs_canceled_total"); got != 1 {
+		t.Fatalf("jobs_canceled_total = %d, want 1", got)
+	}
+}
+
+// TestCancelQueuedJob: canceling a job that has not started yet
+// finalizes it immediately and the worker skips it.
+func TestCancelQueuedJob(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	s.solveFn = func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error) {
+		startedOnce.Do(func() { close(started) })
+		<-gate
+		return anytime.Solve(ctx, p, anytime.Options{})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func(g json.RawMessage) string {
+		resp, err := http.Post(ts.URL+"/solve", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"async":true}`, g)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jr JobResponse
+		json.NewDecoder(resp.Body).Decode(&jr)
+		return jr.ID
+	}
+	submit(dagJSON(t, daggen.Pyramid(4))) // occupies the single worker
+	<-started
+	queuedID := submit(dagJSON(t, daggen.Pyramid(5))) // stays queued
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/solve/"+queuedID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled JobResponse
+	json.NewDecoder(dresp.Body).Decode(&canceled)
+	dresp.Body.Close()
+	if canceled.Status != "canceled" {
+		t.Fatalf("queued job after DELETE = %q, want canceled", canceled.Status)
+	}
+	close(gate)
+}
+
+// TestShutdownGraceCancelsInflight: Shutdown must return once the
+// grace period expires, with the in-flight solve canceled
+// cooperatively (it produced a certified partial answer, not a hang).
+func TestShutdownGraceCancelsInflight(t *testing.T) {
+	s := New(Config{Workers: 1, GracePeriod: 50 * time.Millisecond})
+	running := make(chan struct{})
+	s.solveFn = func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error) {
+		close(running)
+		<-ctx.Done() // simulate a solve that only stops when canceled
+		// Produce a real (heuristic) result so the response carries a
+		// replayable trace, as a canceled real solve would.
+		return anytime.Solve(context.Background(), p, anytime.Options{Budget: time.Millisecond})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"async":true}`, dagJSON(t, daggen.Pyramid(4)))
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JobResponse
+	json.NewDecoder(resp.Body).Decode(&jr)
+	resp.Body.Close()
+	<-running
+
+	done := make(chan struct{})
+	go func() {
+		s.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return within grace + margin")
+	}
+	if !s.Draining() {
+		t.Fatal("Shutdown did not drain")
 	}
 }
 
@@ -297,4 +507,71 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
+}
+
+// TestCancelSharedFlightProtectsWaiters: DELETE on a job whose solve
+// other concurrent identical requests are waiting on must NOT cancel
+// the shared solve — the flight is canceled only when every interested
+// request has canceled.
+func TestCancelSharedFlightProtectsWaiters(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	gate := make(chan struct{})
+	leaderCtx := make(chan context.Context, 1)
+	s.solveFn = func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error) {
+		leaderCtx <- ctx
+		<-gate
+		if err := ctx.Err(); err != nil {
+			return anytime.Result{}, err
+		}
+		return anytime.Solve(context.Background(), p, anytime.Options{})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := dagJSON(t, daggen.Pyramid(4))
+	resp, err := http.Post(ts.URL+"/solve", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"async":true}`, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JobResponse
+	json.NewDecoder(resp.Body).Decode(&jr)
+	resp.Body.Close()
+	fctx := <-leaderCtx // the async job is the flight leader
+
+	// A sync request for the same instance latches onto the flight.
+	syncDone := make(chan SolveResponse, 1)
+	go func() {
+		_, sr, _ := postSolve(t, ts, fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3}`, g))
+		syncDone <- sr
+	}()
+	for {
+		if s.cache.Stats().SharedFlights >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Cancel the leader job: one of two interested requests — the
+	// shared solve must keep running.
+	delDone := make(chan struct{})
+	go func() {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/solve/"+jr.ID, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err == nil {
+			r.Body.Close()
+		}
+		close(delDone)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if fctx.Err() != nil {
+		t.Fatal("one job's DELETE canceled a flight another request was waiting on")
+	}
+	close(gate)
+	sr := <-syncDone
+	if !sr.Optimal {
+		t.Fatalf("waiter got a degraded result after the leader's DELETE: %+v", sr)
+	}
+	<-delDone
 }

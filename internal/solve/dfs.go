@@ -53,6 +53,15 @@ type ExactDFSOptions struct {
 	// scaled cost (e.g. from TopoBelady). Otherwise the solver computes
 	// one itself.
 	InitialBound int64
+	// InitialLowerBound, if > 0, is a lower bound on the optimal scaled
+	// cost the CALLER has already certified (e.g. a cached interval from
+	// an earlier deadline-limited solve). IDA* starts its threshold
+	// schedule at max(root heuristic, InitialLowerBound) — skipping every
+	// pass a previous request already completed — and both algorithms
+	// seed their reported LowerBound with it. Soundness of the skipped
+	// passes rests entirely on the caller's certificate; an uncertified
+	// value can make the solver return a non-optimal trace as "optimal".
+	InitialLowerBound int64
 	// Algorithm selects the search scheme (DFSAuto = IDA*).
 	Algorithm DFSAlgorithm
 	// Stats, when non-nil, receives search counters after the solve —
@@ -149,18 +158,19 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 	}
 
 	d := &dfsSearch{
-		p:           p,
-		c:           newSearchCtx(p, ExactOptions{}, start),
-		st:          start,
-		memo:        newStateTable(start.PackedWords(), 1024),
-		hcache:      newStateTable(start.PackedWords(), 1024),
-		maxVisits:   maxVisits,
-		bound:       bound,
-		bestMoves:   bestMoves,
-		maxDepth:    dfsMaxDepth(p),
-		cancel:      opts.Cancel,
-		onIncumbent: opts.OnIncumbent,
-		onProgress:  opts.Progress,
+		p:            p,
+		c:            newSearchCtx(p, ExactOptions{}, start),
+		st:           start,
+		memo:         newStateTable(start.PackedWords(), 1024),
+		hcache:       newStateTable(start.PackedWords(), 1024),
+		maxVisits:    maxVisits,
+		bound:        bound,
+		bestMoves:    bestMoves,
+		maxDepth:     dfsMaxDepth(p),
+		initialLower: opts.InitialLowerBound,
+		cancel:       opts.Cancel,
+		onIncumbent:  opts.OnIncumbent,
+		onProgress:   opts.Progress,
 	}
 	report := func() {
 		if opts.Stats != nil {
@@ -221,9 +231,10 @@ type dfsSearch struct {
 	bestMoves []pebble.Move
 	moves     []pebble.Move // live move prefix of the recursion
 
-	threshold  int64 // current IDA* f-threshold
-	minExceed  int64 // smallest f seen above the threshold this pass
-	lower      int64 // certified lower bound (root estimate, raised per completed pass)
+	threshold    int64 // current IDA* f-threshold
+	minExceed    int64 // smallest f seen above the threshold this pass
+	lower        int64 // certified lower bound (root estimate, raised per completed pass)
+	initialLower int64 // caller-certified floor (warm start); seeds threshold and lower
 	visits     int
 	iterations int
 	limitErr   error
@@ -319,8 +330,13 @@ func (d *dfsSearch) idaStar() error {
 	if dead {
 		return ErrInfeasible
 	}
-	d.threshold = h0
-	d.lower = h0
+	// A caller-certified floor starts the threshold schedule where the
+	// previous request left off: passes below it were proven empty there
+	// and need not be re-run. A pass at threshold T still explores every
+	// prefix with f <= T, so an incumbent at or below T remains a sound
+	// optimality proof.
+	d.threshold = max(h0, d.initialLower)
+	d.lower = d.threshold
 	// The threshold grows by a doubling gap (capped) rather than to the
 	// minimal exceeding f. Minimal steps are safe but hopeless on wide
 	// searches: the per-pass cost grows roughly geometrically in f, so
@@ -482,7 +498,7 @@ func (d *dfsSearch) branchAndBound() error {
 	if dead {
 		return ErrInfeasible
 	}
-	d.lower = h0
+	d.lower = max(h0, d.initialLower)
 	d.recBnB()
 	if d.limitErr == nil {
 		d.lower = d.bound // exhausted: incumbent proven optimal

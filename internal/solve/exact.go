@@ -20,6 +20,14 @@ var ErrStateLimit = errors.New("solve: state limit exceeded")
 // filled, so anytime callers can salvage the partial certificate.
 var ErrCanceled = errors.New("solve: search canceled")
 
+// ErrBoundExhausted is returned by the serial exact engine when
+// ExactOptions.PruneBound is set and the search space is exhausted
+// without finding any completion below the bound. It is a POSITIVE
+// certificate: the optimum is at least PruneBound, and Stats.LowerBound
+// reflects that — a warm-started refinement seeing this error has just
+// proven its cached incumbent optimal.
+var ErrBoundExhausted = errors.New("solve: bound exhausted")
+
 // ExactOptions configures the exact solver.
 type ExactOptions struct {
 	// MaxStates caps the number of expanded states (0 means the default
@@ -33,6 +41,25 @@ type ExactOptions struct {
 	// HeuristicOff reverts to plain Dijkstra. Either way the returned
 	// cost is the exact optimum.
 	Heuristic Heuristic
+	// InitialLowerBound, if > 0, is a lower bound on the optimal scaled
+	// cost that the CALLER has already certified (e.g. a cached interval
+	// from an earlier deadline-limited solve of the same instance). The
+	// serial engine seeds its running frontier certificate with it, so a
+	// canceled search never reports a LowerBound below what was already
+	// proven, and IDA*-style callers can skip threshold passes below it.
+	// Passing an uncertified value breaks the LowerBound contract — the
+	// search itself stays correct, but the reported bound would lie.
+	InitialLowerBound int64
+	// PruneBound, if > 0, is an exclusive upper bound on interesting
+	// completions: the serial engine discards every generated state whose
+	// f = g + h reaches it. With an admissible heuristic any completion
+	// cheaper than PruneBound keeps all its prefix states strictly below
+	// the bound, so the optimum is still found whenever it is cheaper
+	// than PruneBound. Callers set it to incumbent+1 (warm-started
+	// refinement from a cached trace) so equal-cost optima are still
+	// discovered and proven. The parallel engines ignore it (pruning is
+	// only a speedup; correctness never depends on it).
+	PruneBound int64
 	// Parallel, when > 1, expands states with that many workers, with
 	// the state space sharded by state hash (each worker owns its
 	// shard's open list and visited table). The proven optimal cost is
@@ -364,7 +391,9 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 	var hs []int64
 
 	expanded, pushed := 0, 0
-	lower := int64(0) // certified lower bound: running max of min open f
+	// Certified lower bound: running max of min open f, seeded from the
+	// caller's already-certified floor (warm start) when one is given.
+	lower := opts.InitialLowerBound
 	report := func() {
 		if opts.Stats != nil {
 			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: table.count(), LowerBound: lower}
@@ -381,7 +410,9 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 		return Solution{}, ErrInfeasible
 	}
 	hs = append(hs, h0)
-	lower = h0
+	if h0 > lower {
+		lower = h0
+	}
 	open.push(heapEntry{f: h0, g: 0, node: 0})
 	pushed = 1
 
@@ -451,12 +482,32 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 				}
 				h = hs[childRef]
 			}
+			if opts.PruneBound > 0 && childG+h >= opts.PruneBound {
+				// No completion through this state can stay below the
+				// caller's bound (h is admissible); drop it unpushed. Its
+				// table entry keeps costUnreached so a cheaper path may
+				// still reopen it, and hs caches h for that reopening.
+				c.scratch.Undo(undo)
+				continue
+			}
 			table.best[childRef] = childG
 			nodes = append(nodes, searchNode{parent: e.node, ref: childRef, move: m})
 			open.push(heapEntry{f: childG + h, g: childG, node: int32(len(nodes) - 1)})
 			pushed++
 			c.scratch.Undo(undo)
 		}
+	}
+	if opts.PruneBound > 0 {
+		// The open list emptied with every f >= PruneBound branch cut:
+		// each cut carried a certificate that no completion through it
+		// costs less than PruneBound, so the optimum is at least
+		// PruneBound — a warm-started refinement has just proven the
+		// cached incumbent optimal.
+		if opts.PruneBound > lower {
+			lower = opts.PruneBound
+		}
+		report()
+		return Solution{}, fmt.Errorf("%w: no completion below bound %d", ErrBoundExhausted, opts.PruneBound)
 	}
 	report()
 	return Solution{}, errors.New("solve: state space exhausted without completing (unreachable for feasible R)")

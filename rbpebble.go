@@ -29,6 +29,7 @@ package rbpebble
 
 import (
 	"rbpebble/internal/anytime"
+	"rbpebble/internal/cluster"
 	"rbpebble/internal/dag"
 	"rbpebble/internal/daggen"
 	"rbpebble/internal/experiments"
@@ -283,11 +284,16 @@ type (
 	// AnytimeSnapshot is one point of the anytime convergence curve,
 	// streamed through AnytimeOptions.OnProgress.
 	AnytimeSnapshot = anytime.Snapshot
+	// AnytimeWarmStart resumes refinement from a previously certified
+	// interval of the same instance (AnytimeOptions.Warm).
+	AnytimeWarmStart = anytime.WarmStart
 	// ExactProgress is a periodic snapshot of a running exact search
 	// (ExactOptions.Progress).
 	ExactProgress = solve.ExactProgress
 	// ServiceConfig tunes an embedded rbserve HTTP server.
 	ServiceConfig = service.Config
+	// ClusterProxyConfig tunes an embedded rbproxy cluster front end.
+	ClusterProxyConfig = cluster.ProxyConfig
 )
 
 var (
@@ -307,6 +313,13 @@ var (
 	// queue, canonical cache, metrics) for embedding; cmd/rbserve is
 	// the standalone binary.
 	NewServer = service.New
+	// NewClusterProxy builds the consistent-hash routing front end for
+	// a fleet of rbserve replicas (canonical-key routing, failover,
+	// merged metrics/health); cmd/rbproxy is the standalone binary.
+	NewClusterProxy = cluster.NewProxy
+	// NewRing builds a standalone consistent-hash ring (virtual nodes,
+	// rendezvous tie-break) over cluster members.
+	NewRing = cluster.NewRing
 )
 
 // Sentinel errors of the exact solvers.
