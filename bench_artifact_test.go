@@ -18,12 +18,14 @@ func TestBenchArtifactParses(t *testing.T) {
 			`go test ./internal/solve ./internal/anytime -p 1 -bench . -benchtime 1x -benchjson "$PWD"/BENCH_solver.json)`, err)
 	}
 	var rows []struct {
-		Name        string  `json:"name"`
-		NsPerOp     float64 `json:"ns_per_op"`
-		UpperScaled int64   `json:"upper_scaled_cost"`
-		LowerScaled int64   `json:"lower_scaled_cost"`
-		GapFirst    float64 `json:"gap_first_solve"`
-		GapSecond   float64 `json:"gap_second_solve"`
+		Name           string  `json:"name"`
+		NsPerOp        float64 `json:"ns_per_op"`
+		BytesPerOp     float64 `json:"bytes_per_op"`
+		PeakTableBytes int64   `json:"peak_table_bytes"`
+		UpperScaled    int64   `json:"upper_scaled_cost"`
+		LowerScaled    int64   `json:"lower_scaled_cost"`
+		GapFirst       float64 `json:"gap_first_solve"`
+		GapSecond      float64 `json:"gap_second_solve"`
 	}
 	if err := json.Unmarshal(data, &rows); err != nil {
 		t.Fatalf("artifact does not parse: %v", err)
@@ -35,6 +37,15 @@ func TestBenchArtifactParses(t *testing.T) {
 	for _, r := range rows {
 		if r.Name == "" || r.NsPerOp <= 0 {
 			t.Fatalf("malformed row: %+v", r)
+		}
+		// The memory columns: every row reports its allocation traffic,
+		// and every exact-solver row reports the peak visited-table
+		// footprint (the memory the arena table actually held).
+		if r.BytesPerOp <= 0 {
+			t.Fatalf("row missing bytes_per_op: %+v", r)
+		}
+		if strings.HasPrefix(r.Name, "BenchmarkExact") && r.PeakTableBytes <= 0 {
+			t.Fatalf("exact-solver row missing peak_table_bytes: %+v", r)
 		}
 		if strings.HasPrefix(r.Name, "BenchmarkAnytime") {
 			hasAnytime = true

@@ -10,17 +10,21 @@
 //	rbpebble -graph pyr.dag -model oneshot -r 3 -solver exact -trace out.trace
 //	rbpebble -graph pyr.dag -model compcost -eps 100 -r 3 -solver greedy
 //	rbpebble -graph big.dag -model oneshot -r 4 -deadline 500ms
+//	rbpebble -graph big.dag -r 4 -deadline 500ms -workers 4 -progress
 //
 // With -deadline the run goes through the anytime orchestrator: on
 // instances too hard to solve exactly in time it prints a certified
 // [lower, upper] interval (plus the incumbent's verified cost) instead
-// of dying on a budget error.
+// of dying on a budget error. Adding -progress streams every certified
+// tightening of the interval to stderr while the solve runs — including
+// the async engine's mid-flight certified lower bound under -workers.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -48,6 +52,7 @@ func main() {
 		dfsAlgo   = flag.String("dfs-algo", "auto", "dfs solver scheme: auto|ida-star|branch-and-bound")
 		maxVisits = flag.Int("maxvisits", 0, "dfs solver visit budget (0 = default)")
 		deadline  = flag.Duration("deadline", 0, "anytime budget: race heuristics and exact engines, print a certified [lower, upper] interval (overrides -solver)")
+		progress  = flag.Bool("progress", false, "with -deadline: print live certified [lower, upper] updates to stderr as the interval tightens (works with -workers > 1: the async engine streams its certified bound mid-flight)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -77,10 +82,24 @@ func main() {
 	anytimeInfo := ""
 	switch {
 	case *deadline > 0:
-		res, aerr := anytime.Solve(context.Background(), p, anytime.Options{
+		opts := anytime.Options{
 			Budget:  *deadline,
 			Workers: *workers,
-		})
+		}
+		if *progress {
+			// Each snapshot strictly tightens the interval (the
+			// orchestrator deduplicates and orders emissions), so the
+			// stream reads as a monotone convergence log.
+			opts.OnProgress = func(s anytime.Snapshot) {
+				upper := "?"
+				if s.UpperScaled != math.MaxInt64 {
+					upper = fmt.Sprintf("%d", s.UpperScaled)
+				}
+				fmt.Fprintf(os.Stderr, "progress:  [%d, %s] via %s at %s\n",
+					s.LowerScaled, upper, s.Source, s.Elapsed.Round(time.Millisecond))
+			}
+		}
+		res, aerr := anytime.Solve(context.Background(), p, opts)
 		if aerr != nil {
 			fatal(aerr)
 		}

@@ -42,9 +42,12 @@ type Options struct {
 	// runs until an exact engine proves optimality (or ctx fires).
 	Budget time.Duration
 	// Workers > 1 expands the best-first engine with that many
-	// hash-sharded async HDA* workers. Note the parallel engine
-	// certifies its frontier bound only at shutdown, while the serial
-	// engine (the default) streams it continuously.
+	// hash-sharded async HDA* workers. The parallel engine streams a
+	// certified lower bound mid-flight just like the serial one: its
+	// coordinator merges the per-worker frontier floors with the
+	// in-flight mailbox watermarks into a certified global f-min and
+	// reports every improvement, so OnProgress sees monotone certified
+	// progress under any worker count.
 	Workers int
 	// MaxStates caps the best-first engine's expansions (0 = 1<<40,
 	// effectively unbounded: the deadline is the real budget).
@@ -56,8 +59,11 @@ type Options struct {
 	DisableDFS bool
 	// OnProgress, when non-nil, receives a snapshot every time the
 	// certified interval tightens (new incumbent or higher lower
-	// bound). Called from solver goroutines; must be fast and safe for
-	// concurrent use.
+	// bound). Emissions are serialized, deduplicated and monotone: each
+	// snapshot strictly improves at least one end of the previously
+	// delivered interval and never regresses either end, even when
+	// several engines report the same bound concurrently. Called from
+	// solver goroutines; must be fast.
 	OnProgress func(Snapshot)
 	// Warm, when non-nil, resumes refinement from a previously certified
 	// interval of the SAME instance (e.g. a cached deadline-limited
@@ -194,12 +200,23 @@ type collector struct {
 	best   solve.Solution
 	source string
 	found  bool
+
+	// The emission gate serializes OnProgress deliveries and remembers
+	// the last pair handed to the caller, so concurrent engines
+	// reporting the same bound (or snapshots built under c.mu but
+	// racing to the callback) can never produce duplicate or regressing
+	// (upper, lower) pairs: the caller only ever observes strict
+	// improvement.
+	emitMu sync.Mutex
+	sentU  int64
+	sentL  int64
 }
 
 // snapshotLocked captures the current interval; the caller emits it
-// after releasing the lock (the callback may be arbitrarily slow, and
-// emitting outside the lock keeps solver goroutines from serializing on
-// it while preserving per-goroutine ordering).
+// after releasing the state lock (the callback may be arbitrarily
+// slow, and emitting outside c.mu keeps solver goroutines from
+// serializing on it; the separate emission gate below restores a
+// total, monotone order on what the user sees).
 func (c *collector) snapshotLocked(source string) (Snapshot, bool) {
 	if c.onP == nil {
 		return Snapshot{}, false
@@ -210,6 +227,26 @@ func (c *collector) snapshotLocked(source string) (Snapshot, bool) {
 		LowerScaled: c.lower,
 		Source:      source,
 	}, true
+}
+
+// emit delivers a snapshot through the emission gate: duplicates and
+// stale reorderings are dropped, and each end is clamped to the best
+// value already delivered so the OnProgress stream is strictly
+// improving and never regresses.
+func (c *collector) emit(s Snapshot) {
+	c.emitMu.Lock()
+	defer c.emitMu.Unlock()
+	if s.UpperScaled >= c.sentU && s.LowerScaled <= c.sentL {
+		return // no strict improvement over what was already delivered
+	}
+	if s.UpperScaled > c.sentU {
+		s.UpperScaled = c.sentU
+	}
+	if s.LowerScaled < c.sentL {
+		s.LowerScaled = c.sentL
+	}
+	c.sentU, c.sentL = s.UpperScaled, s.LowerScaled
+	c.onP(s)
 }
 
 // improveUpper installs sol as the incumbent if it beats the current
@@ -225,7 +262,7 @@ func (c *collector) improveUpper(sol solve.Solution, source string) {
 	s, emit := c.snapshotLocked(source)
 	c.mu.Unlock()
 	if emit {
-		c.onP(s)
+		c.emit(s)
 	}
 }
 
@@ -253,7 +290,7 @@ func (c *collector) raiseLower(v int64, source string) {
 	s, emit := c.snapshotLocked(source)
 	c.mu.Unlock()
 	if emit {
-		c.onP(s)
+		c.emit(s)
 	}
 }
 
@@ -284,7 +321,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 	// upper starts at MaxInt64 (the documented "no incumbent yet"
 	// sentinel for snapshots) so pre-incumbent snapshots never show an
 	// inverted [lower, 0] interval.
-	c := &collector{p: p, start: start, onP: opts.OnProgress, upper: math.MaxInt64}
+	c := &collector{p: p, start: start, onP: opts.OnProgress, upper: math.MaxInt64, sentU: math.MaxInt64}
 
 	// Phase 0: instant certificate. Also validates the instance.
 	lb0, err := solve.RootLowerBound(p, solve.HeuristicAuto)
@@ -293,7 +330,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 	}
 	c.lower = lb0
 	if s, emit := c.snapshotLocked("root-bound"); emit {
-		c.onP(s)
+		c.emit(s)
 	}
 
 	// Phase 0.5: warm start. Install the cached certificate before any

@@ -27,7 +27,7 @@ func TestMain(m *testing.M) { benchharness.Main(m) }
 func benchAnytime(b *testing.B, p solve.Problem, opts Options) {
 	b.Helper()
 	b.ReportAllocs()
-	m0 := benchharness.Mallocs()
+	m0 := benchharness.Before()
 	var res Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -82,7 +82,7 @@ func BenchmarkAnytimeGrid44R3Full(b *testing.B) {
 func BenchmarkIntervalConvergenceFFT3R3(b *testing.B) {
 	p := solve.Problem{G: daggen.FFT(3), Model: pebble.NewModel(pebble.Oneshot), R: 3}
 	b.ReportAllocs()
-	m0 := benchharness.Mallocs()
+	m0 := benchharness.Before()
 	var first, second Result
 	for i := 0; i < b.N; i++ {
 		var err error

@@ -25,13 +25,21 @@ var out = flag.String("benchjson", "", "write machine-readable benchmark results
 
 // Record is one benchmark's machine-readable result row.
 type Record struct {
-	Name           string  `json:"name"`
-	NsPerOp        float64 `json:"ns_per_op"`
-	AllocsPerOp    float64 `json:"allocs_per_op"`
-	StatesExpanded int     `json:"states_expanded,omitempty"`
-	DistinctStates int     `json:"distinct_states,omitempty"`
-	Visits         int     `json:"visits,omitempty"`
-	OptimalScaled  int64   `json:"optimal_scaled_cost,omitempty"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is the heap allocated per op (runtime TotalAlloc
+	// delta: cumulative allocation traffic, not peak residency).
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	// PeakTableBytes is the solver visited-table footprint (probe slots
+	// plus arena capacity, summed over parallel shards) at search end —
+	// the peak, since the tables only grow within a run. Solver rows
+	// only.
+	PeakTableBytes int64 `json:"peak_table_bytes,omitempty"`
+	StatesExpanded int   `json:"states_expanded,omitempty"`
+	DistinctStates int   `json:"distinct_states,omitempty"`
+	Visits         int   `json:"visits,omitempty"`
+	OptimalScaled  int64 `json:"optimal_scaled_cost,omitempty"`
 	// Anytime rows: the certified interval and whether it closed.
 	UpperScaled int64 `json:"upper_scaled_cost,omitempty"`
 	LowerScaled int64 `json:"lower_scaled_cost,omitempty"`
@@ -46,16 +54,26 @@ type Record struct {
 
 var records []Record
 
+// Baseline is a snapshot of the runtime's cumulative allocation
+// counters, taken before a benchmark's loop (see Before) and diffed by
+// Capture into allocs/op and bytes/op.
+type Baseline struct {
+	mallocs uint64
+	bytes   uint64
+}
+
 // Capture records one benchmark's metrics (ns/op from the timer,
-// allocs/op from the runtime's malloc counter since mallocs0). The
-// harness invokes each benchmark function several times while
-// calibrating b.N; only the latest (converged) invocation is kept.
-func Capture(b *testing.B, mallocs0 uint64, rec Record) {
+// allocs/op and bytes/op from the runtime's allocation counters since
+// base). The harness invokes each benchmark function several times
+// while calibrating b.N; only the latest (converged) invocation is
+// kept.
+func Capture(b *testing.B, base Baseline, rec Record) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	rec.Name = b.Name()
 	rec.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
-	rec.AllocsPerOp = float64(ms.Mallocs-mallocs0) / float64(b.N)
+	rec.AllocsPerOp = float64(ms.Mallocs-base.mallocs) / float64(b.N)
+	rec.BytesPerOp = float64(ms.TotalAlloc-base.bytes) / float64(b.N)
 	for i := range records {
 		if records[i].Name == rec.Name {
 			records[i] = rec
@@ -65,12 +83,12 @@ func Capture(b *testing.B, mallocs0 uint64, rec Record) {
 	records = append(records, rec)
 }
 
-// Mallocs returns the runtime's cumulative malloc count (pass to
-// Capture as the baseline).
-func Mallocs() uint64 {
+// Before snapshots the runtime's cumulative allocation counters (pass
+// to Capture as the baseline).
+func Before() Baseline {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	return ms.Mallocs
+	return Baseline{mallocs: ms.Mallocs, bytes: ms.TotalAlloc}
 }
 
 // Main runs the tests and flushes the records; call it from TestMain.

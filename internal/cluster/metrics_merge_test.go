@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsMergeSumsLabeledGauges: the fleet merge must fold labeled
+// per-job gauges (rbserve_job_lower_bound{job="..."}) into one
+// label-stripped cluster sum, alongside the plain counters. The
+// members are stub servers so the per-node values are exact.
+func TestMetricsMergeSumsLabeledGauges(t *testing.T) {
+	node := func(metrics string) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, `{"ok":true}`)
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, metrics)
+		})
+		return httptest.NewServer(mux)
+	}
+	n1 := node("rbserve_solves_total 3\n" +
+		"rbserve_job_lower_bound{job=\"job-a-1\"} 7\n" +
+		"rbserve_job_lower_bound{job=\"job-a-2\"} 5\n")
+	defer n1.Close()
+	n2 := node("rbserve_solves_total 2\n" +
+		"rbserve_job_lower_bound{job=\"job-b-1\"} 9\n")
+	defer n2.Close()
+
+	members := []string{
+		strings.TrimPrefix(n1.URL, "http://"),
+		strings.TrimPrefix(n2.URL, "http://"),
+	}
+	p := NewProxy(ProxyConfig{Members: members, ProbeInterval: -1})
+	defer p.Close()
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := b.String()
+	for _, want := range []string{
+		"cluster_rbserve_solves_total 5\n",
+		"cluster_rbserve_job_lower_bound 21\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("merged metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -304,8 +304,11 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // fetchMetrics scrapes one member's Prometheus text exposition into
-// name -> value (only plain unlabeled integer gauges/counters, which
-// is all rbserve emits).
+// name -> value. Unlabeled integer counters/gauges map one-to-one;
+// labeled series (rbserve_job_lower_bound{job="..."}) are summed under
+// the label-stripped name, so the fleet merge exposes one
+// cluster_rbserve_job_lower_bound total across every running job on
+// every node.
 func (p *Proxy) fetchMetrics(member string) (map[string]uint64, error) {
 	resp, err := p.client.Get("http://" + member + "/metrics")
 	if err != nil {
@@ -323,14 +326,17 @@ func (p *Proxy) fetchMetrics(member string) (map[string]uint64, error) {
 			continue
 		}
 		name, valStr, ok := strings.Cut(line, " ")
-		if !ok || strings.Contains(name, "{") {
+		if !ok {
 			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
 		}
 		v, err := strconv.ParseUint(valStr, 10, 64)
 		if err != nil {
 			continue
 		}
-		out[name] = v
+		out[name] += v
 	}
 	return out, sc.Err()
 }

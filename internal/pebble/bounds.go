@@ -45,10 +45,13 @@ func NewReach(g *dag.DAG) *Reach {
 	if err != nil {
 		return nil
 	}
+	// The 2n closure masks are carved from shared slabs: one GC object
+	// per chunk instead of two per node.
+	arena := bitset.NewArena(n)
 	r := &Reach{anc: make([]*bitset.Set, n), desc: make([]*bitset.Set, n)}
 	for v := 0; v < n; v++ {
-		r.anc[v] = bitset.New(n)
-		r.desc[v] = bitset.New(n)
+		r.anc[v] = arena.New()
+		r.desc[v] = arena.New()
 	}
 	for _, v := range order {
 		for _, u := range g.Preds(v) {

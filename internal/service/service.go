@@ -161,6 +161,13 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// lower is the live certified scaled lower bound of the running
+	// solve, streamed from the orchestrator's progress snapshots (the
+	// async engine certifies its global f-min mid-flight, so this moves
+	// even under SolveWorkers > 1). Exposed while the job runs as the
+	// rbserve_job_lower_bound gauge.
+	lower atomic.Int64
+
 	mu       sync.Mutex
 	status   string
 	resp     *SolveResponse
@@ -391,7 +398,7 @@ func (s *Server) worker() {
 				s.m.jobsCanceled.Add(1)
 				continue
 			}
-			resp, err := s.runSolve(j.ctx, j.p, j.deadline, j.includeTrace)
+			resp, err := s.runSolve(j.ctx, j.p, j.deadline, j.includeTrace, j.lower.Store)
 			j.mu.Lock()
 			wasCanceled := j.canceled
 			j.mu.Unlock()
@@ -574,8 +581,12 @@ func (s *Server) flightDone(key string) {
 // governs this request's own wait and its cancellation vote (job
 // cancellation, shutdown grace expiry); the shared solve itself stops
 // only when every request interested in it has canceled, and a
-// canceled solve still returns a certified partial interval.
-func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Duration, includeTrace bool) (SolveResponse, error) {
+// canceled solve still returns a certified partial interval. onLower,
+// when non-nil, receives every certified scaled lower-bound improvement
+// streamed by the orchestrator while the solve runs (async jobs feed it
+// into their live metrics gauge); it fires only when this request leads
+// the solve, not when it latches onto another request's flight.
+func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Duration, includeTrace bool, onLower func(int64)) (SolveResponse, error) {
 	start := time.Now()
 	inst := instcache.Instance{G: p.G, Model: p.Model, R: p.R, Convention: p.Convention}
 	key, perm := inst.Key()
@@ -597,6 +608,13 @@ func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Du
 		opts := anytime.Options{
 			Budget:  deadline,
 			Workers: s.cfg.SolveWorkers,
+		}
+		if onLower != nil {
+			opts.OnProgress = func(sn anytime.Snapshot) {
+				if sn.LowerScaled > 0 {
+					onLower(sn.LowerScaled)
+				}
+			}
 		}
 		if warm != nil {
 			// Resume refinement from the cached certified interval: the
@@ -732,7 +750,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(j.snapshot())
 		return
 	}
-	resp, err := s.runSolve(s.baseCtx, p, deadline, req.IncludeTrace)
+	resp, err := s.runSolve(s.baseCtx, p, deadline, req.IncludeTrace, nil)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			httpError(w, http.StatusServiceUnavailable,
@@ -842,6 +860,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rbserve_draining", drainingGauge},
 	} {
 		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)
+	}
+	// Per-running-job live certified lower bound (scaled cost units),
+	// streamed from the orchestrator mid-flight — the async engine
+	// certifies its global f-min without stop-and-drain, so the gauge
+	// moves while the job runs even under SolveWorkers > 1. The cluster
+	// proxy strips the label and sums across jobs and nodes into
+	// cluster_rbserve_job_lower_bound. Snapshot under the lock, write
+	// after releasing it: a slow-reading scraper must not block job
+	// submission and polling on jobMu.
+	type jobGauge struct {
+		id    string
+		lower int64
+	}
+	var gauges []jobGauge
+	s.jobMu.Lock()
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		j.mu.Lock()
+		running := j.status == "running"
+		j.mu.Unlock()
+		if running {
+			gauges = append(gauges, jobGauge{id: id, lower: j.lower.Load()})
+		}
+	}
+	s.jobMu.Unlock()
+	for _, g := range gauges {
+		fmt.Fprintf(w, "rbserve_job_lower_bound{job=%q} %d\n", g.id, g.lower)
 	}
 }
 

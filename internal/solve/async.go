@@ -26,12 +26,17 @@ import (
 //
 // Without the global f-min barrier a worker may expand a state before
 // its g is settled; when a cheaper path arrives later the owner
-// re-relaxes and re-expands (best[ref] update + fresh push), which is
+// re-relaxes and re-expands (best(ref) update + fresh push), which is
 // the standard HDA* re-expansion rule and preserves exactness. Goals
 // are never expanded; they update a shared incumbent. A frontier entry
-// with f >= incumbent is useless under an admissible heuristic, so
-// workers treat their heap as empty once its minimum reaches the
-// incumbent.
+// with f >= the frontier bound — the shared incumbent, lowered further
+// by ExactOptions.PruneBound when a warm start supplies one — is
+// useless under an admissible heuristic, so workers treat their heap as
+// empty once its minimum reaches the bound, discard generated children
+// whose g already reaches it at enqueue, and discard arrivals whose
+// f = max(parent f, g+h) reaches it at relaxation. Exhaustion under a
+// PruneBound with no incumbent found is the parallel analogue of the
+// serial engine's ErrBoundExhausted optimality certificate.
 //
 // Unthrottled HDA* expands speculatively far beyond the true cost
 // frontier (measured ~8x extra states on pyramid(5) R=4), so each
@@ -44,6 +49,25 @@ import (
 // expand concurrently across all shards. Entries cheaper than the
 // watermark can still be in flight, so the watermark is only a
 // throttle; exactness never depends on it.
+//
+// Separately from the throttle, the engine maintains a CERTIFIED
+// mid-flight global f-min, streamed through ExactOptions.Progress: at
+// every instant, every open obligation — a heap entry, a proposal
+// pending in a mailbox, a proposal buffered in a sender's outbox, or an
+// expansion in progress — is covered by a published floor no larger
+// than its (eventual) f. Heap entries are covered by their owner's
+// published floor; mailbox batches by the box's pending-minimum
+// watermark (pendF, the smallest parent f of the batch, which is a
+// valid lower bound on each child's completion cost because the
+// parent's admissible f never exceeds cost-to-child plus the child's
+// own completion cost); outbox batches and in-progress expansions by
+// the owner's floor, which is lowered before the covering box watermark
+// is consumed and only raised after the covered work is back in a heap.
+// The coordinator merges floors and box watermarks (reading floors on
+// both sides of the boxes, so neither the deposit nor the drain
+// hand-off can slip between the reads), caps the merge by the
+// incumbent, and streams the running max — a monotone certified lower
+// bound on the optimum, with no stop-and-drain and no round barrier.
 //
 // Termination is detected with a counting protocol in the style of
 // Safra's algorithm, with the coordinator playing the probe: global
@@ -81,9 +105,9 @@ type asyncBatch struct {
 	meta []proposal
 	keys []uint64
 	// Watermark summary of the batch, maintained by the sender: the
-	// smallest parent f among the proposals (children's f is at least
-	// the parent's up to heuristic inconsistency, which is fine for a
-	// throttle) and the largest child g.
+	// smallest parent f among the proposals (a certified floor on each
+	// child's eventual f — see the package comment) and the largest
+	// child g.
 	minPF int64
 	maxG  int64
 }
@@ -100,12 +124,12 @@ var asyncBatchPool = sync.Pool{
 }
 
 // asyncMailbox is one src->dst deposit box. pendF/pendG summarize the
-// pending proposals for the watermark — pendF is the smallest parent f
-// and pendG the largest child g; without them, work in flight to an
-// unscheduled worker would be invisible to the throttle and the
-// scheduled workers would flood their own shards far past the true
-// frontier (acute under GOMAXPROCS=1, where only one worker publishes
-// at a time).
+// pending proposals — pendF is the smallest parent f and pendG the
+// largest child g. They serve double duty: the throttle counts them so
+// work in flight to an unscheduled worker stays visible (acute under
+// GOMAXPROCS=1, where only one worker publishes at a time), and the
+// certified-floor merge counts them so pending proposals are never
+// overlooked by the mid-flight bound.
 type asyncMailbox struct {
 	mu      sync.Mutex
 	batches []*asyncBatch
@@ -117,6 +141,7 @@ type asyncMailbox struct {
 type asyncShared struct {
 	nw    int
 	kw    int
+	prune int64          // ExactOptions.PruneBound (0 = off); immutable
 	boxes []asyncMailbox // boxes[src*nw+dst]
 
 	sent     atomic.Int64 // proposals deposited
@@ -128,6 +153,7 @@ type asyncShared struct {
 	passive  []atomic.Bool
 	fmins    []atomic.Int64 // per-worker published heap minimum (the watermark)
 	gtops    []atomic.Int64 // g of the same top entry (for the plateau dive window)
+	floors   []atomic.Int64 // per-worker certified floor (heap min lowered to cover in-flight work)
 	wmF      atomic.Int64   // cached merged watermark f (throttle fast path)
 	wmG      atomic.Int64   // cached merged watermark g
 
@@ -147,20 +173,65 @@ func (sh *asyncShared) improve(g int64, shard, node int32) {
 	sh.incMu.Unlock()
 }
 
+// frontierBound returns the exclusive upper bound on useful frontier f
+// values: the shared incumbent, lowered further by the caller's
+// PruneBound. Entries, proposals and arrivals at or beyond it cannot
+// improve on what is already known.
+func (sh *asyncShared) frontierBound() int64 {
+	b := sh.incG.Load()
+	if sh.prune > 0 && sh.prune < b {
+		b = sh.prune
+	}
+	return b
+}
+
+// certifiedMin merges the per-worker floors, the mailbox pending
+// watermarks and the incumbent into the certified global minimum: a
+// lower bound on the optimum valid at some instant during the call.
+// Floors are read on both sides of the boxes: a deposit lowers the box
+// watermark before its sender's floor rises (so the first floor pass
+// covers it), and a drain lowers the receiver's floor before the box
+// watermark clears (so the second floor pass covers it) — whichever
+// side of the hand-off the box read lands on, one floor pass saw a
+// covering value.
+func (sh *asyncShared) certifiedMin() int64 {
+	m := int64(costUnreached)
+	for i := range sh.floors {
+		if v := sh.floors[i].Load(); v < m {
+			m = v
+		}
+	}
+	for i := range sh.boxes {
+		if v := sh.boxes[i].pendF.Load(); v < m {
+			m = v
+		}
+	}
+	for i := range sh.floors {
+		if v := sh.floors[i].Load(); v < m {
+			m = v
+		}
+	}
+	if g := sh.incG.Load(); g < m {
+		m = g
+	}
+	return m
+}
+
 // asyncWorker is one shard owner of the async engine.
 type asyncWorker struct {
 	id    int32
 	ctx   *searchCtx
-	table *stateTable
-	open  openHeap
+	table *stateTable // payloadWithH: best cost + cached heuristic per ref
+	open  bucketQueue
 	nodes []parNode
-	hs    []int64 // cached heuristic per table ref
 
 	out      []*asyncBatch // out[dst], buffered until flush
+	outMin   int64         // min parent f across unflushed outbox batches
 	expanded int           // local counters, aggregated into stats at the end
 	pushed   int
 
 	lastF, lastG int64 // last published watermark values (-1: none yet)
+	lastFloor    int64 // last published certified floor
 	wmAge        int   // pops since the last full watermark recompute
 }
 
@@ -171,14 +242,17 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 	sh := &asyncShared{
 		nw:      nw,
 		kw:      kw,
+		prune:   opts.PruneBound,
 		boxes:   make([]asyncMailbox, nw*nw),
 		passive: make([]atomic.Bool, nw),
 		fmins:   make([]atomic.Int64, nw),
 		gtops:   make([]atomic.Int64, nw),
+		floors:  make([]atomic.Int64, nw),
 	}
 	sh.incG.Store(costUnreached)
 	for i := range sh.fmins {
 		sh.fmins[i].Store(costUnreached)
+		sh.floors[i].Store(costUnreached)
 	}
 	for i := range sh.boxes {
 		sh.boxes[i].pendF.Store(costUnreached)
@@ -190,12 +264,14 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 			ctx = base.cloneForWorker(start)
 		}
 		w := &asyncWorker{
-			id:    int32(i),
-			ctx:   ctx,
-			table: newStateTable(kw, 256),
-			out:   make([]*asyncBatch, nw),
-			lastF: -1,
-			lastG: -1,
+			id:        int32(i),
+			ctx:       ctx,
+			table:     newStateTable(kw, payloadWithH, 256),
+			out:       make([]*asyncBatch, nw),
+			outMin:    costUnreached,
+			lastF:     -1,
+			lastG:     -1,
+			lastFloor: costUnreached,
 		}
 		for d := range w.out {
 			w.out[d] = asyncBatchPool.Get().(*asyncBatch)
@@ -211,6 +287,7 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 				st.Expanded += w.expanded
 				st.Pushed += w.pushed
 				st.Distinct += w.table.count()
+				st.TableBytes += w.table.bytes()
 			}
 			st.LowerBound = lowerBound
 			*opts.Stats = st
@@ -226,11 +303,16 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 	}
 	rw := workers[rootHash%uint64(nw)]
 	rootRef, _ := rw.table.lookupOrAdd(rootKey, rootHash)
-	rw.table.best[rootRef] = 0
-	rw.hs = append(rw.hs, h0)
+	rw.table.setBest(rootRef, 0)
+	rw.table.setH(rootRef, h0)
 	rw.nodes = append(rw.nodes, parNode{parentShard: -1, parentNode: -1, ref: rootRef})
 	rw.open.push(heapEntry{f: h0, g: 0, node: 0})
 	rw.pushed = 1
+	// Publish the root floor before any worker runs, so the certified
+	// merge never observes an all-empty frontier while the root entry is
+	// the only obligation.
+	rw.lastFloor = h0
+	sh.floors[rw.id].Store(h0)
 
 	var wg sync.WaitGroup
 	for _, w := range workers {
@@ -241,16 +323,24 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 		}(w)
 	}
 
-	// Coordinator: poll the state budget, watch for cancellation and run
-	// the termination probe. The poll interval escalates so that long
-	// solves are not taxed by coordinator wakeups (the workers keep the
-	// watermark cache fresh themselves); short solves still terminate
-	// within ~20us. A cancellation does not kill the workers outright:
-	// it flips the stop flag so they cease expanding but keep draining
-	// mailboxes, and the ordinary counting probe then detects the
-	// quiescent point — at which every generated proposal sits relaxed
-	// in some shard heap, so the heap tops are the full open frontier
-	// and their minimum is a certified lower bound on the optimum.
+	// Certified running-max lower bound, seeded from the root estimate
+	// and the caller's already-certified floor (warm start). The
+	// coordinator raises it from the in-flight-aware certified merge and
+	// streams every improvement through Progress — the mid-flight bound
+	// the anytime orchestrator consumes under Workers > 1.
+	certLower := max(h0, opts.InitialLowerBound)
+
+	// Coordinator: poll the state budget, watch for cancellation, raise
+	// and stream the certified bound, and run the termination probe. The
+	// poll interval escalates so that long solves are not taxed by
+	// coordinator wakeups (the workers keep the watermark cache fresh
+	// themselves); short solves still terminate within ~20us. A
+	// cancellation does not kill the workers outright: it flips the stop
+	// flag so they cease expanding but keep draining mailboxes, and the
+	// ordinary counting probe then detects the quiescent point — at
+	// which every generated proposal sits relaxed in some shard heap, so
+	// the heap tops are the full open frontier and their minimum is the
+	// final (tightest) certified lower bound on the optimum.
 	coSleep := 20 * time.Microsecond
 	for {
 		if sh.expanded.Load() > int64(maxStates) {
@@ -262,6 +352,12 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 			case <-opts.Cancel:
 				sh.stop.Store(true)
 			default:
+			}
+		}
+		if v := sh.certifiedMin(); v != costUnreached && v > certLower {
+			certLower = v
+			if opts.Progress != nil {
+				opts.Progress(ExactProgress{Expanded: int(sh.expanded.Load()), LowerBound: certLower})
 			}
 		}
 		if sh.terminated() {
@@ -276,29 +372,50 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 	wg.Wait()
 	if sh.abort.Load() {
 		// The workers quit mid-flight, so mailbox batches may still hold
-		// unrelaxed proposals; only the root estimate stays certified.
-		lowerBound = h0
+		// unrelaxed proposals — but the streamed running max was
+		// certified at instants when they were all accounted for, so it
+		// survives the abort.
+		lowerBound = certLower
 		report()
 		return Solution{}, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
 	}
 	incG := sh.incG.Load()
 	minTop := int64(costUnreached)
 	for _, w := range workers {
-		if w.open.len() > 0 && w.open.a[0].f < minTop {
-			minTop = w.open.a[0].f
+		if w.open.len() > 0 {
+			if f, _ := w.open.top(); f < minTop {
+				minTop = f
+			}
 		}
 	}
-	if sh.stop.Load() && !(incG != costUnreached && minTop >= incG) &&
-		!(incG == costUnreached && minTop == costUnreached) {
+	// The solve is finished (rather than cut mid-flight) when the
+	// frontier can no longer improve on what is known: emptied past the
+	// incumbent, exhausted entirely, or — under a PruneBound with no
+	// incumbent — emptied past the bound, which is the exhaustion
+	// certificate.
+	finished := (incG != costUnreached && minTop >= incG) ||
+		(incG == costUnreached && minTop == costUnreached) ||
+		(sh.prune > 0 && incG == costUnreached && minTop >= sh.prune)
+	if sh.stop.Load() && !finished {
 		// Canceled before the optimum was proven: harvest the certified
-		// frontier bound. (If the frontier had already emptied past the
-		// incumbent, the solve finished despite the cancellation and
-		// falls through to the normal success path.)
-		lowerBound = max(h0, min(minTop, incG))
+		// frontier bound at quiescence, never below the streamed running
+		// max.
+		lowerBound = max(certLower, min(minTop, incG))
 		report()
 		return Solution{}, fmt.Errorf("%w after %d states (lower bound %d)", ErrCanceled, sh.expanded.Load(), lowerBound)
 	}
 	if incG == costUnreached {
+		if sh.prune > 0 {
+			// Every branch was cut at f >= PruneBound and the mailboxes
+			// drained to quiescence: no completion below the bound
+			// exists. This is the async analogue of the serial engine's
+			// bound-exhaustion certificate — the optimum is at least
+			// PruneBound, so a warm-started refinement has just proven
+			// its cached incumbent optimal.
+			lowerBound = max(certLower, sh.prune)
+			report()
+			return Solution{}, fmt.Errorf("%w: no completion below bound %d", ErrBoundExhausted, sh.prune)
+		}
 		report()
 		return Solution{}, errors.New("solve: state space exhausted without completing (unreachable for feasible R)")
 	}
@@ -348,7 +465,7 @@ func (w *asyncWorker) run(sh *asyncShared) {
 		if sh.done.Load() || sh.abort.Load() {
 			return
 		}
-		got := w.drain(sh) + w.drainSelf()
+		got := w.drain(sh) + w.drainSelf(sh)
 		did := w.expand(sh)
 		w.flushAll(sh)
 		w.publish(sh)
@@ -356,15 +473,18 @@ func (w *asyncWorker) run(sh *asyncShared) {
 			spins, backoff = 0, time.Microsecond
 			continue
 		}
-		if !sh.stop.Load() && w.open.len() > 0 && w.open.a[0].f < sh.incG.Load() {
-			// Blocked behind the watermark: useful frontier exists but a
-			// cheaper one lives on another shard. Stay active (never
-			// passive) and retry; the watermark holder always advances.
-			// (Under a stop request the frontier is deliberately left
-			// unexpanded, so fall through to passive instead: quiescence
-			// is what the coordinator is waiting to observe.)
-			wait()
-			continue
+		if !sh.stop.Load() && w.open.len() > 0 {
+			if f, _ := w.open.top(); f < sh.frontierBound() {
+				// Blocked behind the watermark: useful frontier exists but
+				// a cheaper one lives on another shard. Stay active (never
+				// passive) and retry; the watermark holder always
+				// advances. (Under a stop request the frontier is
+				// deliberately left unexpanded, so fall through to passive
+				// instead: quiescence is what the coordinator is waiting
+				// to observe.)
+				wait()
+				continue
+			}
 		}
 		// Out of useful work entirely: go passive until a proposal
 		// arrives (the frontier cannot regrow on its own).
@@ -384,12 +504,16 @@ func (w *asyncWorker) run(sh *asyncShared) {
 }
 
 // publish stores this worker's current heap top (f and g) in its
-// watermark slots (skipped when unchanged since the last publish).
+// watermark slots (skipped when unchanged since the last publish) and
+// refreshes its certified floor to cover the heap and any still-
+// unflushed outbox work (the self outbox can hold proposals between
+// loop turns).
 func (w *asyncWorker) publish(sh *asyncShared) {
 	f, g := int64(costUnreached), int64(0)
 	if w.open.len() > 0 {
-		f, g = w.open.a[0].f, w.open.a[0].g
+		f, g = w.open.top()
 	}
+	w.publishFloor(sh, min(f, w.outMin))
 	if f == w.lastF && g == w.lastG {
 		return
 	}
@@ -398,11 +522,32 @@ func (w *asyncWorker) publish(sh *asyncShared) {
 	sh.fmins[w.id].Store(f)
 }
 
+// publishFloor stores this worker's certified floor (only the owner
+// ever writes it, so the cached last value is authoritative).
+func (w *asyncWorker) publishFloor(sh *asyncShared, v int64) {
+	if v != w.lastFloor {
+		w.lastFloor = v
+		sh.floors[w.id].Store(v)
+	}
+}
+
+// recomputeOutMin refreshes the unflushed-outbox floor component after
+// a batch left the outboxes (flush hand-off or self drain).
+func (w *asyncWorker) recomputeOutMin() {
+	m := int64(costUnreached)
+	for _, ba := range w.out {
+		if ba.minPF < m {
+			m = ba.minPF
+		}
+	}
+	w.outMin = m
+}
+
 // asyncDiveWindow is the g-window within an f-plateau: a worker expands
 // a plateau entry only when its g is within the window of the deepest
 // published plateau entry. Zero-cost moves (computes and deletes in
 // most models) make the goal's f-level one huge plateau; the serial
-// heap's deeper-g-first tie-break dives straight through it, and the
+// queue's deeper-g-first tie-break dives straight through it, and the
 // window makes the sharded search follow the same dive as a relay
 // instead of flooding the plateau breadth-first, while still letting
 // several shards work the dive front concurrently.
@@ -416,7 +561,8 @@ const asyncDiveWindow = 2
 // advanced) and unconditionally every 64 pops (a stale-high cache
 // would let them overshoot silently), which bounds the cache staleness
 // in both directions (staleness is harmless regardless: the watermark
-// is a throttle, not a correctness gate).
+// is a throttle, not a correctness gate — the certified bound is
+// maintained separately via the floors).
 func (sh *asyncShared) watermark() (f, g int64) {
 	f = costUnreached
 	for i := range sh.fmins {
@@ -459,7 +605,10 @@ func (w *asyncWorker) inboxPending(sh *asyncShared) bool {
 
 // drain consumes every pending proposal addressed to this worker,
 // relaxing each into the local table and open list, and returns how
-// many proposals it consumed.
+// many proposals it consumed. Before a box's pending watermark is
+// cleared the worker lowers its own floor to the box's value, so the
+// proposals stay covered by the certified merge while they move from
+// the box into the heap.
 func (w *asyncWorker) drain(sh *asyncShared) int {
 	total := 0
 	for src := 0; src < sh.nw; src++ {
@@ -468,13 +617,20 @@ func (w *asyncWorker) drain(sh *asyncShared) int {
 			continue // lock-free empty peek (a racing deposit is seen next turn)
 		}
 		b.mu.Lock()
+		// The watermark must be re-read under the lock: a deposit can
+		// land between the peek above and here, lowering pendF below the
+		// peeked value — and that batch is about to be taken too, so the
+		// floor must cover it before the watermark is cleared (flush
+		// updates pendF under this same lock, so this read is the true
+		// minimum over every batch being taken).
+		w.publishFloor(sh, min(w.lastFloor, b.pendF.Load()))
 		batches := b.batches
 		b.batches = nil
 		b.pendF.Store(costUnreached)
 		b.pendG.Store(0)
 		b.mu.Unlock()
 		for _, ba := range batches {
-			w.relaxBatch(ba.meta, ba.keys)
+			w.relaxBatch(sh, ba.meta, ba.keys)
 			sh.recv.Add(int64(len(ba.meta)))
 			total += len(ba.meta)
 			ba.meta, ba.keys = ba.meta[:0], ba.keys[:0]
@@ -486,8 +642,12 @@ func (w *asyncWorker) drain(sh *asyncShared) int {
 }
 
 // relaxBatch merges one mailbox batch (same layout as the synchronous
-// engine's relax: kw key words per proposal, in order).
-func (w *asyncWorker) relaxBatch(meta []proposal, keys []uint64) {
+// engine's relax: kw key words per proposal, in order). The pushed
+// priority is the pathmax f = max(parent f, g + h): the parent's
+// admissible f never exceeds the cost of any completion through the
+// child, so raising the child to it keeps every certificate valid while
+// tightening both the queue order and the bound-discard below.
+func (w *asyncWorker) relaxBatch(sh *asyncShared, meta []proposal, keys []uint64) {
 	kw := w.table.kw
 	for i, pr := range meta {
 		key := keys[i*kw : (i+1)*kw]
@@ -495,20 +655,31 @@ func (w *asyncWorker) relaxBatch(meta []proposal, keys []uint64) {
 		if isNew {
 			w.ctx.scratch.RestorePacked(key)
 			h, dead := w.ctx.lb.estimate(w.ctx.scratch)
-			w.hs = append(w.hs, h)
+			w.table.setH(ref, h)
 			if dead {
-				w.table.best[ref] = costDead
+				w.table.setBest(ref, costDead)
 			}
 		}
-		if w.table.best[ref] <= pr.g {
+		if w.table.best(ref) <= pr.g {
 			continue
 		}
-		w.table.best[ref] = pr.g
+		f := pr.g + w.table.h(ref)
+		if pr.pf > f {
+			f = pr.pf
+		}
+		if f >= sh.frontierBound() {
+			// No completion through this arrival can improve on the
+			// incumbent or stay below the caller's PruneBound. Leave best
+			// at costUnreached so a strictly cheaper arrival may still
+			// reopen the state (its h stays cached for that reopening).
+			continue
+		}
+		w.table.setBest(ref, pr.g)
 		w.nodes = append(w.nodes, parNode{
 			parentShard: pr.srcShard, parentNode: pr.parentNode,
 			ref: ref, move: pr.move,
 		})
-		w.open.push(heapEntry{f: pr.g + w.hs[ref], g: pr.g, node: int32(len(w.nodes) - 1)})
+		w.open.push(heapEntry{f: f, g: pr.g, node: int32(len(w.nodes) - 1)})
 		w.pushed++
 	}
 }
@@ -524,15 +695,20 @@ func (w *asyncWorker) expand(sh *asyncShared) int {
 		if sh.stop.Load() {
 			break // canceled: stop generating work, keep draining
 		}
-		top := w.open.a[0].f
-		if top >= sh.incG.Load() {
+		top, topG := w.open.top()
+		// Refresh the certified floor first: it must cover the entry
+		// about to be popped (and the children it will buffer) for the
+		// whole expansion.
+		w.publishFloor(sh, min(top, w.outMin))
+		bound := sh.frontierBound()
+		if top >= bound {
 			// Under an admissible bound nothing at or beyond the
-			// incumbent can improve it: the frontier is exhausted.
+			// incumbent (or the caller's PruneBound) can improve it: the
+			// frontier is exhausted.
 			break
 		}
 		// Throttle on the watermark (which includes our own top, so the
 		// global minimum holder always proceeds).
-		topG := w.open.a[0].g
 		if top != w.lastF || topG != w.lastG {
 			w.lastF, w.lastG = top, topG
 			sh.gtops[w.id].Store(topG)
@@ -552,7 +728,7 @@ func (w *asyncWorker) expand(sh *asyncShared) int {
 		e := w.open.pop()
 		did++
 		nd := w.nodes[e.node]
-		if e.g > w.table.best[nd.ref] {
+		if e.g > w.table.best(nd.ref) {
 			continue // stale
 		}
 		if asyncTestDelay != nil {
@@ -579,16 +755,26 @@ func (w *asyncWorker) expand(sh *asyncShared) int {
 				panic("solve: appendMoves emitted illegal move: " + err.Error())
 			}
 			childG := e.g + c.moveCost(m)
+			if childG >= bound {
+				// Enqueue-side discard: h >= 0, so the child's f already
+				// reaches the bound — it could never be popped. Dropping
+				// it here saves the mailbox round-trip entirely.
+				c.scratch.Undo(undo)
+				continue
+			}
 			c.keyBuf = c.scratch.AppendPacked(c.keyBuf[:0])
 			ch := hashKey(c.keyBuf)
 			d := int(ch % uint64(sh.nw))
 			ba := w.out[d]
 			ba.meta = append(ba.meta, proposal{
-				hash: ch, g: childG, srcShard: w.id, parentNode: e.node, move: m,
+				hash: ch, g: childG, pf: e.f, srcShard: w.id, parentNode: e.node, move: m,
 			})
 			ba.keys = append(ba.keys, c.keyBuf...)
 			if e.f < ba.minPF {
 				ba.minPF = e.f
+			}
+			if e.f < w.outMin {
+				w.outMin = e.f
 			}
 			if childG > ba.maxG {
 				ba.maxG = childG
@@ -605,22 +791,29 @@ func (w *asyncWorker) expand(sh *asyncShared) int {
 // drainSelf relaxes the proposals this worker buffered for its own
 // shard. They are never relaxed inline during expansion: relaxBatch
 // restores arbitrary states onto the shared scratch, which would
-// corrupt the apply/undo chain mid-expansion.
-func (w *asyncWorker) drainSelf() int {
+// corrupt the apply/undo chain mid-expansion. The floor stays at or
+// below the batch minimum throughout (outMin covers the batch until it
+// is reset, and the floor is only raised later, after the entries are
+// in the heap).
+func (w *asyncWorker) drainSelf(sh *asyncShared) int {
 	ba := w.out[w.id]
 	n := len(ba.meta)
 	if n == 0 {
 		return 0
 	}
-	w.relaxBatch(ba.meta, ba.keys)
+	w.relaxBatch(sh, ba.meta, ba.keys)
 	ba.meta, ba.keys = ba.meta[:0], ba.keys[:0]
 	ba.minPF, ba.maxG = costUnreached, 0
+	w.recomputeOutMin()
 	return n
 }
 
 // flush deposits the buffered proposals for destination d (never the
 // worker's own shard — see drainSelf). The batch changes hands whole;
-// a recycled buffer replaces it on the sender.
+// a recycled buffer replaces it on the sender. The box watermark is
+// lowered under the lock before the sender's own floor component is
+// allowed to rise (recomputeOutMin), so the batch is covered by one or
+// the other at every instant.
 func (w *asyncWorker) flush(sh *asyncShared, d int) {
 	ba := w.out[d]
 	if len(ba.meta) == 0 {
@@ -642,6 +835,7 @@ func (w *asyncWorker) flush(sh *asyncShared, d int) {
 	// worker is only observed passive after its flush completes.
 	sh.sent.Add(n)
 	w.out[d] = asyncBatchPool.Get().(*asyncBatch)
+	w.recomputeOutMin()
 }
 
 // flushAll publishes every cross-shard outbox (required before going

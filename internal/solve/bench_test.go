@@ -34,10 +34,10 @@ import (
 //	pyramid(5) R=4 Dijkstra:  72 ms/op      200 allocs/op   65,689 states
 //	fft(3)     R=3 A*:       2.8  s/op      923 allocs/op  1.27M states
 //
-// This PR (S-partition bound, async HDA* engine, IDA* DFS), same
-// machine (a 1-core container — parallel wall-clock differences come
-// from engine overhead and search discipline, not hardware
-// parallelism; see Ablation D):
+// PR 2 (S-partition bound, async HDA* engine, IDA* DFS), same machine
+// (a 1-core container — parallel wall-clock differences come from
+// engine overhead and search discipline, not hardware parallelism; see
+// Ablation D):
 //
 //	pyramid(5) R=3 lower-bound:    20 ms/op  12,704 states  (R = Δ+1)
 //	pyramid(5) R=3 s-partition:   5.6 ms/op   1,974 states  (6.4x fewer)
@@ -58,17 +58,33 @@ import (
 // host — their CPU profiles are equal within 3% — with async expanding
 // slightly fewer states; the async design is the one with headroom on
 // real multicore hosts, where sync's barriers serialize every round.
+//
+// This PR (arena-slab state table, bucketed two-level frontier queue,
+// slab-backed heuristic masks), same 1-core machine, serial A* on the
+// fft(3) R=3 memory row (1.37M distinct states):
+//
+//	allocs/op:  858 -> 429    (bucket recycling + bitset slabs)
+//	bytes/op:   595 MB -> 592 MB allocation traffic, with the probe
+//	    slots halved (packed tag|ref word) and the per-state cost,
+//	    heuristic and key sharing one arena row; the table itself peaks
+//	    at 80 MB (the new peak_table_bytes column)
+//	ns/op:      3.22 s -> 2.99 s
+//	states/op:  1,265,002 — bit-identical to the committed row, as the
+//	    bucket queue preserves the (f asc, g desc) pop order
+//
+// The async-vs-sync scaling rows were re-measured per the ROADMAP
+// command (still a 1-core container): async 17.1 ms vs sync 21.2 ms at
+// 4 workers on pyramid(5) R=4 (18.1 vs 34.6 at 8), parity on fft(3)
+// R=3 (3.06 vs 2.99 s) — the multicore re-measure remains open.
 
 // The -benchjson flag, record type and merge-write live in
 // internal/benchharness, shared with the anytime benchmark suite.
 
 func TestMain(m *testing.M) { benchharness.Main(m) }
 
-func record(b *testing.B, mallocs0 uint64, rec benchharness.Record) {
-	benchharness.Capture(b, mallocs0, rec)
+func record(b *testing.B, base benchharness.Baseline, rec benchharness.Record) {
+	benchharness.Capture(b, base, rec)
 }
-
-func mallocCount() uint64 { return benchharness.Mallocs() }
 
 func pyramid5R4() Problem {
 	return Problem{G: daggen.Pyramid(5), Model: pebble.NewModel(pebble.Oneshot), R: 4}
@@ -92,7 +108,7 @@ func benchExact(b *testing.B, p Problem, opts ExactOptions) {
 	var stats ExactStats
 	opts.Stats = &stats
 	opts.MaxStates = 50_000_000
-	m0 := mallocCount()
+	m0 := benchharness.Before()
 	var scaled int64
 	for i := 0; i < b.N; i++ {
 		sol, err := Exact(p, opts)
@@ -103,10 +119,12 @@ func benchExact(b *testing.B, p Problem, opts ExactOptions) {
 	}
 	b.ReportMetric(float64(stats.Expanded), "states/op")
 	b.ReportMetric(float64(stats.Distinct), "distinct/op")
+	b.ReportMetric(float64(stats.TableBytes), "table-bytes/op")
 	record(b, m0, benchharness.Record{
 		StatesExpanded: stats.Expanded,
 		DistinctStates: stats.Distinct,
 		OptimalScaled:  scaled,
+		PeakTableBytes: stats.TableBytes,
 	})
 }
 
@@ -178,7 +196,7 @@ func benchDFS(b *testing.B, p Problem, opts ExactDFSOptions) {
 	if opts.MaxVisits == 0 {
 		opts.MaxVisits = 50_000_000
 	}
-	m0 := mallocCount()
+	m0 := benchharness.Before()
 	var scaled int64
 	for i := 0; i < b.N; i++ {
 		sol, err := ExactDFS(p, opts)
@@ -188,7 +206,7 @@ func benchDFS(b *testing.B, p Problem, opts ExactDFSOptions) {
 		scaled = sol.Result.Cost.Scaled(p.Model)
 	}
 	b.ReportMetric(float64(stats.Visits), "visits/op")
-	record(b, m0, benchharness.Record{Visits: stats.Visits, OptimalScaled: scaled})
+	record(b, m0, benchharness.Record{Visits: stats.Visits, OptimalScaled: scaled, PeakTableBytes: stats.TableBytes})
 }
 
 func BenchmarkExactIDAStarPyramid5R4(b *testing.B) {
@@ -216,7 +234,7 @@ func BenchmarkExactDFSGrid44R3(b *testing.B) {
 func benchTopoBelady(b *testing.B, p Problem) {
 	b.Helper()
 	b.ReportAllocs()
-	m0 := mallocCount()
+	m0 := benchharness.Before()
 	for i := 0; i < b.N; i++ {
 		if _, err := TopoBelady(p); err != nil {
 			b.Fatal(err)

@@ -107,6 +107,10 @@ type ExactDFSStats struct {
 	// cheaper proves no completion costs less than the smallest f it
 	// pruned).
 	LowerBound int64
+	// TableBytes is the memo and heuristic tables' combined
+	// backing-store footprint when the search stopped (peak: the tables
+	// keep their capacity across IDA* passes).
+	TableBytes int64
 }
 
 // ErrVisitLimit is returned when ExactDFS exceeds its visit budget.
@@ -161,8 +165,8 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 		p:            p,
 		c:            newSearchCtx(p, ExactOptions{}, start),
 		st:           start,
-		memo:         newStateTable(start.PackedWords(), 1024),
-		hcache:       newStateTable(start.PackedWords(), 1024),
+		memo:         newStateTable(start.PackedWords(), payloadBestOnly, 1024),
+		hcache:       newStateTable(start.PackedWords(), payloadBestOnly, 1024),
 		maxVisits:    maxVisits,
 		bound:        bound,
 		bestMoves:    bestMoves,
@@ -223,7 +227,7 @@ type dfsSearch struct {
 	c         *searchCtx
 	st        *pebble.State // mutated in place by apply/undo
 	memo      *stateTable   // best entry cost per state, valid for one pass
-	hcache    *stateTable   // heuristic per state (best[ref] = h; dfsDeadH = dead), never reset
+	hcache    *stateTable   // heuristic per state (best(ref) = h; dfsDeadH = dead), never reset
 	maxVisits int
 	maxDepth  int
 
@@ -235,9 +239,9 @@ type dfsSearch struct {
 	minExceed    int64 // smallest f seen above the threshold this pass
 	lower        int64 // certified lower bound (root estimate, raised per completed pass)
 	initialLower int64 // caller-certified floor (warm start); seeds threshold and lower
-	visits     int
-	iterations int
-	limitErr   error
+	visits       int
+	iterations   int
+	limitErr     error
 
 	cancel      <-chan struct{}
 	onIncumbent func(scaled int64, moves []pebble.Move)
@@ -252,6 +256,7 @@ func (d *dfsSearch) stats() ExactDFSStats {
 		Threshold:  d.threshold,
 		Incumbent:  d.bound,
 		LowerBound: d.lower,
+		TableBytes: d.memo.bytes() + d.hcache.bytes(),
 	}
 }
 
@@ -307,13 +312,13 @@ const dfsDeadH = int64(1) << 40
 func (d *dfsSearch) cachedH(hash uint64) (int32, int64) {
 	ref, isNew := d.hcache.lookupOrAdd(d.c.keyBuf, hash)
 	if !isNew {
-		return ref, d.hcache.best[ref]
+		return ref, d.hcache.best(ref)
 	}
 	h, dead := d.c.lb.estimate(d.st)
 	if dead {
 		h = dfsDeadH
 	}
-	d.hcache.best[ref] = h
+	d.hcache.setBest(ref, h)
 	return ref, h
 }
 
@@ -409,7 +414,7 @@ func (d *dfsSearch) recIDA() bool {
 	c.keyBuf = st.AppendPacked(c.keyBuf[:0])
 	hash := hashKey(c.keyBuf)
 	ref, _ := d.memo.lookupOrAdd(c.keyBuf, hash)
-	if d.memo.best[ref] <= cost {
+	if d.memo.best(ref) <= cost {
 		return true // reached at least as cheaply this pass
 	}
 	href, h := d.cachedH(hash)
@@ -426,7 +431,7 @@ func (d *dfsSearch) recIDA() bool {
 	if d.visitLimited() {
 		return false
 	}
-	d.memo.best[ref] = cost
+	d.memo.setBest(ref, cost)
 
 	// Generate this level's moves above the caller's live prefix;
 	// deeper levels append beyond end and truncate back. Zero-cost
@@ -464,8 +469,8 @@ func (d *dfsSearch) recIDA() bool {
 		if d.bound < learned {
 			learned = d.bound
 		}
-		if rem := learned - cost; rem > d.hcache.best[href] {
-			d.hcache.best[href] = rem
+		if rem := learned - cost; rem > d.hcache.best(href) {
+			d.hcache.setBest(href, rem)
 		}
 	}
 	return ok
@@ -527,7 +532,7 @@ func (d *dfsSearch) recBnB() bool {
 	c.keyBuf = st.AppendPacked(c.keyBuf[:0])
 	hash := hashKey(c.keyBuf)
 	ref, _ := d.memo.lookupOrAdd(c.keyBuf, hash)
-	if d.memo.best[ref] <= cost {
+	if d.memo.best(ref) <= cost {
 		return true
 	}
 	_, h := d.cachedH(hash)
@@ -537,7 +542,7 @@ func (d *dfsSearch) recBnB() bool {
 	if d.visitLimited() {
 		return false
 	}
-	d.memo.best[ref] = cost
+	d.memo.setBest(ref, cost)
 
 	base := len(c.moveBuf)
 	c.appendMoves(st, c.keyBuf)

@@ -20,8 +20,8 @@ var ErrStateLimit = errors.New("solve: state limit exceeded")
 // filled, so anytime callers can salvage the partial certificate.
 var ErrCanceled = errors.New("solve: search canceled")
 
-// ErrBoundExhausted is returned by the serial exact engine when
-// ExactOptions.PruneBound is set and the search space is exhausted
+// ErrBoundExhausted is returned by the serial and async exact engines
+// when ExactOptions.PruneBound is set and the search space is exhausted
 // without finding any completion below the bound. It is a POSITIVE
 // certificate: the optimum is at least PruneBound, and Stats.LowerBound
 // reflects that — a warm-started refinement seeing this error has just
@@ -44,21 +44,26 @@ type ExactOptions struct {
 	// InitialLowerBound, if > 0, is a lower bound on the optimal scaled
 	// cost that the CALLER has already certified (e.g. a cached interval
 	// from an earlier deadline-limited solve of the same instance). The
-	// serial engine seeds its running frontier certificate with it, so a
-	// canceled search never reports a LowerBound below what was already
-	// proven, and IDA*-style callers can skip threshold passes below it.
-	// Passing an uncertified value breaks the LowerBound contract — the
-	// search itself stays correct, but the reported bound would lie.
+	// serial and async engines seed their running frontier certificate
+	// with it, so a canceled search never reports a LowerBound below
+	// what was already proven, and IDA*-style callers can skip threshold
+	// passes below it. Passing an uncertified value breaks the
+	// LowerBound contract — the search itself stays correct, but the
+	// reported bound would lie.
 	InitialLowerBound int64
 	// PruneBound, if > 0, is an exclusive upper bound on interesting
-	// completions: the serial engine discards every generated state whose
-	// f = g + h reaches it. With an admissible heuristic any completion
-	// cheaper than PruneBound keeps all its prefix states strictly below
-	// the bound, so the optimum is still found whenever it is cheaper
-	// than PruneBound. Callers set it to incumbent+1 (warm-started
-	// refinement from a cached trace) so equal-cost optima are still
-	// discovered and proven. The parallel engines ignore it (pruning is
-	// only a speedup; correctness never depends on it).
+	// completions: the serial and async engines discard every generated
+	// state whose f = g + h reaches it. With an admissible heuristic any
+	// completion cheaper than PruneBound keeps all its prefix states
+	// strictly below the bound, so the optimum is still found whenever
+	// it is cheaper than PruneBound. Callers set it to incumbent+1
+	// (warm-started refinement from a cached trace) so equal-cost optima
+	// are still discovered and proven. In the async engine the bound is
+	// enforced at proposal enqueue, at relaxation and at expansion, and
+	// exhaustion under it yields the same ErrBoundExhausted certificate
+	// as the serial engine. The synchronous-rounds ablation engine
+	// ignores it (pruning is only a speedup; correctness never depends
+	// on it).
 	PruneBound int64
 	// Parallel, when > 1, expands states with that many workers, with
 	// the state space sharded by state hash (each worker owns its
@@ -81,13 +86,16 @@ type ExactOptions struct {
 	// into a [lower, upper] certificate instead of a wasted solve.
 	Cancel <-chan struct{}
 	// Progress, when non-nil, receives periodic snapshots from the
-	// serial search (every few thousand expansions) and from the
-	// synchronous-rounds parallel engine (once per round). The default
-	// async HDA* engine does not stream progress: in-flight mailbox
-	// proposals make a mid-flight frontier minimum uncertifiable, so it
-	// reports its bound only in Stats at termination or cancellation
-	// harvest. The callback runs on the solver goroutine and must be
-	// fast.
+	// serial search (every few thousand expansions), from the
+	// synchronous-rounds parallel engine (once per round), and from the
+	// async HDA* engine's coordinator whenever its certified global
+	// f-min improves. The async bound is certified without any
+	// stop-and-drain: every worker publishes an in-flight-aware floor
+	// (its heap minimum, lowered to cover proposals it has generated but
+	// not yet deposited and batches it is draining) and every mailbox
+	// already tracks the minimum parent f of its pending batches, so the
+	// merged minimum never overlooks work in flight — see async.go. The
+	// callback runs on a solver goroutine and must be fast.
 	Progress func(ExactProgress)
 }
 
@@ -116,6 +124,11 @@ type ExactStats struct {
 	// entry with f no larger than its cost, so the min open f never
 	// exceeds the true optimum — each observation is a certificate.
 	LowerBound int64
+	// TableBytes is the visited-state tables' backing-store footprint
+	// (probe slots plus arena capacity, summed over parallel shards)
+	// when the search stopped. Tables only grow within a run, so this is
+	// the peak — the bench harness records it as peak_table_bytes.
+	TableBytes int64
 }
 
 // searchNode records how a state was reached, for path reconstruction:
@@ -382,13 +395,13 @@ func (c *searchCtx) consider(st *pebble.State, m pebble.Move) {
 // exactSerial is the sequential A* loop.
 func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates int) (Solution, error) {
 	c := newSearchCtx(p, opts, start)
-	table := newStateTable(start.PackedWords(), 1024)
-	var open openHeap
+	// The table's second payload word caches the (state-only) heuristic
+	// value per ref, so each distinct state is estimated once no matter
+	// how often it is reached — and the estimate lives on the same arena
+	// row as the cost and key it belongs to.
+	table := newStateTable(start.PackedWords(), payloadWithH, 1024)
+	var open bucketQueue
 	var nodes []searchNode
-
-	// hs caches the (state-only) heuristic value per table ref, so each
-	// distinct state is estimated once no matter how often it is reached.
-	var hs []int64
 
 	expanded, pushed := 0, 0
 	// Certified lower bound: running max of min open f, seeded from the
@@ -396,20 +409,20 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 	lower := opts.InitialLowerBound
 	report := func() {
 		if opts.Stats != nil {
-			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: table.count(), LowerBound: lower}
+			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: table.count(), LowerBound: lower, TableBytes: table.bytes()}
 		}
 	}
 
 	rootKey := start.AppendPacked(nil)
 	rootRef, _ := table.lookupOrAdd(rootKey, hashKey(rootKey))
-	table.best[rootRef] = 0
+	table.setBest(rootRef, 0)
 	nodes = append(nodes, searchNode{parent: -1, ref: rootRef})
 	h0, dead := c.lb.estimate(start)
 	if dead {
 		report()
 		return Solution{}, ErrInfeasible
 	}
-	hs = append(hs, h0)
+	table.setH(rootRef, h0)
 	if h0 > lower {
 		lower = h0
 	}
@@ -426,7 +439,7 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 			lower = e.f
 		}
 		nd := nodes[e.node]
-		if e.g > table.best[nd.ref] {
+		if e.g > table.best(nd.ref) {
 			continue // stale entry
 		}
 		key := table.key(nd.ref)
@@ -469,28 +482,29 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 			if isNew {
 				var dead bool
 				h, dead = c.lb.estimate(c.scratch)
-				hs = append(hs, h)
+				table.setH(childRef, h)
 				if dead {
-					table.best[childRef] = costDead
+					table.setBest(childRef, costDead)
 					c.scratch.Undo(undo)
 					continue
 				}
 			} else {
-				if table.best[childRef] <= childG {
+				if table.best(childRef) <= childG {
 					c.scratch.Undo(undo)
 					continue
 				}
-				h = hs[childRef]
+				h = table.h(childRef)
 			}
 			if opts.PruneBound > 0 && childG+h >= opts.PruneBound {
 				// No completion through this state can stay below the
 				// caller's bound (h is admissible); drop it unpushed. Its
 				// table entry keeps costUnreached so a cheaper path may
-				// still reopen it, and hs caches h for that reopening.
+				// still reopen it, and the payload caches h for that
+				// reopening.
 				c.scratch.Undo(undo)
 				continue
 			}
-			table.best[childRef] = childG
+			table.setBest(childRef, childG)
 			nodes = append(nodes, searchNode{parent: e.node, ref: childRef, move: m})
 			open.push(heapEntry{f: childG + h, g: childG, node: int32(len(nodes) - 1)})
 			pushed++

@@ -327,6 +327,11 @@ func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
 		score int
 	}
 	var all []scored
+	// The per-shell use masks persist in the candidates for the whole
+	// search; carving them from an arena costs one allocation per slab
+	// chunk instead of two per mask.
+	arena := bitset.NewArena(n)
+	seen := bitset.New(n)
 	for wi := 0; wi < n; wi++ {
 		if !needed0.Get(wi) {
 			continue
@@ -337,7 +342,7 @@ func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
 			isPred[u] = true
 		}
 		var shell []capUse
-		seen := bitset.New(n)
+		seen.Reset()
 		desc := reach.Desc(w)
 		desc.ForEach(func(x int) bool {
 			if !needed0.Get(x) {
@@ -349,7 +354,7 @@ func (lb *lowerBound) buildCapCandidates(start *pebble.State) {
 					continue
 				}
 				seen.Set(ui)
-				use := bitset.New(n)
+				use := arena.New()
 				for _, s := range g.Succs(u) {
 					if needed0.Get(int(s)) && desc.Get(int(s)) {
 						use.Set(int(s))

@@ -44,10 +44,15 @@ type parNode struct {
 // destination shard's owner. The packed key words travel in a parallel
 // flat buffer (kw words per proposal, same order). Only g travels: the
 // owning shard computes (and caches) the heuristic once per distinct
-// state, so senders never re-estimate shared states.
+// state, so senders never re-estimate shared states. pf is the f of the
+// generating expansion (used by the async engine both as a pathmax
+// floor on the child's priority and as the certified in-flight
+// watermark of pending mailbox batches; the sync-rounds engine leaves
+// it zero).
 type proposal struct {
 	hash       uint64
 	g          int64
+	pf         int64
 	srcShard   int32 // shard owning the parent node (used by the async engine)
 	parentNode int32
 	move       pebble.Move
@@ -57,10 +62,9 @@ type proposal struct {
 type parWorker struct {
 	id    int32
 	ctx   *searchCtx
-	table *stateTable
-	open  openHeap
+	table *stateTable // payloadWithH: best cost + cached heuristic per ref
+	open  bucketQueue
 	nodes []parNode
-	hs    []int64 // cached heuristic per table ref (mirrors exactSerial)
 
 	outMeta [][]proposal // outMeta[dest]
 	outKeys [][]uint64   // outKeys[dest], kw words per proposal
@@ -81,7 +85,7 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 		workers[i] = &parWorker{
 			id:      int32(i),
 			ctx:     ctx,
-			table:   newStateTable(kw, 256),
+			table:   newStateTable(kw, payloadWithH, 256),
 			outMeta: make([][]proposal, nw),
 			outKeys: make([][]uint64, nw),
 		}
@@ -91,11 +95,12 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 	lower := int64(0) // certified lower bound (see exactSerial)
 	report := func() {
 		if opts.Stats != nil {
-			distinct := 0
+			distinct, tableBytes := 0, int64(0)
 			for _, w := range workers {
 				distinct += w.table.count()
+				tableBytes += w.table.bytes()
 			}
-			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: distinct, LowerBound: lower}
+			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: distinct, LowerBound: lower, TableBytes: tableBytes}
 		}
 	}
 
@@ -108,8 +113,8 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 	}
 	rw := workers[rootHash%uint64(nw)]
 	rootRef, _ := rw.table.lookupOrAdd(rootKey, rootHash)
-	rw.table.best[rootRef] = 0
-	rw.hs = append(rw.hs, h0)
+	rw.table.setBest(rootRef, 0)
+	rw.table.setH(rootRef, h0)
 	rw.nodes = append(rw.nodes, parNode{parentShard: -1, parentNode: -1, ref: rootRef})
 	rw.open.push(heapEntry{f: h0, g: 0, node: 0})
 	pushed = 1
@@ -135,8 +140,10 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 		// finalize the incumbent once it is no better.
 		fmin := int64(costUnreached)
 		for _, w := range workers {
-			if w.open.len() > 0 && w.open.a[0].f < fmin {
-				fmin = w.open.a[0].f
+			if w.open.len() > 0 {
+				if f, _ := w.open.top(); f < fmin {
+					fmin = f
+				}
 			}
 		}
 		if fmin == costUnreached && incG == costUnreached {
@@ -216,7 +223,7 @@ func (w *parWorker) expandBatch(nw int, improveIncumbent func(g int64, shard, no
 	for w.popped < parBatch && w.open.len() > 0 {
 		e := w.open.pop()
 		nd := w.nodes[e.node]
-		if e.g > w.table.best[nd.ref] {
+		if e.g > w.table.best(nd.ref) {
 			continue // stale
 		}
 		key := w.table.key(nd.ref)
@@ -262,20 +269,20 @@ func (w *parWorker) relax(workers []*parWorker) {
 				// state, on the owning shard.
 				w.ctx.scratch.RestorePacked(key)
 				h, dead := w.ctx.lb.estimate(w.ctx.scratch)
-				w.hs = append(w.hs, h)
+				w.table.setH(ref, h)
 				if dead {
-					w.table.best[ref] = costDead
+					w.table.setBest(ref, costDead)
 				}
 			}
-			if w.table.best[ref] <= pr.g {
+			if w.table.best(ref) <= pr.g {
 				continue
 			}
-			w.table.best[ref] = pr.g
+			w.table.setBest(ref, pr.g)
 			w.nodes = append(w.nodes, parNode{
 				parentShard: src.id, parentNode: pr.parentNode,
 				ref: ref, move: pr.move,
 			})
-			w.open.push(heapEntry{f: pr.g + w.hs[ref], g: pr.g, node: int32(len(w.nodes) - 1)})
+			w.open.push(heapEntry{f: pr.g + w.table.h(ref), g: pr.g, node: int32(len(w.nodes) - 1)})
 			w.pushed++
 		}
 	}

@@ -31,82 +31,129 @@ func hashKey(key []uint64) uint64 {
 
 // stateTable is the visited-state set of the exact solvers: an
 // open-addressing (linear probing) hash table keyed on packed state
-// encodings. Every distinct state gets a dense ref (0, 1, 2, ...); its
-// key words live contiguously in a shared arena and its best known
-// scaled path cost in best[ref]. Compared to the original
-// map[string]int64 it materializes no per-state strings and supports
-// in-place cost updates without rehashing.
+// encodings. Every distinct state gets a dense ref (0, 1, 2, ...) whose
+// entire record — payload words first (best known scaled path cost,
+// optionally the cached heuristic), then the key words — lives
+// contiguously in one shared arena slab. A probe slot is a single
+// packed uint64 (high 32 bits of the state hash as a tag, ref+1 in the
+// low 32 bits, 0 meaning empty), so probing touches half the memory of
+// a (hash, ref) pair layout and a hit lands on one arena row where the
+// cost, the heuristic and the key share cache lines. Compared to the
+// original map[string]int64 it materializes no per-state strings and
+// supports in-place cost updates without rehashing; compared to the
+// earlier slots+arena+best triple it removes one indirection and one
+// independently-growing array from every hot-path access.
 type stateTable struct {
-	kw    int // words per key (0 only for the empty graph)
-	mask  uint64
-	slots []tableSlot
-	arena []uint64 // key words of state ref r at arena[r*kw : (r+1)*kw]
-	best  []int64  // best scaled path cost per ref (costUnreached, costDead)
+	kw     int // words per key (0 only for the empty graph)
+	pw     int // payload words per entry (>= 1; payload[0] = best cost)
+	stride int // kw + pw
+	mask   uint64
+	slots  []uint64 // tag<<32 | ref+1, 0 = empty
+	arena  []uint64 // record of ref r at arena[r*stride : (r+1)*stride]
 }
 
-// tableSlot holds one probe slot: the full hash (to skip most word
-// comparisons) and ref+1, with 0 meaning empty.
-type tableSlot struct {
-	hash uint64
-	ref  uint32
-}
+// Payload slot indices. Every table stores the best known scaled cost
+// in payload word 0; tables built with payloadWithH additionally cache
+// the admissible heuristic estimate in payload word 1, replacing the
+// per-engine `hs []int64` side arrays.
+const (
+	payloadBestOnly = 1
+	payloadWithH    = 2
+)
 
-func newStateTable(kw, hintStates int) *stateTable {
+func newStateTable(kw, pw, hintStates int) *stateTable {
 	size := 1024
 	for size < 2*hintStates {
 		size *= 2
 	}
 	return &stateTable{
-		kw:    kw,
-		mask:  uint64(size - 1),
-		slots: make([]tableSlot, size),
-		arena: make([]uint64, 0, hintStates*kw),
-		best:  make([]int64, 0, hintStates),
+		kw:     kw,
+		pw:     pw,
+		stride: kw + pw,
+		mask:   uint64(size - 1),
+		slots:  make([]uint64, size),
+		arena:  make([]uint64, 0, hintStates*(kw+pw)),
 	}
 }
 
 // count returns the number of distinct states stored.
-func (t *stateTable) count() int { return len(t.best) }
+func (t *stateTable) count() int { return len(t.arena) / t.stride }
+
+// bytes returns the table's current backing-store footprint (probe
+// slots plus arena capacity). The table only grows between resets, so
+// at search end this is the peak — the number the bench harness
+// records as peak_table_bytes.
+func (t *stateTable) bytes() int64 {
+	return int64(len(t.slots)+cap(t.arena)) * 8
+}
 
 // reset empties the table while keeping its capacity, so iterative
-// searches (IDA* re-runs the memo once per threshold) reuse the slots,
-// arena and cost arrays instead of reallocating them.
+// searches (IDA* re-runs the memo once per threshold) reuse the slots
+// and arena instead of reallocating them.
 func (t *stateTable) reset() {
 	clear(t.slots)
 	t.arena = t.arena[:0]
-	t.best = t.best[:0]
 }
 
 // key returns the packed key of state ref (a view into the arena).
 func (t *stateTable) key(ref int32) pebble.PackedKey {
-	return pebble.PackedKey(t.arena[int(ref)*t.kw : (int(ref)+1)*t.kw])
+	base := int(ref)*t.stride + t.pw
+	return pebble.PackedKey(t.arena[base : base+t.kw])
+}
+
+// best returns the best known scaled path cost of state ref.
+func (t *stateTable) best(ref int32) int64 {
+	return int64(t.arena[int(ref)*t.stride])
+}
+
+// setBest updates the best known scaled path cost of state ref.
+func (t *stateTable) setBest(ref int32, v int64) {
+	t.arena[int(ref)*t.stride] = uint64(v)
+}
+
+// h returns the cached heuristic of state ref (payloadWithH tables).
+func (t *stateTable) h(ref int32) int64 {
+	return int64(t.arena[int(ref)*t.stride+1])
+}
+
+// setH caches the heuristic of state ref (payloadWithH tables).
+func (t *stateTable) setH(ref int32, v int64) {
+	t.arena[int(ref)*t.stride+1] = uint64(v)
 }
 
 // lookupOrAdd returns the dense ref of key (with hash h), inserting it
-// with best = costUnreached when absent.
+// with best = costUnreached (and zeroed extra payload) when absent.
 func (t *stateTable) lookupOrAdd(key []uint64, h uint64) (ref int32, isNew bool) {
-	if len(t.best) >= len(t.slots)*7/10 {
+	if t.count() >= len(t.slots)*7/10 {
 		t.grow()
 	}
+	tag := h >> 32 << 32
 	i := h & t.mask
 	for {
 		s := t.slots[i]
-		if s.ref == 0 {
-			ref = int32(len(t.best))
+		if s == 0 {
+			ref = int32(t.count())
+			t.arena = append(t.arena, uint64(int64(costUnreached)))
+			for p := 1; p < t.pw; p++ {
+				t.arena = append(t.arena, 0)
+			}
 			t.arena = append(t.arena, key...)
-			t.best = append(t.best, costUnreached)
-			t.slots[i] = tableSlot{hash: h, ref: uint32(ref) + 1}
+			t.slots[i] = tag | uint64(uint32(ref)+1)
 			return ref, true
 		}
-		if s.hash == h && t.keyEqual(int32(s.ref-1), key) {
-			return int32(s.ref - 1), false
+		if s&^math.MaxUint32 == tag {
+			r := int32(uint32(s) - 1)
+			if t.keyEqual(r, key) {
+				return r, false
+			}
 		}
 		i = (i + 1) & t.mask
 	}
 }
 
 func (t *stateTable) keyEqual(ref int32, key []uint64) bool {
-	a := t.arena[int(ref)*t.kw : (int(ref)+1)*t.kw]
+	base := int(ref)*t.stride + t.pw
+	a := t.arena[base : base+t.kw]
 	for i, w := range key {
 		if a[i] != w {
 			return false
@@ -115,18 +162,21 @@ func (t *stateTable) keyEqual(ref int32, key []uint64) bool {
 	return true
 }
 
+// grow doubles the probe array. Slots store only the high 32 hash bits,
+// so rehoming recomputes each entry's full hash from its arena key —
+// one cheap splitmix pass per entry, amortized over the doubling
+// schedule, in exchange for half-size slots on every probe ever made.
 func (t *stateTable) grow() {
-	slots := make([]tableSlot, 2*len(t.slots))
+	slots := make([]uint64, 2*len(t.slots))
 	mask := uint64(len(slots) - 1)
-	for _, s := range t.slots {
-		if s.ref == 0 {
-			continue
-		}
-		i := s.hash & mask
-		for slots[i].ref != 0 {
+	n := t.count()
+	for r := 0; r < n; r++ {
+		h := hashKey(t.key(int32(r)))
+		i := h & mask
+		for slots[i] != 0 {
 			i = (i + 1) & mask
 		}
-		slots[i] = s
+		slots[i] = h>>32<<32 | uint64(uint32(r)+1)
 	}
 	t.slots, t.mask = slots, mask
 }

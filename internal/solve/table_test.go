@@ -1,0 +1,183 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refTable is the straightforward reference the arena-slab stateTable
+// is checked against: a Go map from the key's string form to the
+// payload values.
+type refTable struct {
+	refs map[string]int32
+	best []int64
+	h    []int64
+	keys [][]uint64
+}
+
+func newRefTable() *refTable { return &refTable{refs: map[string]int32{}} }
+
+func refKeyString(key []uint64) string {
+	b := make([]byte, 0, len(key)*8)
+	for _, w := range key {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(w>>s))
+		}
+	}
+	return string(b)
+}
+
+func (r *refTable) lookupOrAdd(key []uint64) (int32, bool) {
+	ks := refKeyString(key)
+	if ref, ok := r.refs[ks]; ok {
+		return ref, false
+	}
+	ref := int32(len(r.best))
+	r.refs[ks] = ref
+	r.best = append(r.best, costUnreached)
+	r.h = append(r.h, 0)
+	r.keys = append(r.keys, append([]uint64(nil), key...))
+	return ref, true
+}
+
+// checkTableAgainstRef drives both tables with the same operation
+// sequence and fails on any divergence: ref assignment, isNew flags,
+// key round-trips, payload round-trips, count.
+func checkTableAgainstRef(t *testing.T, kw int, keys [][]uint64) {
+	t.Helper()
+	tab := newStateTable(kw, payloadWithH, 4) // tiny hint: force growth
+	ref := newRefTable()
+	for i, key := range keys {
+		gotRef, gotNew := tab.lookupOrAdd(key, hashKey(key))
+		wantRef, wantNew := ref.lookupOrAdd(key)
+		if gotRef != wantRef || gotNew != wantNew {
+			t.Fatalf("op %d: lookupOrAdd = (%d, %v), want (%d, %v)", i, gotRef, gotNew, wantRef, wantNew)
+		}
+		if gotNew {
+			if tab.best(gotRef) != costUnreached {
+				t.Fatalf("op %d: fresh entry best = %d, want costUnreached", i, tab.best(gotRef))
+			}
+			if tab.h(gotRef) != 0 {
+				t.Fatalf("op %d: fresh entry h = %d, want 0", i, tab.h(gotRef))
+			}
+		}
+		// Exercise the payload slots with values derived from the op
+		// index (including the sentinels).
+		switch i % 4 {
+		case 0:
+			ref.best[gotRef] = int64(i)
+			tab.setBest(gotRef, int64(i))
+		case 1:
+			ref.best[gotRef] = costDead
+			tab.setBest(gotRef, costDead)
+		case 2:
+			ref.h[gotRef] = int64(i * 3)
+			tab.setH(gotRef, int64(i*3))
+		}
+		if tab.best(gotRef) != ref.best[gotRef] {
+			t.Fatalf("op %d: best(%d) = %d, want %d", i, gotRef, tab.best(gotRef), ref.best[gotRef])
+		}
+		if tab.h(gotRef) != ref.h[gotRef] {
+			t.Fatalf("op %d: h(%d) = %d, want %d", i, gotRef, tab.h(gotRef), ref.h[gotRef])
+		}
+	}
+	if tab.count() != len(ref.best) {
+		t.Fatalf("count = %d, want %d", tab.count(), len(ref.best))
+	}
+	if tab.bytes() <= 0 {
+		t.Fatalf("bytes() = %d, want > 0", tab.bytes())
+	}
+	// Every stored key must round-trip from its ref, and every payload
+	// must have survived the growth rehashes.
+	for r := int32(0); r < int32(tab.count()); r++ {
+		got := tab.key(r)
+		want := ref.keys[r]
+		if len(got) != len(want) {
+			t.Fatalf("key(%d) length %d, want %d", r, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("key(%d) word %d = %#x, want %#x", r, i, got[i], want[i])
+			}
+		}
+		if tab.best(r) != ref.best[r] || tab.h(r) != ref.h[r] {
+			t.Fatalf("payload(%d) = (%d, %d), want (%d, %d)",
+				r, tab.best(r), tab.h(r), ref.best[r], ref.h[r])
+		}
+		again, isNew := tab.lookupOrAdd(want, hashKey(want))
+		if isNew || again != r {
+			t.Fatalf("re-lookup of key(%d) = (%d, %v)", r, again, isNew)
+		}
+	}
+}
+
+// TestStateTableAgainstReference drives the arena table with random
+// key streams (heavy duplication, adversarially small key space so tag
+// collisions and probe chains occur) and checks it against the map
+// reference.
+func TestStateTableAgainstReference(t *testing.T) {
+	for _, kw := range []int{1, 2, 3, 6} {
+		rng := rand.New(rand.NewSource(int64(kw) * 7919))
+		var keys [][]uint64
+		for i := 0; i < 20000; i++ {
+			key := make([]uint64, kw)
+			for j := range key {
+				// Tiny value domain: forces duplicates and shared hash
+				// prefixes.
+				key[j] = uint64(rng.Intn(64))
+			}
+			keys = append(keys, key)
+		}
+		checkTableAgainstRef(t, kw, keys)
+	}
+}
+
+// TestStateTableReset checks that a reset table forgets its entries
+// but keeps working (the IDA* memo resets once per threshold pass).
+func TestStateTableReset(t *testing.T) {
+	tab := newStateTable(2, payloadBestOnly, 4)
+	key := []uint64{42, 7}
+	ref, isNew := tab.lookupOrAdd(key, hashKey(key))
+	if !isNew {
+		t.Fatal("first insert not new")
+	}
+	tab.setBest(ref, 5)
+	tab.reset()
+	if tab.count() != 0 {
+		t.Fatalf("count after reset = %d", tab.count())
+	}
+	ref2, isNew := tab.lookupOrAdd(key, hashKey(key))
+	if !isNew || ref2 != 0 {
+		t.Fatalf("post-reset insert = (%d, %v), want (0, true)", ref2, isNew)
+	}
+	if tab.best(ref2) != costUnreached {
+		t.Fatalf("post-reset best = %d, want costUnreached", tab.best(ref2))
+	}
+}
+
+// FuzzStateTable feeds arbitrary byte streams as key sequences through
+// the table/reference pair, fuzzing the probe, tag-collision and
+// growth paths.
+func FuzzStateTable(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		kw := int(data[0])%3 + 1
+		data = data[1:]
+		var keys [][]uint64
+		for len(data) >= kw && len(keys) < 4096 {
+			key := make([]uint64, kw)
+			for j := 0; j < kw; j++ {
+				// One byte per word keeps the domain small enough that
+				// the fuzzer finds duplicate keys quickly.
+				key[j] = uint64(data[j])
+			}
+			data = data[kw:]
+			keys = append(keys, key)
+		}
+		checkTableAgainstRef(t, kw, keys)
+	})
+}
