@@ -6,15 +6,23 @@
 // or drains, fans async-job polls out across the fleet, and merges the
 // nodes' /metrics and /healthz into cluster-level views.
 //
+// Membership is dynamic: nodes started with -join register themselves
+// on POST /cluster/join and renew a TTL lease; nodes that stop renewing
+// expire off the ring. -members seeds static members that never expire
+// (for fixed fleets without the join flow). On drain, departing nodes
+// hand their cache off through POST /cluster/handoff, and live nodes
+// replicate fresh entries via POST /cluster/replicate.
+//
 // Usage:
 //
-//	rbserve -addr :8081 & rbserve -addr :8082 &
-//	rbproxy -addr :8080 -members 127.0.0.1:8081,127.0.0.1:8082
+//	rbproxy -addr :8080 &
+//	rbserve -addr :8081 -join 127.0.0.1:8080 &
+//	rbserve -addr :8082 -join 127.0.0.1:8080 &
 //	curl -s -X POST localhost:8080/solve -d '{
 //	    "dag": {"nodes": 3, "edges": [[0,2],[1,2]]},
 //	    "model": "oneshot", "r": 3, "deadline_ms": 1000}'
 //	curl -s localhost:8080/healthz     # per-node cluster view
-//	curl -s localhost:8080/metrics     # cluster_rbserve_* aggregates
+//	curl -s localhost:8080/metrics     # cluster_* + rbserve aggregates
 package main
 
 import (
@@ -34,12 +42,17 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		members  = flag.String("members", "", "comma-separated rbserve replicas (host:port), required")
+		members  = flag.String("members", "", "comma-separated static rbserve replicas (host:port); optional when nodes use -join")
 		vnodes   = flag.Int("vnodes", 64, "virtual nodes per member on the hash ring")
 		probe    = flag.Duration("probe", 2*time.Second, "member health-probe interval")
+		ttl      = flag.Duration("ttl", 15*time.Second, "membership lease TTL for joined nodes")
 		maxBody  = flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
 		maxNodes = flag.Int("max-nodes", 100000, "largest accepted instance (guards the routing parse)")
-		fwdLimit = flag.Duration("forward-timeout", 60*time.Second, "per-forward timeout (must exceed the nodes' max solve deadline)")
+		fwdLimit = flag.Duration("forward-timeout", 60*time.Second, "per-attempt forward timeout (must exceed the nodes' max solve deadline)")
+		retries  = flag.Int("retries", 3, "max attempts per idempotent forward (comm layer)")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		brkFails = flag.Int("breaker-fails", 4, "consecutive transport failures that open a node's circuit breaker")
+		brkCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker fails fast before a half-open trial")
 	)
 	flag.Parse()
 
@@ -49,26 +62,30 @@ func main() {
 			memberList = append(memberList, m)
 		}
 	}
-	if len(memberList) == 0 {
-		fmt.Fprintln(os.Stderr, "rbproxy: -members is required (e.g. -members 127.0.0.1:8081,127.0.0.1:8082)")
-		os.Exit(2)
-	}
 
 	p := cluster.NewProxy(cluster.ProxyConfig{
 		Members:       memberList,
 		VirtualNodes:  *vnodes,
 		ProbeInterval: *probe,
+		MemberTTL:     *ttl,
 		MaxBodyBytes:  *maxBody,
 		MaxNodes:      *maxNodes,
 		Client:        &http.Client{Timeout: *fwdLimit},
+		Comm: cluster.CommConfig{
+			AttemptTimeout:   *fwdLimit,
+			MaxAttempts:      *retries,
+			BackoffBase:      *backoff,
+			BreakerThreshold: *brkFails,
+			BreakerCooldown:  *brkCool,
+		},
 	})
 	defer p.Close()
 	srv := &http.Server{Addr: *addr, Handler: p.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("rbproxy: listening on %s, routing to %d members (probe=%s vnodes=%d)",
-		*addr, len(memberList), *probe, *vnodes)
+	log.Printf("rbproxy: listening on %s (%d static members, probe=%s ttl=%s vnodes=%d)",
+		*addr, len(memberList), *probe, *ttl, *vnodes)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

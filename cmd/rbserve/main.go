@@ -15,6 +15,13 @@
 // Hard instances return a certified [lower, upper] interval when the
 // deadline fires; repeated and concurrent identical instances (under
 // any node numbering) share one solve through the cache.
+//
+// With -join, the node registers itself with an rbproxy's membership
+// API, heartbeats its lease, replicates freshly stored cache entries to
+// its ring successor, and on SIGTERM hands its cache off before
+// leaving:
+//
+//	rbserve -addr :8081 -join 127.0.0.1:8080
 package main
 
 import (
@@ -25,9 +32,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"rbpebble/internal/cluster"
+	"rbpebble/internal/instcache"
 	"rbpebble/internal/service"
 )
 
@@ -42,8 +53,14 @@ func main() {
 		solveWorkers = flag.Int("solve-workers", 1, "parallel expansion workers inside each exact solve")
 		maxNodes     = flag.Int("max-nodes", 100000, "largest accepted instance")
 		grace        = flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight solves on SIGTERM")
+		join         = flag.String("join", "", "rbproxy address (host:port) to register with for dynamic membership")
+		advertise    = flag.String("advertise", "", "address other cluster members reach this node at (default: 127.0.0.1 + -addr port)")
 	)
 	flag.Parse()
+
+	// The agent pointer is set only in -join mode, after the server
+	// exists; the Replicate hook must tolerate both windows.
+	var agentPtr atomic.Pointer[cluster.Agent]
 
 	s := service.New(service.Config{
 		Workers:         *workers,
@@ -54,6 +71,11 @@ func main() {
 		SolveWorkers:    *solveWorkers,
 		MaxNodes:        *maxNodes,
 		GracePeriod:     *grace,
+		Replicate: func(e instcache.Entry) {
+			if a := agentPtr.Load(); a != nil {
+				a.Replicate(e)
+			}
+		},
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -62,6 +84,24 @@ func main() {
 	log.Printf("rbserve: listening on %s (deadline=%s cache=%d workers=%d)",
 		*addr, *deadline, *cacheSize, *workers)
 
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			if strings.HasPrefix(*addr, ":") {
+				self = "127.0.0.1" + *addr
+			} else {
+				self = *addr
+			}
+		}
+		agentPtr.Store(cluster.NewAgent(cluster.AgentConfig{
+			Proxy:  *join,
+			Self:   self,
+			Export: s.ExportCache,
+			Logf:   log.Printf,
+		}))
+		log.Printf("rbserve: joining cluster via %s as %s", *join, self)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -69,24 +109,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rbserve:", err)
 		os.Exit(1)
 	case sig := <-sigc:
-		// Graceful node lifecycle: fail /healthz FIRST so the routing
-		// proxy's next probe stops sending work here, then let in-flight
-		// HTTP requests and async jobs finish within the grace window —
-		// solves still running at its end are canceled cooperatively and
-		// land their partial certified intervals in the cache.
+		// Graceful node lifecycle: fail /healthz FIRST (and announce the
+		// drain to the proxy immediately, if joined) so routing stops
+		// sending work here, then let in-flight HTTP requests and async
+		// jobs finish within the grace window — solves still running at
+		// its end are canceled cooperatively and land their partial
+		// certified intervals in the cache, where the handoff picks them
+		// up.
 		log.Printf("rbserve: %s, draining (grace %s)", sig, *grace)
 		s.Drain()
-		// One grace window covers BOTH teardown steps: the HTTP listener
-		// drain and the async worker drain share the deadline, so the
-		// total never exceeds -grace (an operator aligning it with e.g.
-		// a kubelet termination grace must not see it spent twice).
+		agent := agentPtr.Load()
+		if agent != nil {
+			agent.SetDraining(true)
+		}
+		// One grace window covers ALL teardown steps: the HTTP listener
+		// drain, the async worker drain, and (when joined) the cache
+		// handoff share the deadline, so the total never exceeds -grace
+		// (an operator aligning it with e.g. a kubelet termination grace
+		// must not see it spent twice). A slice of the window is reserved
+		// for the handoff so the drain cannot starve it.
+		reserve := time.Duration(0)
+		if agent != nil {
+			reserve = *grace / 5
+			if reserve < 250*time.Millisecond {
+				reserve = 250 * time.Millisecond
+			}
+			if reserve > 3*time.Second {
+				reserve = 3 * time.Second
+			}
+		}
 		deadline := time.Now().Add(*grace)
-		ctx, cancel := context.WithDeadline(context.Background(), deadline)
-		defer cancel()
+		ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(-reserve))
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("rbserve: http shutdown: %v", err)
 		}
-		s.ShutdownWithin(time.Until(deadline))
+		cancel()
+		s.ShutdownWithin(time.Until(deadline) - reserve)
+		if agent != nil {
+			hctx, hcancel := context.WithDeadline(context.Background(), deadline)
+			if n, err := agent.Handoff(hctx); err != nil {
+				log.Printf("rbserve: cache handoff: %v", err)
+			} else {
+				log.Printf("rbserve: handed off %d cache entries", n)
+			}
+			if err := agent.Leave(hctx); err != nil {
+				log.Printf("rbserve: cluster leave: %v", err)
+			}
+			hcancel()
+			agent.Stop()
+		}
 		log.Printf("rbserve: drained, exiting")
 	}
 }

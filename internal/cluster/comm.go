@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned without any network attempt when the
+// target member's circuit breaker is open: the member failed several
+// consecutive calls recently and its cooldown has not elapsed. Callers
+// treat it like a connection failure (skip the member, try the next
+// ring owner) — the point of the breaker is to make that decision in
+// nanoseconds instead of a dial timeout.
+var ErrBreakerOpen = errors.New("cluster: circuit breaker open")
+
+// CommConfig tunes the hardened proxy->node HTTP client. Zero values
+// select the defaults.
+type CommConfig struct {
+	// Client performs the individual attempts. Default: a plain client
+	// with no overall timeout — per-attempt deadlines come from
+	// AttemptTimeout, and an overall bound from the caller's context.
+	Client *http.Client
+	// AttemptTimeout bounds each individual attempt (default: the
+	// Client's Timeout when set, else 60s — it must outlive the longest
+	// node-side solve deadline).
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds the attempts per call when the failure is
+	// retryable (default 3). Idempotent calls (GET, DELETE) are retried
+	// on any transport error; POSTs only on dial-level errors
+	// (connection refused, no route) where no request bytes were sent —
+	// replaying a POST that may have been processed could double-submit
+	// an async job.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between attempts: attempt i sleeps uniform[d/2, d) where
+	// d = min(BackoffBase << (i-1), BackoffMax). Defaults 50ms / 2s.
+	BackoffBase, BackoffMax time.Duration
+	// BreakerThreshold opens a member's breaker after this many
+	// consecutive transport failures (default 4); BreakerCooldown is how
+	// long an open breaker fails fast before admitting one half-open
+	// trial call (default 5s). A successful trial closes the breaker, a
+	// failed one re-arms the cooldown.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// OnBreakerOpen fires once per closed->open transition (outside the
+	// breaker lock). The proxy uses it to demote the member in the ring
+	// immediately instead of waiting for the next health probe.
+	OnBreakerOpen func(member string)
+
+	// sleep and now are test seams; nil selects real time.
+	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+}
+
+// breaker is one member's circuit-breaker state.
+type breaker struct {
+	fails int
+	open  bool
+	until time.Time // while open: next moment a half-open trial is admitted
+}
+
+// CommClient is the single client wrapper every proxy->node HTTP call
+// goes through: per-attempt timeouts, a bounded retry budget with
+// jittered exponential backoff (idempotent calls retried freely, POSTs
+// only on pre-send dial errors), and a per-member circuit breaker that
+// fails fast on flapping members. Safe for concurrent use.
+type CommClient struct {
+	cfg    CommConfig
+	client *http.Client
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+}
+
+// NewComm returns a CommClient with cfg's policy.
+func NewComm(cfg CommConfig) *CommClient {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.AttemptTimeout <= 0 {
+		if cfg.Client.Timeout > 0 {
+			cfg.AttemptTimeout = cfg.Client.Timeout
+		} else {
+			cfg.AttemptTimeout = 60 * time.Second
+		}
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 4
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = sleepCtx
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &CommClient{cfg: cfg, client: cfg.Client, breakers: make(map[string]*breaker)}
+}
+
+// Get issues GET http://member+path with the retry/breaker policy
+// (idempotent: retried on any transport failure).
+func (c *CommClient) Get(ctx context.Context, member, path string) (*http.Response, error) {
+	return c.Do(ctx, member, http.MethodGet, path, "", nil)
+}
+
+// Post issues POST http://member+path with the retry/breaker policy.
+// The body is a byte slice (not a stream) so retries can replay it —
+// but POSTs are only retried on dial-level errors where no bytes were
+// sent.
+func (c *CommClient) Post(ctx context.Context, member, path, contentType string, body []byte) (*http.Response, error) {
+	return c.Do(ctx, member, http.MethodPost, path, contentType, body)
+}
+
+// Do issues one call under the full policy. GET and DELETE are treated
+// as idempotent.
+func (c *CommClient) Do(ctx context.Context, member, method, path, contentType string, body []byte) (*http.Response, error) {
+	idempotent := method == http.MethodGet || method == http.MethodDelete || method == http.MethodHead
+	if !c.allow(member) {
+		return nil, fmt.Errorf("%s: %w", member, ErrBreakerOpen)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.cfg.sleep(ctx, c.backoff(attempt)); err != nil {
+				break // caller context canceled mid-backoff
+			}
+			if !c.allow(member) {
+				lastErr = fmt.Errorf("%s: %w", member, ErrBreakerOpen)
+				break
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(actx, method, "http://"+member+path, rd)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.client.Do(req)
+		if err == nil {
+			c.markSuccess(member)
+			// The attempt context must survive until the caller has read
+			// the body: cancel it on Close instead of here.
+			resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+			return resp, nil
+		}
+		cancel()
+		c.markFailure(member)
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the overall call is dead; don't burn more attempts
+		}
+		if !idempotent && !dialError(err) {
+			break // bytes may have reached the node: not safe to replay
+		}
+	}
+	return nil, lastErr
+}
+
+// BreakerOpen reports whether member's breaker is currently open
+// (ignoring the half-open trial window: an open breaker stays "open"
+// for routing decisions until a call actually succeeds).
+func (c *CommClient) BreakerOpen(member string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[member]
+	return b != nil && b.open
+}
+
+// OpenBreakers lists the members with open breakers, sorted.
+func (c *CommClient) OpenBreakers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for m, b := range c.breakers {
+		if b.open {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forget drops member's breaker state (the member left the cluster).
+func (c *CommClient) Forget(member string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.breakers, member)
+}
+
+// allow admits a call: always when the breaker is closed; when open,
+// only a single trial per cooldown window (half-open probing).
+func (c *CommClient) allow(member string) bool {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[member]
+	if b == nil || !b.open {
+		return true
+	}
+	if now.Before(b.until) {
+		return false
+	}
+	// Half-open: admit this caller as the trial and push the window so
+	// concurrent callers keep failing fast until the trial resolves.
+	b.until = now.Add(c.cfg.BreakerCooldown)
+	return true
+}
+
+func (c *CommClient) markSuccess(member string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b := c.breakers[member]; b != nil {
+		b.fails, b.open = 0, false
+	}
+}
+
+func (c *CommClient) markFailure(member string) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	b := c.breakers[member]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[member] = b
+	}
+	b.fails++
+	opened := false
+	if b.fails >= c.cfg.BreakerThreshold && !b.open {
+		b.open, opened = true, true
+	}
+	if b.open {
+		b.until = now.Add(c.cfg.BreakerCooldown)
+	}
+	c.mu.Unlock()
+	if opened && c.cfg.OnBreakerOpen != nil {
+		c.cfg.OnBreakerOpen(member)
+	}
+}
+
+// backoff returns the jittered exponential delay before attempt
+// (attempt >= 1): uniform in [d/2, d) with d doubling from BackoffBase
+// and capped at BackoffMax. The jitter keeps a fleet of proxies from
+// hammering a recovering node in lockstep.
+func (c *CommClient) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// dialError reports whether err happened at the dial layer — before
+// any request bytes were written — making even a non-idempotent
+// request safe to retry.
+func dialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// cancelOnClose releases a successful attempt's context when the
+// caller finishes with the body.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// defaultMemberTTL is the dynamic-member lease: a node that has not
+// renewed its registration within the TTL is considered dead and is
+// removed from the ring (its keys remap to the survivors). Nodes renew
+// at TTL/3, so a member survives two dropped heartbeats.
+const defaultMemberTTL = 15 * time.Second
+
+// memberInfo is one member's registration state.
+type memberInfo struct {
+	static   bool      // seeded by the -members flag: never expires
+	draining bool      // announced SIGTERM drain: skip as a handoff/replica target
+	expires  time.Time // dynamic members only: lease end
+}
+
+// Membership is the cluster's dynamic member registry layered over the
+// ring: rbserve nodes register and renew leases through the proxy's
+// /cluster/join API, announce draining during their SIGTERM grace, and
+// are expired off the ring when their lease lapses (the TTL is what
+// distinguishes a *dead* node from a merely *draining* one). Static
+// members — the -members flag — never expire; the health prober alone
+// governs their routing. Safe for concurrent use.
+type Membership struct {
+	mu      sync.Mutex
+	ring    *Ring
+	ttl     time.Duration
+	now     func() time.Time // test seam
+	members map[string]*memberInfo
+
+	joins, leaves, expired uint64
+}
+
+// NewMembership returns a registry over ring with the given dynamic
+// lease TTL (<= 0 selects the 15s default).
+func NewMembership(ring *Ring, ttl time.Duration) *Membership {
+	if ttl <= 0 {
+		ttl = defaultMemberTTL
+	}
+	return &Membership{ring: ring, ttl: ttl, now: time.Now, members: make(map[string]*memberInfo)}
+}
+
+// TTL returns the dynamic-member lease duration (the join API reports
+// it to nodes so they can pick a renewal cadence).
+func (ms *Membership) TTL() time.Duration { return ms.ttl }
+
+// AddStatic seeds members that never expire (the -members flag).
+func (ms *Membership) AddStatic(members ...string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for _, m := range members {
+		if ms.members[m] == nil {
+			ms.members[m] = &memberInfo{}
+		}
+		ms.members[m].static = true
+	}
+	ms.ring.Add(members...)
+}
+
+// Join registers or renews member's lease and records its draining
+// flag. A new member is added to the ring (consistent remapping: only
+// the keys it now owns move); a renewal just extends the lease. A
+// member re-joining with draining=false (e.g. a restarted node reusing
+// its address) is promoted back to healthy so it receives traffic
+// before the next probe cycle.
+func (ms *Membership) Join(member string, draining bool) {
+	now := ms.now()
+	ms.mu.Lock()
+	in := ms.members[member]
+	if in == nil {
+		in = &memberInfo{}
+		ms.members[member] = in
+		ms.joins++
+	}
+	wasDraining := in.draining
+	in.draining = draining
+	if !in.static {
+		in.expires = now.Add(ms.ttl)
+	}
+	ms.mu.Unlock()
+
+	ms.ring.Add(member) // idempotent; no-op on renewal
+	if draining {
+		ms.ring.SetHealthy(member, false)
+	} else if wasDraining {
+		ms.ring.SetHealthy(member, true)
+	}
+}
+
+// Leave deregisters member immediately (the graceful exit: the node
+// already handed its cache off). Static members are removed too — a
+// statically-seeded node that says goodbye is gone until it rejoins.
+func (ms *Membership) Leave(member string) {
+	ms.mu.Lock()
+	if _, ok := ms.members[member]; ok {
+		ms.leaves++
+	}
+	delete(ms.members, member)
+	ms.mu.Unlock()
+	ms.ring.Remove(member)
+}
+
+// SetDraining marks member as draining (503 + draining header observed
+// by the prober, or a handoff received from it) without touching its
+// lease.
+func (ms *Membership) SetDraining(member string, draining bool) {
+	ms.mu.Lock()
+	if in := ms.members[member]; in != nil {
+		in.draining = draining
+	}
+	ms.mu.Unlock()
+}
+
+// Draining reports whether member announced a drain. Draining members
+// are skipped as handoff and replication targets: pushing cache
+// entries to a node that is itself about to hand off would bounce them
+// around the fleet.
+func (ms *Membership) Draining(member string) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	in := ms.members[member]
+	return in != nil && in.draining
+}
+
+// Sweep expires dynamic members whose lease has lapsed, removing them
+// from the ring, and returns them. A TTL expiry is the "dead node"
+// signal: no graceful drain happened, so the proxy's only consolation
+// is whatever proven-optimal entries were replicated ahead of time.
+func (ms *Membership) Sweep() []string {
+	now := ms.now()
+	var dead []string
+	ms.mu.Lock()
+	for m, in := range ms.members {
+		if !in.static && now.After(in.expires) {
+			dead = append(dead, m)
+			delete(ms.members, m)
+			ms.expired++
+		}
+	}
+	ms.mu.Unlock()
+	sort.Strings(dead)
+	for _, m := range dead {
+		ms.ring.Remove(m)
+	}
+	return dead
+}
+
+// Size returns the number of registered members (static + live
+// dynamic), the cluster_membership_size gauge.
+func (ms *Membership) Size() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return len(ms.members)
+}
+
+// Counters returns the monotone join/leave/expiry totals.
+func (ms *Membership) Counters() (joins, leaves, expired uint64) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.joins, ms.leaves, ms.expired
+}
+
+// MemberView is one member's slot in the GET /cluster/members view.
+type MemberView struct {
+	Member   string `json:"member"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Static   bool   `json:"static"`
+	// TTLRemainingMS is the dynamic lease remainder (0 for static).
+	TTLRemainingMS int64 `json:"ttl_remaining_ms,omitempty"`
+}
+
+// View snapshots the registry, with health filled in from the ring.
+func (ms *Membership) View() []MemberView {
+	now := ms.now()
+	health := ms.ring.Members()
+	ms.mu.Lock()
+	out := make([]MemberView, 0, len(ms.members))
+	for m, in := range ms.members {
+		v := MemberView{Member: m, Healthy: health[m], Draining: in.draining, Static: in.static}
+		if !in.static {
+			if rem := in.expires.Sub(now); rem > 0 {
+				v.TTLRemainingMS = rem.Milliseconds()
+			}
+		}
+		out = append(out, v)
+	}
+	ms.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
+	return out
+}

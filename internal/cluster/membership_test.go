@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMembershipJoinRenewExpire(t *testing.T) {
+	ring := NewRing(8)
+	ms := NewMembership(ring, time.Second)
+	clock := time.Now()
+	ms.now = func() time.Time { return clock }
+
+	ms.Join("a:1", false)
+	if ms.Size() != 1 || !ring.Members()["a:1"] {
+		t.Fatal("join should register and add to the ring")
+	}
+
+	// Renewal inside the lease extends it.
+	clock = clock.Add(800 * time.Millisecond)
+	ms.Join("a:1", false)
+	clock = clock.Add(800 * time.Millisecond) // 1.6s after first join, 0.8s after renewal
+	if dead := ms.Sweep(); len(dead) != 0 {
+		t.Fatalf("renewed member expired: %v", dead)
+	}
+
+	// Lease lapse expires it off the ring.
+	clock = clock.Add(2 * time.Second)
+	if dead := ms.Sweep(); len(dead) != 1 || dead[0] != "a:1" {
+		t.Fatalf("Sweep = %v, want [a:1]", dead)
+	}
+	if ms.Size() != 0 {
+		t.Fatal("expired member should be deregistered")
+	}
+	if _, ok := ring.Members()["a:1"]; ok {
+		t.Fatal("expired member should leave the ring")
+	}
+	joins, leaves, expired := ms.Counters()
+	if joins != 1 || leaves != 0 || expired != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 1/0/1", joins, leaves, expired)
+	}
+}
+
+func TestMembershipStaticNeverExpires(t *testing.T) {
+	ring := NewRing(8)
+	ms := NewMembership(ring, time.Second)
+	clock := time.Now()
+	ms.now = func() time.Time { return clock }
+
+	ms.AddStatic("s:1")
+	clock = clock.Add(time.Hour)
+	if dead := ms.Sweep(); len(dead) != 0 {
+		t.Fatalf("static member expired: %v", dead)
+	}
+	if !ring.Members()["s:1"] {
+		t.Fatal("static member should stay on the ring")
+	}
+}
+
+func TestMembershipDrainingLifecycle(t *testing.T) {
+	ring := NewRing(8)
+	ms := NewMembership(ring, time.Minute)
+
+	ms.Join("a:1", false)
+	ms.Join("b:2", false)
+	if !ring.Members()["a:1"] {
+		t.Fatal("joined member should be healthy")
+	}
+
+	// Drain announcement demotes immediately.
+	ms.Join("a:1", true)
+	if ring.Members()["a:1"] {
+		t.Fatal("draining member should be demoted")
+	}
+	if !ms.Draining("a:1") || ms.Draining("b:2") {
+		t.Fatal("draining flags wrong")
+	}
+
+	// A restarted node re-joining un-drained is promoted back before the
+	// next probe cycle.
+	ms.Join("a:1", false)
+	if !ring.Members()["a:1"] {
+		t.Fatal("re-joined member should be healthy again")
+	}
+	if ms.Draining("a:1") {
+		t.Fatal("re-join should clear the draining flag")
+	}
+}
+
+func TestMembershipLeave(t *testing.T) {
+	ring := NewRing(8)
+	ms := NewMembership(ring, time.Minute)
+	ms.Join("a:1", false)
+	ms.Leave("a:1")
+	if ms.Size() != 0 {
+		t.Fatal("left member should be deregistered")
+	}
+	if _, ok := ring.Members()["a:1"]; ok {
+		t.Fatal("left member should be off the ring")
+	}
+	_, leaves, _ := ms.Counters()
+	if leaves != 1 {
+		t.Fatalf("leaves = %d, want 1", leaves)
+	}
+}

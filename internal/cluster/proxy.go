@@ -2,7 +2,7 @@ package cluster
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,13 +20,20 @@ import (
 
 // ProxyConfig tunes a Proxy. Zero values select the defaults.
 type ProxyConfig struct {
-	// Members are the rbserve replicas, as host:port.
+	// Members are the statically-seeded rbserve replicas, as host:port.
+	// They never TTL-expire. May be empty: nodes can join dynamically
+	// through POST /cluster/join instead.
 	Members []string
 	// VirtualNodes per member on the ring (default 64).
 	VirtualNodes int
 	// ProbeInterval is the health-probe period (default 2s; < 0
-	// disables the background prober — tests drive health by hand).
+	// disables the background prober AND the membership sweeper — tests
+	// drive health and expiry by hand).
 	ProbeInterval time.Duration
+	// MemberTTL is the dynamic-member lease: a joined node that stops
+	// renewing for this long is declared dead and removed from the ring
+	// (default 15s).
+	MemberTTL time.Duration
 	// MaxBodyBytes caps the request body (default 64 MiB), matching the
 	// node-side limit so the proxy rejects oversized bodies before
 	// buffering them for failover replay.
@@ -37,29 +44,45 @@ type ProxyConfig struct {
 	// not allocate at the routing tier any more than at a node.
 	MaxNodes int
 	// Client performs the forwards (default: 60s-timeout client — it
-	// must outlive the longest node-side solve deadline).
+	// must outlive the longest node-side solve deadline). It becomes
+	// the transport under the retry/breaker comm layer.
 	Client *http.Client
+	// Comm tunes the retry/backoff/circuit-breaker policy of every
+	// proxy->node call (see CommConfig). Comm.Client defaults to
+	// Client; Comm.OnBreakerOpen is chained so an opening breaker also
+	// demotes the member in the ring.
+	Comm CommConfig
 }
 
 // proxyMetrics are the proxy's own monotone counters.
 type proxyMetrics struct {
 	requests, routed, failovers, fanouts, errors atomic.Uint64
+	handoffEntries, handoffDropped               atomic.Uint64
+	replicatedEntries, replicatedDropped         atomic.Uint64
 }
 
 // Proxy is the cluster front end: it routes each POST /solve to the
 // replica owning the request's canonical instance key (so repeats and
 // isomorphic relabelings warm the same node's interval cache), fails
 // over along the ring on node failure, fans job polls out to every
-// node, and merges the fleet's /metrics and /healthz into
-// cluster-level views. Create with NewProxy, serve Handler, stop with
-// Close.
+// node, merges the fleet's /metrics and /healthz into cluster-level
+// views, and runs the elastic-membership plane: nodes join and renew
+// leases via POST /cluster/join, hand their caches off on drain via
+// POST /cluster/handoff, and replicate proven-optimal entries via
+// POST /cluster/replicate. Create with NewProxy, serve Handler, stop
+// with Close.
 type Proxy struct {
-	cfg    ProxyConfig
-	ring   *Ring
-	client *http.Client
-	prober *Prober
-	mux    *http.ServeMux
-	m      proxyMetrics
+	cfg        ProxyConfig
+	ring       *Ring
+	comm       *CommClient
+	membership *Membership
+	prober     *Prober
+	mux        *http.ServeMux
+	m          proxyMetrics
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
 }
 
 // NewProxy returns a started Proxy.
@@ -74,12 +97,32 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 		cfg.Client = &http.Client{Timeout: 60 * time.Second}
 	}
 	p := &Proxy{
-		cfg:    cfg,
-		ring:   NewRing(cfg.VirtualNodes, cfg.Members...),
-		client: cfg.Client,
+		cfg:  cfg,
+		ring: NewRing(cfg.VirtualNodes),
+		stop: make(chan struct{}),
 	}
+	p.membership = NewMembership(p.ring, cfg.MemberTTL)
+	p.membership.AddStatic(cfg.Members...)
+	comm := cfg.Comm
+	if comm.Client == nil {
+		comm.Client = cfg.Client
+	}
+	// An opening breaker demotes the member immediately — faster than
+	// waiting for the prober to notice the flapping.
+	userOnOpen := comm.OnBreakerOpen
+	comm.OnBreakerOpen = func(member string) {
+		p.ring.SetHealthy(member, false)
+		if userOnOpen != nil {
+			userOnOpen(member)
+		}
+	}
+	p.comm = NewComm(comm)
 	if cfg.ProbeInterval >= 0 {
-		p.prober = NewProber(p.ring, cfg.ProbeInterval, nil)
+		p.prober = NewProber(p.ring, cfg.ProbeInterval, nil, func(member string, healthy, draining bool) {
+			p.membership.SetDraining(member, draining)
+		})
+		p.wg.Add(1)
+		go p.sweepLoop()
 	}
 	p.mux = http.NewServeMux()
 	p.mux.HandleFunc("POST /solve", p.handleSolve)
@@ -87,6 +130,11 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 	p.mux.HandleFunc("DELETE /solve/{id}", p.handleJob)
 	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
 	p.mux.HandleFunc("GET /metrics", p.handleMetrics)
+	p.mux.HandleFunc("POST /cluster/join", p.handleJoin)
+	p.mux.HandleFunc("POST /cluster/leave", p.handleLeave)
+	p.mux.HandleFunc("GET /cluster/members", p.handleMembers)
+	p.mux.HandleFunc("POST /cluster/handoff", p.handleHandoff)
+	p.mux.HandleFunc("POST /cluster/replicate", p.handleReplicate)
 	return p
 }
 
@@ -94,13 +142,41 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 // adjust membership through it).
 func (p *Proxy) Ring() *Ring { return p.ring }
 
+// Membership exposes the dynamic-member registry (tests drive lease
+// expiry through it when the background sweeper is disabled).
+func (p *Proxy) Membership() *Membership { return p.membership }
+
+// Comm exposes the hardened node client (tests inspect breaker state).
+func (p *Proxy) Comm() *CommClient { return p.comm }
+
 // Handler returns the HTTP handler.
 func (p *Proxy) Handler() http.Handler { return p.mux }
 
-// Close stops the health prober.
+// Close stops the health prober and the membership sweeper.
 func (p *Proxy) Close() {
+	p.once.Do(func() { close(p.stop) })
 	if p.prober != nil {
 		p.prober.Stop()
+	}
+	p.wg.Wait()
+}
+
+// sweepLoop expires dead dynamic members (lease lapsed: no heartbeat
+// renewals) off the ring, at a quarter of the TTL so a dead node is
+// gone within ~1.25 TTLs worst case.
+func (p *Proxy) sweepLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.membership.TTL() / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			for _, m := range p.membership.Sweep() {
+				p.comm.Forget(m)
+			}
+		}
 	}
 }
 
@@ -152,7 +228,10 @@ func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			p.m.failovers.Add(1)
 		}
-		resp, err := p.client.Post("http://"+member+"/solve", "application/json", bytes.NewReader(body))
+		// The comm layer retries pre-send dial failures with backoff and
+		// fails fast on an open breaker; anything it still can't deliver
+		// demotes the member and fails over along the ring.
+		resp, err := p.comm.Post(r.Context(), member, "/solve", "application/json", body)
 		if err != nil {
 			p.ring.SetHealthy(member, false)
 			continue
@@ -193,12 +272,7 @@ func (p *Proxy) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, member := range members {
-		req, err := http.NewRequestWithContext(r.Context(), r.Method,
-			"http://"+member+"/solve/"+r.PathValue("id"), nil)
-		if err != nil {
-			continue
-		}
-		resp, err := p.client.Do(req)
+		resp, err := p.comm.Do(r.Context(), member, r.Method, "/solve/"+r.PathValue("id"), "", nil)
 		if err != nil {
 			p.ring.SetHealthy(member, false)
 			continue
@@ -216,8 +290,9 @@ func (p *Proxy) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // NodeHealth is one member's slot in the cluster health view.
 type NodeHealth struct {
-	Member  string `json:"member"`
-	Healthy bool   `json:"healthy"`
+	Member   string `json:"member"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"`
 }
 
 // ClusterHealth is the GET /healthz body: the cluster is ok while any
@@ -231,7 +306,9 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	members := p.ring.Members()
 	view := ClusterHealth{}
 	for _, m := range sortedKeys(members) {
-		view.Nodes = append(view.Nodes, NodeHealth{Member: m, Healthy: members[m]})
+		view.Nodes = append(view.Nodes, NodeHealth{
+			Member: m, Healthy: members[m], Draining: p.membership.Draining(m),
+		})
 		view.OK = view.OK || members[m]
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -260,7 +337,7 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(m string) {
 			defer wg.Done()
-			vals, err := p.fetchMetrics(m)
+			vals, err := p.fetchMetrics(r.Context(), m)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -289,18 +366,192 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "rbproxy_node_up{node=%q} %d\n", m, v)
 	}
+	joins, leaves, expired := p.membership.Counters()
 	for _, kv := range []struct {
 		name string
 		v    uint64
 	}{
+		{"cluster_membership_size", uint64(p.membership.Size())},
+		{"cluster_breaker_open", uint64(len(p.comm.OpenBreakers()))},
+		{"cluster_handoff_entries_total", p.m.handoffEntries.Load()},
+		{"cluster_handoff_dropped_total", p.m.handoffDropped.Load()},
+		{"cluster_replicated_entries_total", p.m.replicatedEntries.Load()},
+		{"cluster_replicated_dropped_total", p.m.replicatedDropped.Load()},
 		{"rbproxy_requests_total", p.m.requests.Load()},
 		{"rbproxy_routed_total", p.m.routed.Load()},
 		{"rbproxy_failovers_total", p.m.failovers.Load()},
 		{"rbproxy_fanouts_total", p.m.fanouts.Load()},
 		{"rbproxy_errors_total", p.m.errors.Load()},
+		{"rbproxy_joins_total", joins},
+		{"rbproxy_leaves_total", leaves},
+		{"rbproxy_expired_members_total", expired},
 	} {
 		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)
 	}
+}
+
+// ImportPayload is the body of POST /cluster/handoff and POST
+// /cluster/replicate (node -> proxy) and of POST /cache/import
+// (proxy -> node): a batch of cache entries in canonical numbering,
+// with the sending member so routing can exclude it.
+type ImportPayload struct {
+	From    string            `json:"from,omitempty"`
+	Entries []instcache.Entry `json:"entries"`
+}
+
+// joinRequest is the POST /cluster/join and /cluster/leave body.
+type joinRequest struct {
+	Member   string `json:"member"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// JoinResponse tells the joining node its lease: renew well within
+// TTLMS (nodes use TTL/3) or be declared dead.
+type JoinResponse struct {
+	TTLMS   int64 `json:"ttl_ms"`
+	Members int   `json:"members"`
+}
+
+// handleJoin registers or renews a member lease. Heartbeat renewals
+// arrive on the same endpoint; a renewal with draining=true announces
+// a SIGTERM drain without waiting for the next health probe.
+func (p *Proxy) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad join body: "+err.Error())
+		return
+	}
+	if !strings.Contains(req.Member, ":") {
+		httpError(w, http.StatusBadRequest, "member must be host:port")
+		return
+	}
+	p.membership.Join(req.Member, req.Draining)
+	writeJSON(w, JoinResponse{TTLMS: p.membership.TTL().Milliseconds(), Members: p.membership.Size()})
+}
+
+// handleLeave deregisters a member immediately (the graceful goodbye
+// after its drain handoff).
+func (p *Proxy) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad leave body: "+err.Error())
+		return
+	}
+	p.membership.Leave(req.Member)
+	p.comm.Forget(req.Member)
+	writeJSON(w, JoinResponse{TTLMS: p.membership.TTL().Milliseconds(), Members: p.membership.Size()})
+}
+
+// handleMembers serves the registry view.
+func (p *Proxy) handleMembers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, p.membership.View())
+}
+
+// handleHandoff receives a draining node's cache export and pushes
+// each entry to the ring owner that will serve its key once the
+// drainer is gone — so failover warm-starts refinement instead of
+// re-searching from scratch. Receiving a handoff also marks the sender
+// draining and demotes it, even if no probe has noticed yet.
+func (p *Proxy) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	payload, ok := p.decodeImport(w, r)
+	if !ok {
+		return
+	}
+	if payload.From != "" {
+		p.membership.SetDraining(payload.From, true)
+		p.ring.SetHealthy(payload.From, false)
+	}
+	delivered, dropped := p.routeImports(r.Context(), payload.Entries, payload.From)
+	p.m.handoffEntries.Add(delivered)
+	p.m.handoffDropped.Add(dropped)
+	writeJSON(w, map[string]uint64{"delivered": delivered, "dropped": dropped})
+}
+
+// handleReplicate receives freshly stored entries (proven-optimal
+// values above all) from a live node and forwards each to the next
+// ring owner of its key, so a hard crash — no graceful drain — still
+// leaves the most valuable cache tier servable.
+func (p *Proxy) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	payload, ok := p.decodeImport(w, r)
+	if !ok {
+		return
+	}
+	delivered, dropped := p.routeImports(r.Context(), payload.Entries, payload.From)
+	p.m.replicatedEntries.Add(delivered)
+	p.m.replicatedDropped.Add(dropped)
+	writeJSON(w, map[string]uint64{"delivered": delivered, "dropped": dropped})
+}
+
+func (p *Proxy) decodeImport(w http.ResponseWriter, r *http.Request) (ImportPayload, bool) {
+	var payload ImportPayload
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes)).Decode(&payload); err != nil {
+		httpError(w, http.StatusBadRequest, "bad import body: "+err.Error())
+		return payload, false
+	}
+	return payload, true
+}
+
+// routeImports delivers entries to each key's first eligible ring
+// owner — skipping the excluded sender, draining members, demoted
+// members and open breakers — batched per target node. A target that
+// fails its batch is excluded and the batch re-routed (up to three
+// rounds); entries with no eligible target are dropped (counted, and
+// the membership churn that caused it will usually re-derive them).
+func (p *Proxy) routeImports(ctx context.Context, entries []instcache.Entry, exclude string) (delivered, dropped uint64) {
+	failed := map[string]bool{}
+	pending := entries
+	for round := 0; round < 3 && len(pending) > 0; round++ {
+		groups := map[string][]instcache.Entry{}
+		for _, e := range pending {
+			target := p.importTarget(e.Key, exclude, failed)
+			if target == "" {
+				dropped++
+				continue
+			}
+			groups[target] = append(groups[target], e)
+		}
+		var retry []instcache.Entry
+		for target, group := range groups {
+			body, err := json.Marshal(ImportPayload{From: exclude, Entries: group})
+			if err != nil {
+				dropped += uint64(len(group))
+				continue
+			}
+			resp, err := p.comm.Post(ctx, target, "/cache/import", "application/json", body)
+			if err != nil {
+				p.ring.SetHealthy(target, false)
+				failed[target] = true
+				retry = append(retry, group...)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				failed[target] = true
+				retry = append(retry, group...)
+				continue
+			}
+			delivered += uint64(len(group))
+		}
+		pending = retry
+	}
+	dropped += uint64(len(pending))
+	return delivered, dropped
+}
+
+// importTarget picks the member that should receive an imported entry
+// for key: the first ring owner that is not the sender, not draining,
+// not demoted, not behind an open breaker, and not already failed this
+// routing pass.
+func (p *Proxy) importTarget(key, exclude string, failed map[string]bool) string {
+	for _, m := range p.ring.Owners(key, len(p.ring.Members())) {
+		if m == exclude || failed[m] || !p.ring.Healthy(m) ||
+			p.membership.Draining(m) || p.comm.BreakerOpen(m) {
+			continue
+		}
+		return m
+	}
+	return ""
 }
 
 // fetchMetrics scrapes one member's Prometheus text exposition into
@@ -309,8 +560,8 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // the label-stripped name, so the fleet merge exposes one
 // cluster_rbserve_job_lower_bound total across every running job on
 // every node.
-func (p *Proxy) fetchMetrics(member string) (map[string]uint64, error) {
-	resp, err := p.client.Get("http://" + member + "/metrics")
+func (p *Proxy) fetchMetrics(ctx context.Context, member string) (map[string]uint64, error) {
+	resp, err := p.comm.Get(ctx, member, "/metrics")
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +624,11 @@ func relayResponse(w http.ResponseWriter, resp *http.Response, member string) {
 	w.Header().Set("X-Rbproxy-Node", member)
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -13,22 +13,25 @@ import (
 
 // Value is one cached solution, stored in canonical node numbering so
 // every isomorphic requester can share it (translate with
-// ToCanonical/FromCanonical around the cache).
+// ToCanonical/FromCanonical around the cache). The JSON form is the
+// node-to-node wire format for drain handoff and replication —
+// canonical numbering makes it portable across nodes by construction.
 type Value struct {
 	// Moves is the incumbent trace in canonical node IDs.
-	Moves []pebble.Move
+	Moves []pebble.Move `json:"moves,omitempty"`
 	// UpperScaled and LowerScaled are the certified interval ends.
-	UpperScaled, LowerScaled int64
+	UpperScaled int64 `json:"upper_scaled"`
+	LowerScaled int64 `json:"lower_scaled"`
 	// Optimal marks a closed interval (proven optimum). Optimal values
 	// live in the primary cache segment and are never evicted by
 	// interval entries.
-	Optimal bool
+	Optimal bool `json:"optimal,omitempty"`
 	// Source names the strategy that produced the incumbent.
-	Source string
+	Source string `json:"source,omitempty"`
 	// Tier is the budget tier (TierForBudget) whose deadline produced
 	// this interval entry; 0 for proven-optimal values, where budget no
 	// longer matters.
-	Tier int
+	Tier int `json:"tier,omitempty"`
 }
 
 // TierForBudget buckets a solve budget into a doubling tier: budgets in
@@ -78,6 +81,10 @@ type Stats struct {
 	// previously cached interval for their instance (the cross-request
 	// convergence signal).
 	Tightenings uint64
+	// Imported counts entries merged in from other cluster nodes
+	// (drain handoff or proven-optimal replication) that carried new
+	// information.
+	Imported uint64
 }
 
 // flight is one in-progress solve that concurrent identical requests
@@ -106,6 +113,7 @@ type Cache struct {
 
 	hits, misses, shared, evictions           uint64
 	ihits, istores, ievictions, warms, tights uint64
+	imported                                  uint64
 }
 
 type entry struct {
@@ -374,5 +382,87 @@ func (c *Cache) Stats() Stats {
 		IntervalEvictions: c.ievictions,
 		WarmStarts:        c.warms,
 		Tightenings:       c.tights,
+		Imported:          c.imported,
 	}
+}
+
+// Entry is one cache line on the wire: the canonical instance key, the
+// budget tier (0 for proven-optimal), and the value in canonical node
+// numbering. It is the unit of drain handoff and replication between
+// cluster nodes — because both the key and the trace are canonical,
+// an entry produced on one node is directly usable on any other.
+type Entry struct {
+	Key   string `json:"key"`
+	Tier  int    `json:"tier,omitempty"`
+	Value Value  `json:"value"`
+}
+
+// Export snapshots every cached entry — the proven-optimal segment and
+// every budget tier of the interval segment — without disturbing LRU
+// order. A draining node exports its cache and pushes it to its ring
+// successors so failover warm-starts instead of re-searching.
+func (c *Cache) Export() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len()+c.ill.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Key: e.key, Value: e.val})
+	}
+	// Oldest first in both segments, so an importer that evicts under
+	// pressure keeps the most recently used entries.
+	for el := c.ill.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Key: e.key, Tier: e.tier, Value: e.val})
+	}
+	return out
+}
+
+// Import merges entries from another node into this cache and returns
+// how many carried new information. Proven-optimal entries are
+// authoritative: they land in the optimal segment (dropping the key's
+// now-obsolete intervals) unless the key is already proven. Interval
+// entries merge through the same tighten-and-store path as local
+// solves — the cached interval only ever tightens, and a merge whose
+// bounds meet promotes to the optimal segment. Entries for instances
+// this node has already proven optimal are skipped outright.
+func (c *Cache) Import(entries []Entry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := 0
+	for _, e := range entries {
+		if _, proven := c.entries[e.Key]; proven {
+			continue
+		}
+		v := e.Value
+		if v.Optimal {
+			v.Tier = 0
+			c.insertOptimalLocked(e.Key, v)
+			c.dropIntervalsLocked(e.Key)
+			added++
+			c.imported++
+			continue
+		}
+		tier := e.Tier
+		if tier <= 0 {
+			tier = v.Tier
+		}
+		if tier <= 0 {
+			continue // malformed: an interval entry needs a budget tier
+		}
+		var warm *Value
+		if w, ok := c.mergedIntervalLocked(e.Key); ok {
+			if w.LowerScaled >= v.LowerScaled && w.UpperScaled <= v.UpperScaled {
+				if _, have := c.tiers[e.Key][tier]; have {
+					continue // nothing new: already at least this tight at this tier
+				}
+			}
+			warm = &w
+		}
+		v.Tier = tier
+		c.storeLocked(e.Key, tier, warm, v)
+		added++
+		c.imported++
+	}
+	return added
 }

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rbpebble/internal/anytime"
+	"rbpebble/internal/daggen"
+	"rbpebble/internal/instcache"
+	"rbpebble/internal/solve"
+)
+
+// TestAsyncQueueShedsWith429: once the worker pool is saturated a full
+// queue deep, further async submissions are shed with 429 and a
+// Retry-After estimate instead of queuing unboundedly.
+func TestAsyncQueueShedsWith429(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	s.solveFn = func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error) {
+		startedOnce.Do(func() { close(started) })
+		<-gate
+		return anytime.Solve(ctx, p, anytime.Options{})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func(h int) (*http.Response, error) {
+		return http.Post(ts.URL+"/solve", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"async":true}`,
+				dagJSON(t, daggen.Pyramid(h)))))
+	}
+
+	r1, err := submit(3) // occupies the single worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	<-started
+	r2, err := submit(4) // fills the queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r1.StatusCode != http.StatusAccepted || r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("setup submissions: %d, %d, want 202", r1.StatusCode, r2.StatusCode)
+	}
+
+	r3, err := submit(5) // queue full: shed
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submission status = %d, want 429", r3.StatusCode)
+	}
+	if ra := r3.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want a positive backlog estimate", ra)
+	}
+	if got := metric(t, ts, "rbserve_jobs_shed_total"); got != 1 {
+		t.Fatalf("jobs_shed_total = %d, want 1", got)
+	}
+	close(gate)
+}
+
+// TestCacheImportEndpoint: entries exported from one node and POSTed to
+// another node's /cache/import serve that node's requests from cache.
+func TestCacheImportEndpoint(t *testing.T) {
+	src := New(Config{})
+	defer src.Close()
+	srcTS := httptest.NewServer(src.Handler())
+	defer srcTS.Close()
+
+	body := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3}`, dagJSON(t, daggen.Pyramid(4)))
+	if code, sr, raw := postSolve(t, srcTS, body); code != http.StatusOK || !sr.Optimal {
+		t.Fatalf("source solve: %d %s", code, raw)
+	}
+	exported := src.ExportCache()
+	if len(exported) == 0 {
+		t.Fatal("source exported nothing")
+	}
+
+	dst := New(Config{})
+	defer dst.Close()
+	dstTS := httptest.NewServer(dst.Handler())
+	defer dstTS.Close()
+
+	payload, _ := json.Marshal(map[string]any{"entries": exported})
+	resp, err := http.Post(dstTS.URL+"/cache/import", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir map[string]int
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir["imported"] != len(exported) {
+		t.Fatalf("import: status %d, imported=%d, want %d", resp.StatusCode, ir["imported"], len(exported))
+	}
+
+	// The destination now serves the instance (with trace verification)
+	// without solving it.
+	code, sr, raw := postSolve(t, dstTS, fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3,"include_trace":true}`,
+		dagJSON(t, daggen.Pyramid(4))))
+	if code != http.StatusOK || !sr.Cached || !sr.Optimal || len(sr.Moves) == 0 {
+		t.Fatalf("imported entry not served: %d %s", code, raw)
+	}
+	if got := metric(t, dstTS, "rbserve_solves_total"); got != 0 {
+		t.Fatalf("destination solved locally (%d solves), import should have prevented that", got)
+	}
+	if got := metric(t, dstTS, "rbserve_cache_imported_total"); got != len(exported) {
+		t.Fatalf("cache_imported_total = %d, want %d", got, len(exported))
+	}
+}
+
+// TestReplicateHookLeaderOnly: the Replicate hook fires for the flight
+// leader's freshly produced entry, and not for cache hits.
+func TestReplicateHookLeaderOnly(t *testing.T) {
+	var mu sync.Mutex
+	var got []instcache.Entry
+	s := New(Config{Replicate: func(e instcache.Entry) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":3}`, dagJSON(t, daggen.Pyramid(4)))
+	if code, _, raw := postSolve(t, ts, body); code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, raw)
+	}
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("replications after fresh solve = %d, want 1", n)
+	}
+	if got[0].Key == "" || !got[0].Value.Optimal {
+		t.Fatalf("replicated entry = %+v, want the proven optimum", got[0])
+	}
+
+	// A cache hit produced nothing new: no replication.
+	if code, sr, raw := postSolve(t, ts, body); code != http.StatusOK || !sr.Cached {
+		t.Fatalf("repeat solve: %d %s", code, raw)
+	}
+	mu.Lock()
+	n = len(got)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("replications after cache hit = %d, want still 1", n)
+	}
+}

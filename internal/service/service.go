@@ -9,6 +9,7 @@
 //	GET  /solve/{id}       poll an async job
 //	GET  /healthz          liveness probe
 //	GET  /metrics          Prometheus-style counters
+//	POST /cache/import     merge cache entries pushed by cluster peers
 package service
 
 import (
@@ -59,6 +60,12 @@ type Config struct {
 	// before canceling them cooperatively (default 10s). Canceled
 	// solves still return certified partial intervals.
 	GracePeriod time.Duration
+	// Replicate, when set, receives every cache entry this node newly
+	// produced (proven-optimal values and tightened intervals, in
+	// canonical numbering) so the cluster agent can push it to the
+	// key's next ring owner — crash safety for the cache. Called from
+	// the request path; implementations must not block.
+	Replicate func(instcache.Entry)
 }
 
 func (c Config) withDefaults() Config {
@@ -246,6 +253,7 @@ func (j *job) requestCancel() {
 type metrics struct {
 	requests, solves, solveErrors                                   atomic.Uint64
 	jobsSubmitted, jobsDone, jobsFailed, jobsRejected, jobsCanceled atomic.Uint64
+	jobsShed                                                        atomic.Uint64
 }
 
 // Server is the rbserve HTTP service. Create with New, serve
@@ -325,6 +333,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /solve/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /cache/import", s.handleCacheImport)
 	return s
 }
 
@@ -656,6 +665,13 @@ func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Du
 		s.m.solveErrors.Add(1)
 		return SolveResponse{}, err
 	}
+	if !hit && !shared && s.cfg.Replicate != nil {
+		// This request's own solve produced (or tightened) the stored
+		// entry: push it toward the key's next ring owner so a hard crash
+		// of this node doesn't lose it. Only the flight leader replicates
+		// — waiters latched onto it would just duplicate the push.
+		s.cfg.Replicate(instcache.Entry{Key: key, Tier: val.Tier, Value: val})
+	}
 
 	moves := instcache.FromCanonical(val.Moves, perm)
 	// Replay-verify on the requester's own graph: the response is
@@ -738,9 +754,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.queue <- j:
 		default:
+			// Queue-depth-aware load shedding: the worker pool is
+			// saturated a full queue deep, so tell the client how long the
+			// backlog is worth instead of a bare refusal — a retry after
+			// that long lands in a drained queue instead of re-shedding.
 			jcancel() // rejected: release the baseCtx child
-			s.m.jobsRejected.Add(1)
-			httpError(w, http.StatusServiceUnavailable, "job queue full")
+			s.m.jobsShed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			httpError(w, http.StatusTooManyRequests, "job queue saturated")
 			return
 		}
 		s.m.jobsSubmitted.Add(1)
@@ -819,12 +840,56 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		// The header lets the cluster prober tell a *draining* node
+		// (alive, handing off, will leave gracefully) from a *dead* one
+		// (transport failure / lease expiry) without parsing the body.
+		w.Header().Set("X-Rbserve-Draining", "1")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]bool{"ok": false, "draining": true})
 		return
 	}
 	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// retryAfterSeconds estimates how long the current async backlog is
+// worth: queued jobs times the default budget, spread over the worker
+// pool. Clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	backlog := float64(len(s.queue)+1) * s.cfg.DefaultDeadline.Seconds() / float64(s.cfg.Workers)
+	secs := int(backlog + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// ExportCache snapshots this node's solution cache in wire form — the
+// drain-handoff payload the cluster agent pushes to ring successors.
+func (s *Server) ExportCache() []instcache.Entry {
+	return s.cache.Export()
+}
+
+// handleCacheImport is POST /cache/import: merge cache entries pushed
+// by the cluster (a draining peer's handoff routed through the proxy,
+// or a replication of a freshly proven optimum). Merging is monotone —
+// intervals only tighten, optima are authoritative — so imports are
+// accepted even while draining: they simply ride along in this node's
+// own handoff.
+func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var payload struct {
+		Entries []instcache.Entry `json:"entries"`
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+		httpError(w, http.StatusBadRequest, "bad import body: "+err.Error())
+		return
+	}
+	writeJSON(w, map[string]int{"imported": s.cache.Import(payload.Entries)})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -852,10 +917,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rbserve_interval_evictions_total", cs.IntervalEvictions},
 		{"rbserve_interval_tightened_total", cs.Tightenings},
 		{"rbserve_warm_starts_total", cs.WarmStarts},
+		{"rbserve_cache_imported_total", cs.Imported},
 		{"rbserve_jobs_submitted_total", s.m.jobsSubmitted.Load()},
 		{"rbserve_jobs_done_total", s.m.jobsDone.Load()},
 		{"rbserve_jobs_failed_total", s.m.jobsFailed.Load()},
 		{"rbserve_jobs_rejected_total", s.m.jobsRejected.Load()},
+		{"rbserve_jobs_shed_total", s.m.jobsShed.Load()},
 		{"rbserve_jobs_canceled_total", s.m.jobsCanceled.Load()},
 		{"rbserve_draining", drainingGauge},
 	} {
