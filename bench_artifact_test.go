@@ -26,6 +26,10 @@ func TestBenchArtifactParses(t *testing.T) {
 		LowerScaled    int64   `json:"lower_scaled_cost"`
 		GapFirst       float64 `json:"gap_first_solve"`
 		GapSecond      float64 `json:"gap_second_solve"`
+		BatchItems     int     `json:"batch_items"`
+		BatchSolves    int     `json:"batch_solves"`
+		NsItemBatch    float64 `json:"ns_per_item_batch"`
+		NsItemSeq      float64 `json:"ns_per_item_sequential"`
 	}
 	if err := json.Unmarshal(data, &rows); err != nil {
 		t.Fatalf("artifact does not parse: %v", err)
@@ -33,7 +37,7 @@ func TestBenchArtifactParses(t *testing.T) {
 	if len(rows) == 0 {
 		t.Fatal("artifact is empty")
 	}
-	hasAnytime, hasConvergence := false, false
+	hasAnytime, hasConvergence, hasBatch := false, false, false
 	for _, r := range rows {
 		if r.Name == "" || r.NsPerOp <= 0 {
 			t.Fatalf("malformed row: %+v", r)
@@ -53,6 +57,21 @@ func TestBenchArtifactParses(t *testing.T) {
 				t.Fatalf("anytime row with incoherent interval: %+v", r)
 			}
 		}
+		if strings.HasPrefix(r.Name, "BenchmarkBatchThroughput") {
+			hasBatch = true
+			// The batched request plane's contract: a batch of isomorphic
+			// instances funnels to ONE canonical-class solve, and the
+			// amortized per-item latency beats the no-batching fleet
+			// baseline (one cold node per request) by at least 5x.
+			if r.BatchItems < 16 || r.BatchSolves != 1 {
+				t.Fatalf("batch row lost in-batch dedup (%d items, %d solves): %+v",
+					r.BatchItems, r.BatchSolves, r)
+			}
+			if r.NsItemBatch <= 0 || r.NsItemSeq < 5*r.NsItemBatch {
+				t.Fatalf("batch row below the 5x amortization floor (%.0f ns/item batched vs %.0f sequential): %+v",
+					r.NsItemBatch, r.NsItemSeq, r)
+			}
+		}
 		if strings.HasPrefix(r.Name, "BenchmarkIntervalConvergence") {
 			hasConvergence = true
 			if r.LowerScaled <= 0 || r.LowerScaled > r.UpperScaled {
@@ -70,5 +89,9 @@ func TestBenchArtifactParses(t *testing.T) {
 	}
 	if !hasConvergence {
 		t.Fatal("artifact has no interval-cache convergence row")
+	}
+	if !hasBatch {
+		t.Fatal("artifact has no batch-throughput row (regenerate with " +
+			`go test ./internal/service -run '^$' -bench BenchmarkBatchThroughputPyramid -benchtime 1x -benchjson "$PWD"/BENCH_solver.json)`)
 	}
 }

@@ -10,11 +10,21 @@
 //	rbgen -kind greedygrid -a 4 -b 16   # Figure 8 grid, ℓ=4, k'=16
 //	rbgen -kind hampath -a 8 -seed 7    # Theorem 2 reduction of G(8,.25)
 //	rbgen -kind matmul -a 3 -dot        # DOT output for visualization
+//	rbgen -kind pyramid -a 5 -batch 16  # JSONL corpus for /solve/batch
+//
+// With -batch N the output switches to a JSONL corpus of N solve
+// request items ({"dag": ...} per line, the service wire form): a mix
+// of fresh draws and random isomorphic relabelings, the workload shape
+// the batched request plane deduplicates.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 
 	"rbpebble/internal/dag"
@@ -26,14 +36,15 @@ import (
 
 func main() {
 	var (
-		kind = flag.String("kind", "", "DAG kind: chain|pyramid|tree|grid|fft|matmul|stencil|layered|groups|tradeoff|greedygrid|hampath|vcover")
-		a    = flag.Int("a", 4, "first size parameter (height / logN / k / d / ℓ / N)")
-		b    = flag.Int("b", 4, "second size parameter (cols / chain length / k' / group size)")
-		c    = flag.Int("c", 2, "third size parameter (max indegree for layered)")
-		p    = flag.Float64("p", 0.25, "edge probability for random source graphs")
-		seed = flag.Int64("seed", 1, "random seed")
-		out  = flag.String("o", "", "output file (default stdout)")
-		dot  = flag.Bool("dot", false, "emit Graphviz DOT instead of the text format")
+		kind  = flag.String("kind", "", "DAG kind: chain|pyramid|tree|grid|fft|matmul|stencil|layered|groups|tradeoff|greedygrid|hampath|vcover")
+		a     = flag.Int("a", 4, "first size parameter (height / logN / k / d / ℓ / N)")
+		b     = flag.Int("b", 4, "second size parameter (cols / chain length / k' / group size)")
+		c     = flag.Int("c", 2, "third size parameter (max indegree for layered)")
+		p     = flag.Float64("p", 0.25, "edge probability for random source graphs")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+		dot   = flag.Bool("dot", false, "emit Graphviz DOT instead of the text format")
+		batch = flag.Int("batch", 0, "emit a JSONL corpus of this many solve-request items (fresh + relabeled-isomorphic mix)")
 	)
 	flag.Parse()
 
@@ -53,6 +64,13 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	if *batch > 0 {
+		if err := writeBatch(w, g, *kind, *a, *b, *c, *p, *seed, *batch); err != nil {
+			fmt.Fprintln(os.Stderr, "rbgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dot {
 		err = g.WriteDOT(w, *kind)
 	} else {
@@ -64,6 +82,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rbgen:", err)
 		os.Exit(1)
 	}
+}
+
+// seededKinds draw from a random source, so re-building with a new
+// seed yields a genuinely fresh instance rather than a relabeling.
+var seededKinds = map[string]bool{"layered": true, "hampath": true, "vcover": true}
+
+// writeBatch emits n JSONL solve-request items ({"dag": ...} per
+// line). Item 0 carries the base labeling; most items are random
+// isomorphic relabelings of it (the canonical-dedup fodder a batch
+// endpoint amortizes); for seeded-random kinds every fourth item is a
+// fresh draw instead, so the corpus also exercises distinct canonical
+// classes.
+func writeBatch(w io.Writer, base *dag.DAG, kind string, a, b, c int, p float64, seed int64, n int) error {
+	bw := bufio.NewWriter(w)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		g := base
+		switch {
+		case i == 0:
+			// base labeling as-is
+		case seededKinds[kind] && i%4 == 0:
+			fresh, err := build(kind, a, b, c, p, seed+int64(i))
+			if err != nil {
+				return err
+			}
+			g = fresh
+		default:
+			g = relabel(base, rng)
+		}
+		line, err := json.Marshal(struct {
+			DAG *dag.DAG `json:"dag"`
+		}{g})
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// relabel applies a uniform random node permutation: an isomorphic
+// instance with a different labeling, canonically identical to g.
+func relabel(g *dag.DAG, rng *rand.Rand) *dag.DAG {
+	perm := rng.Perm(g.N())
+	h := dag.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Succs(dag.NodeID(v)) {
+			h.AddEdge(dag.NodeID(perm[v]), dag.NodeID(perm[w]))
+		}
+	}
+	return h
 }
 
 func build(kind string, a, b, c int, p float64, seed int64) (*dag.DAG, error) {

@@ -41,18 +41,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		members  = flag.String("members", "", "comma-separated static rbserve replicas (host:port); optional when nodes use -join")
-		vnodes   = flag.Int("vnodes", 64, "virtual nodes per member on the hash ring")
-		probe    = flag.Duration("probe", 2*time.Second, "member health-probe interval")
-		ttl      = flag.Duration("ttl", 15*time.Second, "membership lease TTL for joined nodes")
-		maxBody  = flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
-		maxNodes = flag.Int("max-nodes", 100000, "largest accepted instance (guards the routing parse)")
-		fwdLimit = flag.Duration("forward-timeout", 60*time.Second, "per-attempt forward timeout (must exceed the nodes' max solve deadline)")
-		retries  = flag.Int("retries", 3, "max attempts per idempotent forward (comm layer)")
-		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
-		brkFails = flag.Int("breaker-fails", 4, "consecutive transport failures that open a node's circuit breaker")
-		brkCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker fails fast before a half-open trial")
+		addr        = flag.String("addr", ":8080", "listen address")
+		members     = flag.String("members", "", "comma-separated static rbserve replicas (host:port); optional when nodes use -join")
+		vnodes      = flag.Int("vnodes", 64, "virtual nodes per member on the hash ring")
+		probe       = flag.Duration("probe", 2*time.Second, "member health-probe interval")
+		ttl         = flag.Duration("ttl", 15*time.Second, "membership lease TTL for joined nodes")
+		maxBody     = flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+		maxNodes    = flag.Int("max-nodes", 100000, "largest accepted instance (guards the routing parse)")
+		fwdLimit    = flag.Duration("forward-timeout", 60*time.Second, "per-attempt forward timeout (must exceed the nodes' max solve deadline)")
+		retries     = flag.Int("retries", 3, "max attempts per idempotent forward (comm layer)")
+		backoff     = flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		brkFails    = flag.Int("breaker-fails", 4, "consecutive transport failures that open a node's circuit breaker")
+		brkCool     = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker fails fast before a half-open trial")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admission rate in solve items/second (0 = quotas disabled; tenant = X-Rbpebble-Tenant header)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst in solve items (0 = one second's worth of -tenant-rate)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,8 @@ func main() {
 		MemberTTL:     *ttl,
 		MaxBodyBytes:  *maxBody,
 		MaxNodes:      *maxNodes,
+		TenantRate:    *tenantRate,
+		TenantBurst:   *tenantBurst,
 		Client:        &http.Client{Timeout: *fwdLimit},
 		Comm: cluster.CommConfig{
 			AttemptTimeout:   *fwdLimit,

@@ -55,6 +55,13 @@ func main() {
 		grace        = flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight solves on SIGTERM")
 		join         = flag.String("join", "", "rbproxy address (host:port) to register with for dynamic membership")
 		advertise    = flag.String("advertise", "", "address other cluster members reach this node at (default: 127.0.0.1 + -addr port)")
+		batchItems   = flag.Int("batch-items", 256, "largest accepted POST /solve/batch item count")
+		canonWorkers = flag.Int("canon-workers", 0, "batch canonicalization pool size (0 = GOMAXPROCS)")
+		fastWorkers  = flag.Int("fast-workers", 4, "fast-lane workers (cache-served and sub-budget batch groups)")
+		heavyWorkers = flag.Int("heavy-workers", 2, "heavy-lane workers (exact-solve batch groups)")
+		fastQueue    = flag.Int("fast-queue", 256, "fast-lane queue depth before shedding")
+		heavyQueue   = flag.Int("heavy-queue", 64, "heavy-lane queue depth before shedding")
+		fastBudget   = flag.Duration("fast-budget", 150*time.Millisecond, "largest per-item deadline the fast lane accepts for uncached work")
 	)
 	flag.Parse()
 
@@ -63,14 +70,21 @@ func main() {
 	var agentPtr atomic.Pointer[cluster.Agent]
 
 	s := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheSize:       *cacheSize,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		SolveWorkers:    *solveWorkers,
-		MaxNodes:        *maxNodes,
-		GracePeriod:     *grace,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheSize:        *cacheSize,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		SolveWorkers:     *solveWorkers,
+		MaxNodes:         *maxNodes,
+		GracePeriod:      *grace,
+		MaxBatchItems:    *batchItems,
+		CanonWorkers:     *canonWorkers,
+		FastLaneWorkers:  *fastWorkers,
+		HeavyLaneWorkers: *heavyWorkers,
+		FastLaneQueue:    *fastQueue,
+		HeavyLaneQueue:   *heavyQueue,
+		FastLaneBudget:   *fastBudget,
 		Replicate: func(e instcache.Entry) {
 			if a := agentPtr.Load(); a != nil {
 				a.Replicate(e)

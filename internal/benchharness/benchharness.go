@@ -50,6 +50,15 @@ type Record struct {
 	// interval cache buys).
 	GapFirst  float64 `json:"gap_first_solve,omitempty"`
 	GapSecond float64 `json:"gap_second_solve,omitempty"`
+	// Batched-request-plane rows: items per batch, canonical-class
+	// solves the batch actually performed, and the amortized per-item
+	// latency against the no-batching baseline (one cold node per
+	// request — the fleet shape without a batch plane, where no request
+	// shares another's canonicalization or solve).
+	BatchItems          int     `json:"batch_items,omitempty"`
+	BatchSolves         int     `json:"batch_solves,omitempty"`
+	NsPerItemBatch      float64 `json:"ns_per_item_batch,omitempty"`
+	NsPerItemSequential float64 `json:"ns_per_item_sequential,omitempty"`
 }
 
 var records []Record

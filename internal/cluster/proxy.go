@@ -43,6 +43,13 @@ type ProxyConfig struct {
 	// rbserve default) — a tiny body declaring two billion nodes must
 	// not allocate at the routing tier any more than at a node.
 	MaxNodes int
+	// TenantRate/TenantBurst configure per-tenant token-bucket
+	// admission (tokens/second and bucket size; one token = one solve
+	// item, batches draw their item count at once). Rate <= 0 disables
+	// quotas. Tenants are named by the X-Rbpebble-Tenant header; absent
+	// maps to the "default" bucket.
+	TenantRate  float64
+	TenantBurst int
 	// Client performs the forwards (default: 60s-timeout client — it
 	// must outlive the longest node-side solve deadline). It becomes
 	// the transport under the retry/breaker comm layer.
@@ -59,6 +66,8 @@ type proxyMetrics struct {
 	requests, routed, failovers, fanouts, errors atomic.Uint64
 	handoffEntries, handoffDropped               atomic.Uint64
 	replicatedEntries, replicatedDropped         atomic.Uint64
+	batches, batchItems, subBatches              atomic.Uint64
+	quotaRejected                                atomic.Uint64
 }
 
 // Proxy is the cluster front end: it routes each POST /solve to the
@@ -78,6 +87,7 @@ type Proxy struct {
 	membership *Membership
 	prober     *Prober
 	mux        *http.ServeMux
+	quota      *TenantQuota
 	m          proxyMetrics
 
 	stop chan struct{}
@@ -124,8 +134,10 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 		p.wg.Add(1)
 		go p.sweepLoop()
 	}
+	p.quota = NewTenantQuota(cfg.TenantRate, cfg.TenantBurst)
 	p.mux = http.NewServeMux()
 	p.mux.HandleFunc("POST /solve", p.handleSolve)
+	p.mux.HandleFunc("POST /solve/batch", p.handleSolveBatch)
 	p.mux.HandleFunc("GET /solve/{id}", p.handleJob)
 	p.mux.HandleFunc("DELETE /solve/{id}", p.handleJob)
 	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
@@ -200,6 +212,9 @@ func RouteKey(req service.SolveRequest, maxNodes int) (string, error) {
 // owner demotes it and moves on to the next ring member.
 func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 	p.m.requests.Add(1)
+	if !p.admitTenant(w, r, 1) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes))
 	if err != nil {
 		p.m.errors.Add(1)
@@ -325,7 +340,7 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // and the proxy's own counters.
 func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	members := p.ring.Members()
-	sums := map[string]uint64{}
+	sums := map[string]float64{}
 	var names []string
 	up := map[string]bool{}
 	var mu sync.Mutex
@@ -357,7 +372,9 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(w, "cluster_%s %d\n", name, sums[name])
+		// 'g' prints integers bare (counters stay "42", not "42.000000")
+		// and keeps fractional histogram sums exact enough.
+		fmt.Fprintf(w, "cluster_%s %s\n", name, strconv.FormatFloat(sums[name], 'g', -1, 64))
 	}
 	for _, m := range sortedKeys(members) {
 		v := 0
@@ -382,6 +399,10 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rbproxy_failovers_total", p.m.failovers.Load()},
 		{"rbproxy_fanouts_total", p.m.fanouts.Load()},
 		{"rbproxy_errors_total", p.m.errors.Load()},
+		{"rbproxy_batches_total", p.m.batches.Load()},
+		{"rbproxy_batch_items_total", p.m.batchItems.Load()},
+		{"rbproxy_batch_subbatches_total", p.m.subBatches.Load()},
+		{"rbproxy_quota_rejected_total", p.m.quotaRejected.Load()},
 		{"rbproxy_joins_total", joins},
 		{"rbproxy_leaves_total", leaves},
 		{"rbproxy_expired_members_total", expired},
@@ -554,13 +575,23 @@ func (p *Proxy) importTarget(key, exclude string, failed map[string]bool) string
 	return ""
 }
 
+// labelPreservedMetrics are downstream series whose labels survive the
+// fleet merge: summing a histogram bucket across nodes only makes
+// sense per le bound, and a per-lane queue gauge is useless with the
+// lane stripped. Everything else labeled (rbserve_job_lower_bound
+// {job="..."}) is still summed under its label-stripped name.
+var labelPreservedMetrics = map[string]bool{
+	"rbserve_request_seconds_bucket": true,
+	"rbserve_queue_depth":            true,
+}
+
 // fetchMetrics scrapes one member's Prometheus text exposition into
-// name -> value. Unlabeled integer counters/gauges map one-to-one;
-// labeled series (rbserve_job_lower_bound{job="..."}) are summed under
-// the label-stripped name, so the fleet merge exposes one
-// cluster_rbserve_job_lower_bound total across every running job on
-// every node.
-func (p *Proxy) fetchMetrics(ctx context.Context, member string) (map[string]uint64, error) {
+// series -> value. Values are parsed as floats (histogram _sum lines
+// are fractional seconds). For series in labelPreservedMetrics the
+// full labeled series name is the key, so the fleet merge sums
+// per-label-set across nodes; other labeled series are summed under
+// the label-stripped name.
+func (p *Proxy) fetchMetrics(ctx context.Context, member string) (map[string]float64, error) {
 	resp, err := p.comm.Get(ctx, member, "/metrics")
 	if err != nil {
 		return nil, err
@@ -569,7 +600,7 @@ func (p *Proxy) fetchMetrics(ctx context.Context, member string) (map[string]uin
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("metrics status %d", resp.StatusCode)
 	}
-	out := map[string]uint64{}
+	out := map[string]float64{}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -580,10 +611,10 @@ func (p *Proxy) fetchMetrics(ctx context.Context, member string) (map[string]uin
 		if !ok {
 			continue
 		}
-		if i := strings.IndexByte(name, '{'); i >= 0 {
+		if i := strings.IndexByte(name, '{'); i >= 0 && !labelPreservedMetrics[name[:i]] {
 			name = name[:i]
 		}
-		v, err := strconv.ParseUint(valStr, 10, 64)
+		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			continue
 		}

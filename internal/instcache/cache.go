@@ -159,15 +159,7 @@ func New(max int) *Cache {
 // the leader's. The leader's fn itself is never interrupted by ctx.
 func (c *Cache) Do(ctx context.Context, key string, tier int, fn func(warm *Value) (Value, error)) (val Value, hit, shared, warmed bool, err error) {
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		v := el.Value.(*entry).val
-		c.mu.Unlock()
-		return v, true, false, false, nil
-	}
-	if v, ok := c.intervalAboveLocked(key, tier); ok {
-		c.ihits++
+	if v, ok := c.probeLocked(key, tier); ok {
 		c.mu.Unlock()
 		return v, true, false, false, nil
 	}
@@ -218,6 +210,49 @@ func (c *Cache) Do(ctx context.Context, key string, tier int, fn func(warm *Valu
 	c.mu.Unlock()
 	close(f.done)
 	return f.val, false, false, warmed, f.err
+}
+
+// Probe is the read-only half of Do: it returns the value a lookup of
+// (key, tier) would be served without running a solve — a
+// proven-optimal entry, or the merged interval when a strictly higher
+// budget tier already tried harder — and counts it as a cache hit.
+// A miss counts nothing: the caller is expected to follow up with Do,
+// which records the miss itself. The batched request plane probes a
+// whole batch up front to classify items into scheduling lanes.
+func (c *Cache) Probe(key string, tier int) (Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.probeLocked(key, tier)
+}
+
+// ProbeBatch probes many (key, tier) pairs under one lock acquisition
+// — the amortized form of Probe for batch requests. The result slice
+// is parallel to keys: nil marks a miss. keys and tiers must have
+// equal length.
+func (c *Cache) ProbeBatch(keys []string, tiers []int) []*Value {
+	out := make([]*Value, len(keys))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, key := range keys {
+		if v, ok := c.probeLocked(key, tiers[i]); ok {
+			v := v
+			out[i] = &v
+		}
+	}
+	return out
+}
+
+func (c *Cache) probeLocked(key string, tier int) (Value, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	if v, ok := c.intervalAboveLocked(key, tier); ok {
+		c.ihits++
+		return v, true
+	}
+	return Value{}, false
 }
 
 // intervalAboveLocked returns the merged cached interval for key when

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rbpebble/internal/benchharness"
+	"rbpebble/internal/dag"
+	"rbpebble/internal/daggen"
+)
+
+func TestMain(m *testing.M) { benchharness.Main(m) }
+
+// BenchmarkBatchThroughputPyramid measures the batched request plane's
+// amortization: one POST /solve/batch of 16 isomorphic pyramid(5)
+// relabelings (one canonical-class solve, 16 translations) against the
+// no-request-plane fleet baseline — 16 sequential single POSTs, each
+// to a cold node, so every request pays its own canonicalization AND
+// its own exact solve. That is the fleet shape this PR replaces: with
+// no batch endpoint and no canonical routing, isomorphic requests land
+// on arbitrary cache-cold replicas and nothing is shared.
+func BenchmarkBatchThroughputPyramid(b *testing.B) {
+	const items = 16
+	base := daggen.Pyramid(5)
+	graphs := make([]*dag.DAG, items)
+	graphs[0] = base
+	for i := 1; i < items; i++ {
+		graphs[i] = permuted(base, int64(i))
+	}
+	bodies := make([]string, items)
+	for i, g := range graphs {
+		gj, err := json.Marshal(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = fmt.Sprintf(`{"dag":%s,"model":"oneshot","r":4,"deadline_ms":30000}`, gj)
+	}
+	batchBody := fmt.Sprintf(`{"items":[%s]}`, strings.Join(bodies, ","))
+
+	var rec benchharness.Record
+	before := benchharness.Before()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		// Batched: one server, one request, in-batch canonical dedup.
+		s := New(Config{})
+		ts := httptest.NewServer(s.Handler())
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/solve/batch", "application/json", strings.NewReader(batchBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var br BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		batchNs := float64(time.Since(t0).Nanoseconds())
+		if resp.StatusCode != http.StatusOK || br.Summary.OK != items {
+			b.Fatalf("batch failed: status %d, summary %+v", resp.StatusCode, br.Summary)
+		}
+		solves := int(s.m.solves.Load())
+		ts.Close()
+		s.Close()
+
+		// Baseline: 16 sequential single POSTs, one cold server each —
+		// no shared canonicalization, no shared solve.
+		t0 = time.Now()
+		for _, body := range bodies {
+			s := New(Config{})
+			ts := httptest.NewServer(s.Handler())
+			resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sr SolveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || !sr.Optimal {
+				b.Fatalf("sequential solve failed: status %d, %+v", resp.StatusCode, sr)
+			}
+			ts.Close()
+			s.Close()
+		}
+		seqNs := float64(time.Since(t0).Nanoseconds())
+
+		rec.BatchItems = items
+		rec.BatchSolves = solves
+		rec.NsPerItemBatch = batchNs / items
+		rec.NsPerItemSequential = seqNs / items
+		b.ReportMetric(rec.NsPerItemBatch, "ns/item-batch")
+		b.ReportMetric(rec.NsPerItemSequential, "ns/item-seq")
+		b.ReportMetric(rec.NsPerItemSequential/rec.NsPerItemBatch, "speedup")
+	}
+	benchharness.Capture(b, before, rec)
+}

@@ -19,7 +19,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -60,6 +62,29 @@ type Config struct {
 	// before canceling them cooperatively (default 10s). Canceled
 	// solves still return certified partial intervals.
 	GracePeriod time.Duration
+	// MaxBatchItems caps how many instances one POST /solve/batch may
+	// carry (default 256).
+	MaxBatchItems int
+	// CanonWorkers bounds the concurrency of the batch canonicalization
+	// pool (default GOMAXPROCS): batch items are decoded once and
+	// canonically labeled in parallel before any of them queues for a
+	// solve.
+	CanonWorkers int
+	// FastLaneWorkers/HeavyLaneWorkers size the two scheduling lanes of
+	// the batch plane (defaults 4 and 2). The fast lane runs groups a
+	// cache probe can serve and groups whose whole budget is below
+	// FastLaneBudget; the heavy lane runs everything that may hold a
+	// worker for a long exact solve.
+	FastLaneWorkers, HeavyLaneWorkers int
+	// FastLaneQueue/HeavyLaneQueue bound the per-lane backlogs
+	// (defaults 256 and 64); a full lane sheds its items with 429 +
+	// Retry-After instead of queueing cheap work behind expensive work.
+	FastLaneQueue, HeavyLaneQueue int
+	// FastLaneBudget is the largest per-item deadline the fast lane
+	// accepts for uncached work (default 150ms): an item that can hold
+	// a fast-lane worker for at most this long cannot head-of-line
+	// block the cache-served traffic behind it.
+	FastLaneBudget time.Duration
 	// Replicate, when set, receives every cache entry this node newly
 	// produced (proven-optimal values and tightened intervals, in
 	// canonical numbering) so the cluster agent can push it to the
@@ -95,6 +120,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GracePeriod <= 0 {
 		c.GracePeriod = 10 * time.Second
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.CanonWorkers <= 0 {
+		c.CanonWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.FastLaneWorkers <= 0 {
+		c.FastLaneWorkers = 4
+	}
+	if c.HeavyLaneWorkers <= 0 {
+		c.HeavyLaneWorkers = 2
+	}
+	if c.FastLaneQueue <= 0 {
+		c.FastLaneQueue = 256
+	}
+	if c.HeavyLaneQueue <= 0 {
+		c.HeavyLaneQueue = 64
+	}
+	if c.FastLaneBudget <= 0 {
+		c.FastLaneBudget = 150 * time.Millisecond
 	}
 	return c
 }
@@ -254,6 +300,46 @@ type metrics struct {
 	requests, solves, solveErrors                                   atomic.Uint64
 	jobsSubmitted, jobsDone, jobsFailed, jobsRejected, jobsCanceled atomic.Uint64
 	jobsShed                                                        atomic.Uint64
+	batchRequests, batchItems, batchDeduped, batchShed              atomic.Uint64
+}
+
+// requestSecondsBounds are the rbserve_request_seconds histogram bucket
+// upper bounds, in seconds (+Inf is implicit). They span the plane's
+// cost classes: sub-millisecond cache hits through multi-second exact
+// solves.
+var requestSecondsBounds = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10}
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// exposition shape (cumulative le buckets, _sum, _count). Observation
+// is two atomic adds — it sits on the request path.
+type histogram struct {
+	buckets [len(requestSecondsBounds) + 1]atomic.Uint64 // per-bucket (non-cumulative) counts
+	sumNs   atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for i < len(requestSecondsBounds) && secs > requestSecondsBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+	h.count.Add(1)
+}
+
+// write emits the histogram in Prometheus text form under name.
+func (h *histogram) write(w io.Writer, name string) {
+	var cum uint64
+	for i, bound := range requestSecondsBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.buckets[len(requestSecondsBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(float64(h.sumNs.Load())/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
 }
 
 // Server is the rbserve HTTP service. Create with New, serve
@@ -263,7 +349,13 @@ type Server struct {
 	cache *instcache.Cache
 	mux   *http.ServeMux
 	queue chan *job
+	lanes *lanes
 	wg    sync.WaitGroup
+
+	// reqSeconds is the rbserve_request_seconds histogram: every
+	// completed solve request (sync, async job, batch item) observes its
+	// end-to-end service latency.
+	reqSeconds histogram
 
 	jobMu    sync.Mutex
 	jobs     map[string]*job
@@ -327,8 +419,11 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.lanes = newLanes(s.cfg)
+	s.lanes.run(s.closed, &s.wg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("POST /solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("GET /solve/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /solve/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -599,6 +694,22 @@ func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Du
 	start := time.Now()
 	inst := instcache.Instance{G: p.G, Model: p.Model, R: p.R, Convention: p.Convention}
 	key, perm := inst.Key()
+	val, hit, shared, warmed, err := s.solveKeyed(ctx, p, key, perm, deadline, onLower)
+	if err != nil {
+		s.m.solveErrors.Add(1)
+		return SolveResponse{}, err
+	}
+	resp, err := s.buildResponse(p, val, perm, includeTrace, hit, shared, warmed, start)
+	s.reqSeconds.observe(time.Since(start))
+	return resp, err
+}
+
+// solveKeyed is runSolve after the canonical key is known: interest
+// registration, the cache/singleflight Do, and replication of freshly
+// produced entries. The batch plane computes keys up front (in its
+// amortized canonicalization pool) and calls this directly, once per
+// in-batch canonical class.
+func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, perm []dag.NodeID, deadline time.Duration, onLower func(int64)) (instcache.Value, bool, bool, bool, error) {
 	tier := instcache.TierForBudget(deadline)
 	release := s.registerInterest(key, ctx)
 	defer release()
@@ -662,8 +773,7 @@ func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Du
 		}, nil
 	})
 	if err != nil {
-		s.m.solveErrors.Add(1)
-		return SolveResponse{}, err
+		return instcache.Value{}, false, false, false, err
 	}
 	if !hit && !shared && s.cfg.Replicate != nil {
 		// This request's own solve produced (or tightened) the stored
@@ -672,7 +782,16 @@ func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Du
 		// — waiters latched onto it would just duplicate the push.
 		s.cfg.Replicate(instcache.Entry{Key: key, Tier: val.Tier, Value: val})
 	}
+	return val, hit, shared, warmed, nil
+}
 
+// buildResponse translates a canonical cache value back into one
+// requester's node numbering, replay-verifies the trace on the
+// requester's own graph, and shapes the wire response. In a batch,
+// every member of a canonical-class group goes through its own
+// buildResponse (k isomorphic items = 1 solve, k translations), so a
+// translation failure poisons only its own item.
+func (s *Server) buildResponse(p solve.Problem, val instcache.Value, perm []dag.NodeID, includeTrace bool, hit, shared, warmed bool, start time.Time) (SolveResponse, error) {
 	moves := instcache.FromCanonical(val.Moves, perm)
 	// Replay-verify on the requester's own graph: the response is
 	// certified even when the moves crossed the cache through another
@@ -852,11 +971,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]bool{"ok": true})
 }
 
-// retryAfterSeconds estimates how long the current async backlog is
-// worth: queued jobs times the default budget, spread over the worker
-// pool. Clamped to [1s, 60s].
+// retryAfterSeconds estimates how long the current backlog is worth
+// across every pool that can hold a solve: async jobs and the heavy
+// batch lane share the multi-second cost class (each queued unit is
+// worth roughly a default budget), while the fast lane drains in
+// FastLaneBudget-sized slices. The estimate is the max of the two —
+// a shed request retries when the pool it would land in has drained,
+// not when the other one has. Clamped to [1s, 60s].
 func (s *Server) retryAfterSeconds() int {
-	backlog := float64(len(s.queue)+1) * s.cfg.DefaultDeadline.Seconds() / float64(s.cfg.Workers)
+	heavy := float64(len(s.queue)+s.lanes.heavy.depth()+1) * s.cfg.DefaultDeadline.Seconds() /
+		float64(s.cfg.Workers+s.cfg.HeavyLaneWorkers)
+	fast := float64(s.lanes.fast.depth()) * s.cfg.FastLaneBudget.Seconds() /
+		float64(s.cfg.FastLaneWorkers)
+	backlog := heavy
+	if fast > backlog {
+		backlog = fast
+	}
 	secs := int(backlog + 0.999)
 	if secs < 1 {
 		secs = 1
@@ -924,10 +1054,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rbserve_jobs_rejected_total", s.m.jobsRejected.Load()},
 		{"rbserve_jobs_shed_total", s.m.jobsShed.Load()},
 		{"rbserve_jobs_canceled_total", s.m.jobsCanceled.Load()},
+		{"rbserve_batch_requests_total", s.m.batchRequests.Load()},
+		{"rbserve_batch_items_total", s.m.batchItems.Load()},
+		{"rbserve_batch_dedup_total", s.m.batchDeduped.Load()},
+		{"rbserve_batch_shed_total", s.m.batchShed.Load()},
+		{"rbserve_lane_shed_total", s.lanes.fast.shed.Load() + s.lanes.heavy.shed.Load()},
 		{"rbserve_draining", drainingGauge},
 	} {
 		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)
 	}
+	// Per-lane queued backlog (instantaneous gauge) — the admission
+	// signal behind 429 shedding, exported so operators can see which
+	// lane is saturating. "jobs" is the async-solve queue that predates
+	// the two-lane batch scheduler.
+	fmt.Fprintf(w, "rbserve_queue_depth{lane=%q} %d\n", laneFast, s.lanes.fast.depth())
+	fmt.Fprintf(w, "rbserve_queue_depth{lane=%q} %d\n", laneHeavy, s.lanes.heavy.depth())
+	fmt.Fprintf(w, "rbserve_queue_depth{lane=%q} %d\n", "jobs", len(s.queue))
+	s.reqSeconds.write(w, "rbserve_request_seconds")
 	// Per-running-job live certified lower bound (scaled cost units),
 	// streamed from the orchestrator mid-flight — the async engine
 	// certifies its global f-min without stop-and-drain, so the gauge
