@@ -13,6 +13,12 @@
 // hand their cache off through POST /cluster/handoff, and live nodes
 // replicate fresh entries via POST /cluster/replicate.
 //
+// Every request is traced (X-Rbpebble-Trace, minted here or adopted
+// from the client) and the ID rides every proxy->node forward, so one
+// trace correlates the proxy's routing/failover spans with the serving
+// node's solve spans. GET /debug/solves merges the fleet's telemetry
+// rings; GET /debug/trace/{id} resolves a trace anywhere in the fleet.
+//
 // Usage:
 //
 //	rbproxy -addr :8080 &
@@ -28,7 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +43,7 @@ import (
 	"time"
 
 	"rbpebble/internal/cluster"
+	"rbpebble/internal/obs"
 )
 
 func main() {
@@ -55,8 +62,14 @@ func main() {
 		brkCool     = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker fails fast before a half-open trial")
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admission rate in solve items/second (0 = quotas disabled; tenant = X-Rbpebble-Tenant header)")
 		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst in solve items (0 = one second's worth of -tenant-rate)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled)")
+		traceCap    = flag.Int("trace-cap", 0, "retained routing traces for /debug/trace (0 = default 256)")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(*logFormat, os.Stderr)
+	slog.SetDefault(logger)
 
 	var memberList []string
 	for _, m := range strings.Split(*members, ",") {
@@ -74,6 +87,8 @@ func main() {
 		MaxNodes:      *maxNodes,
 		TenantRate:    *tenantRate,
 		TenantBurst:   *tenantBurst,
+		TraceCap:      *traceCap,
+		Logger:        logger,
 		Client:        &http.Client{Timeout: *fwdLimit},
 		Comm: cluster.CommConfig{
 			AttemptTimeout:   *fwdLimit,
@@ -84,12 +99,22 @@ func main() {
 		},
 	})
 	defer p.Close()
-	srv := &http.Server{Addr: *addr, Handler: p.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: obs.AccessLog(logger, p.Handler())}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("rbproxy: listening on %s (%d static members, probe=%s ttl=%s vnodes=%d)",
-		*addr, len(memberList), *probe, *ttl, *vnodes)
+	logger.Info("rbproxy: listening",
+		slog.String("addr", *addr), slog.Int("static_members", len(memberList)),
+		slog.Duration("probe", *probe), slog.Duration("ttl", *ttl), slog.Int("vnodes", *vnodes))
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("rbproxy: pprof listening", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, obs.PprofMux()); err != nil {
+				logger.Warn("rbproxy: pprof listener failed", slog.Any("err", err))
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -98,7 +123,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rbproxy:", err)
 		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("rbproxy: %s, shutting down", sig)
+		logger.Info("rbproxy: shutting down", slog.String("signal", sig.String()))
 		srv.Close()
 	}
 }

@@ -16,6 +16,12 @@
 // deadline fires; repeated and concurrent identical instances (under
 // any node numbering) share one solve through the cache.
 //
+// Every request is traced end to end (X-Rbpebble-Trace): span trees are
+// served from GET /debug/trace/{id}, per-solve telemetry records from
+// GET /debug/solves, and -telemetry-log appends each record as JSONL
+// for offline scheduler training. -pprof-addr exposes net/http/pprof on
+// a separate listener.
+//
 // With -join, the node registers itself with an rbproxy's membership
 // API, heartbeats its lease, replicates freshly stored cache entries to
 // its ring successor, and on SIGTERM hands its cache off before
@@ -28,7 +34,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +46,7 @@ import (
 
 	"rbpebble/internal/cluster"
 	"rbpebble/internal/instcache"
+	"rbpebble/internal/obs"
 	"rbpebble/internal/service"
 )
 
@@ -62,8 +70,27 @@ func main() {
 		fastQueue    = flag.Int("fast-queue", 256, "fast-lane queue depth before shedding")
 		heavyQueue   = flag.Int("heavy-queue", 64, "heavy-lane queue depth before shedding")
 		fastBudget   = flag.Duration("fast-budget", 150*time.Millisecond, "largest per-item deadline the fast lane accepts for uncached work")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled)")
+		telemetryLog = flag.String("telemetry-log", "", "append per-solve telemetry records as JSONL to this file")
+		traceCap     = flag.Int("trace-cap", 0, "retained solve traces for /debug/trace (0 = default 256)")
+		telemetryCap = flag.Int("telemetry-cap", 0, "retained telemetry records for /debug/solves (0 = default 512)")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(*logFormat, os.Stderr)
+	slog.SetDefault(logger)
+
+	var telemetrySink io.Writer
+	if *telemetryLog != "" {
+		f, err := os.OpenFile(*telemetryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbserve: telemetry-log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		telemetrySink = f
+	}
 
 	// The agent pointer is set only in -join mode, after the server
 	// exists; the Replicate hook must tolerate both windows.
@@ -85,18 +112,34 @@ func main() {
 		FastLaneQueue:    *fastQueue,
 		HeavyLaneQueue:   *heavyQueue,
 		FastLaneBudget:   *fastBudget,
+		TraceCap:         *traceCap,
+		TelemetryCap:     *telemetryCap,
+		TelemetrySink:    telemetrySink,
+		Logger:           logger,
 		Replicate: func(e instcache.Entry) {
 			if a := agentPtr.Load(); a != nil {
 				a.Replicate(e)
 			}
 		},
 	})
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: obs.AccessLog(logger, s.Handler())}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("rbserve: listening on %s (deadline=%s cache=%d workers=%d)",
-		*addr, *deadline, *cacheSize, *workers)
+	logger.Info("rbserve: listening",
+		slog.String("addr", *addr), slog.Duration("deadline", *deadline),
+		slog.Int("cache", *cacheSize), slog.Int("workers", *workers))
+
+	if *pprofAddr != "" {
+		// pprof lives on its own listener and mux so profiling stays off
+		// the public API surface (and off the proxy's routing paths).
+		go func() {
+			logger.Info("rbserve: pprof listening", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, obs.PprofMux()); err != nil {
+				logger.Warn("rbserve: pprof listener failed", slog.Any("err", err))
+			}
+		}()
+	}
 
 	if *join != "" {
 		self := *advertise
@@ -111,9 +154,11 @@ func main() {
 			Proxy:  *join,
 			Self:   self,
 			Export: s.ExportCache,
-			Logf:   log.Printf,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
 		}))
-		log.Printf("rbserve: joining cluster via %s as %s", *join, self)
+		logger.Info("rbserve: joining cluster", slog.String("proxy", *join), slog.String("self", self))
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -130,7 +175,7 @@ func main() {
 		// its end are canceled cooperatively and land their partial
 		// certified intervals in the cache, where the handoff picks them
 		// up.
-		log.Printf("rbserve: %s, draining (grace %s)", sig, *grace)
+		logger.Info("rbserve: draining", slog.String("signal", sig.String()), slog.Duration("grace", *grace))
 		s.Drain()
 		agent := agentPtr.Load()
 		if agent != nil {
@@ -155,23 +200,23 @@ func main() {
 		deadline := time.Now().Add(*grace)
 		ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(-reserve))
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("rbserve: http shutdown: %v", err)
+			logger.Warn("rbserve: http shutdown", slog.Any("err", err))
 		}
 		cancel()
 		s.ShutdownWithin(time.Until(deadline) - reserve)
 		if agent != nil {
 			hctx, hcancel := context.WithDeadline(context.Background(), deadline)
 			if n, err := agent.Handoff(hctx); err != nil {
-				log.Printf("rbserve: cache handoff: %v", err)
+				logger.Warn("rbserve: cache handoff failed", slog.Any("err", err))
 			} else {
-				log.Printf("rbserve: handed off %d cache entries", n)
+				logger.Info("rbserve: cache handed off", slog.Int("entries", n))
 			}
 			if err := agent.Leave(hctx); err != nil {
-				log.Printf("rbserve: cluster leave: %v", err)
+				logger.Warn("rbserve: cluster leave failed", slog.Any("err", err))
 			}
 			hcancel()
 			agent.Stop()
 		}
-		log.Printf("rbserve: drained, exiting")
+		logger.Info("rbserve: drained, exiting")
 	}
 }

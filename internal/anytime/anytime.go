@@ -29,9 +29,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
+	"rbpebble/internal/obs"
 	"rbpebble/internal/pebble"
 	"rbpebble/internal/solve"
 )
@@ -124,6 +126,10 @@ type Result struct {
 	// Expanded and Visits report the refinement engines' search effort
 	// (best-first expansions, depth-first visits).
 	Expanded, Visits int
+	// TableBytes is the engines' combined peak table footprint (the
+	// best-first visited tables plus the depth-first memo/heuristic
+	// tables) — the memory half of the per-solve telemetry record.
+	TableBytes int64
 }
 
 // Gap returns the relative optimality gap (upper-lower)/upper of a
@@ -339,6 +345,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 	// replay-verified inside improveUpperMoves — a corrupt cache entry
 	// costs the warm upper bound, never correctness.
 	if opts.Warm != nil {
+		_, wsp := obs.StartSpan(ctx, "warm-start")
 		src := opts.Warm.Source
 		if src == "" {
 			src = "warm-start"
@@ -347,6 +354,8 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 		if len(opts.Warm.Moves) > 0 {
 			c.improveUpperMoves(opts.Warm.Moves, src)
 		}
+		wsp.SetAttr("source", src)
+		wsp.End()
 	}
 
 	// Phase 1: cheap upper bounds, best-first order (TopoBelady is the
@@ -355,6 +364,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 	// each sampled order budget-pruned against the incumbent inside
 	// sched.Execute). Each runs to completion — they are polynomial and
 	// fast — but later ones are skipped once the budget fires.
+	_, hsp := obs.StartSpan(ctx, "heuristics")
 	if sol, err := solve.TopoBelady(p); err == nil {
 		c.improveUpper(sol, "topo-belady")
 	}
@@ -367,6 +377,8 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 		}
 	}
 	if !c.found {
+		hsp.SetAttr("err", "no heuristic produced a pebbling")
+		hsp.End()
 		return Result{}, errors.New("anytime: no heuristic produced a pebbling (infeasible instance?)")
 	}
 	if ctx.Err() == nil && !c.closed() {
@@ -379,6 +391,10 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 			c.improveUpper(sol, "random-orders")
 		}
 	}
+	c.mu.Lock()
+	hsp.SetAttr("source", c.source)
+	c.mu.Unlock()
+	hsp.End()
 
 	// Phase 2: exact refinement, unless the interval already met (or
 	// the budget died during phase 1).
@@ -395,13 +411,24 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The engine-attempt span lives on the request's trace (via
+			// rctx); certified lower-bound improvements streamed by the
+			// engine become span events, so /debug/trace shows the
+			// convergence curve inline.
+			_, asp := obs.StartSpan(rctx, "engine:astar")
+			defer asp.End()
 			exactOpts.Cancel = rctx.Done()
 			exactOpts.Stats = &exactStats
 			exactOpts.Progress = func(pr solve.ExactProgress) {
+				asp.Event("lower-bound", pr.LowerBound)
 				c.raiseLower(pr.LowerBound, "astar")
 			}
 			sol, err := solve.Exact(p, exactOpts)
+			defer func() {
+				asp.SetAttr("expanded", strconv.Itoa(exactStats.Expanded))
+			}()
 			if err == nil {
+				asp.SetAttr("outcome", "optimal")
 				c.improveUpper(sol, "astar")
 				c.raiseLower(sol.Result.Cost.Scaled(p.Model), "astar")
 				rcancel() // optimum proven: stop the DFS
@@ -410,6 +437,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 			// Canceled, out of budget, or bound-exhausted (every branch
 			// at or above the incumbent cut: the incumbent is optimal) —
 			// harvest the certified bound either way.
+			asp.SetAttr("outcome", err.Error())
 			c.raiseLower(exactStats.LowerBound, "astar")
 			if errors.Is(err, solve.ErrBoundExhausted) {
 				rcancel()
@@ -422,16 +450,23 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				_, dsp := obs.StartSpan(rctx, "engine:ida*")
+				defer dsp.End()
 				dfsOpts.Cancel = rctx.Done()
 				dfsOpts.Stats = &dfsStats
 				dfsOpts.OnIncumbent = func(scaled int64, moves []pebble.Move) {
 					c.improveUpperMoves(moves, "ida*")
 				}
 				dfsOpts.Progress = func(st solve.ExactDFSStats) {
+					dsp.Event("lower-bound", st.LowerBound)
 					c.raiseLower(st.LowerBound, "ida*")
 				}
 				sol, err := solve.ExactDFS(p, dfsOpts)
+				defer func() {
+					dsp.SetAttr("visits", strconv.Itoa(dfsStats.Visits))
+				}()
 				if err == nil {
+					dsp.SetAttr("outcome", "optimal")
 					if sol.Trace != nil {
 						c.improveUpper(sol, "ida*")
 					}
@@ -439,6 +474,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 					rcancel() // optimum proven: stop the A* engine
 					return
 				}
+				dsp.SetAttr("outcome", err.Error())
 				c.raiseLower(dfsStats.LowerBound, "ida*")
 			}()
 		}
@@ -456,6 +492,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 		Elapsed:     time.Since(start),
 		Expanded:    exactStats.Expanded,
 		Visits:      dfsStats.Visits,
+		TableBytes:  exactStats.TableBytes + dfsStats.TableBytes,
 	}
 	res.Upper = float64(res.UpperScaled) / CostScale(p.Model)
 	res.Lower = float64(res.LowerScaled) / CostScale(p.Model)

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"rbpebble/internal/obs"
 )
 
 // ErrBreakerOpen is returned without any network attempt when the
@@ -161,6 +163,12 @@ func (c *CommClient) Do(ctx context.Context, member, method, path, contentType s
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		// Every proxy->node call carries the caller's trace ID, so the
+		// node's spans (and every retried attempt's) correlate under one
+		// trace across the fleet.
+		if id := obs.TraceIDFrom(ctx); id != "" {
+			req.Header.Set(obs.TraceHeader, id)
 		}
 		resp, err := c.client.Do(req)
 		if err == nil {

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"rbpebble/internal/obs"
+	"rbpebble/internal/service"
+)
+
+// handleDebugSolves merges the fleet's per-solve telemetry rings:
+// GET /debug/solves?n=K fans out to every healthy member concurrently,
+// annotates each record with the member that produced it, sorts the
+// union newest-first, and truncates to K (all merged records when n is
+// absent or non-positive). Totals are summed across the fleet, so the
+// learned portfolio scheduler can bulk-pull one feature/outcome stream
+// for the whole cluster.
+func (p *Proxy) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
+	p.m.requests.Add(1)
+	p.m.fanouts.Add(1)
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	members := healthyMembers(p.ring)
+
+	merged := service.SolvesDebugResponse{Records: []obs.SolveRecord{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, member := range members {
+		wg.Add(1)
+		go func(member string) {
+			defer wg.Done()
+			part, err := p.fetchSolves(r.Context(), member, n)
+			if err != nil {
+				return
+			}
+			for i := range part.Records {
+				part.Records[i].Node = member
+			}
+			mu.Lock()
+			merged.Total += part.Total
+			merged.Records = append(merged.Records, part.Records...)
+			mu.Unlock()
+		}(member)
+	}
+	wg.Wait()
+
+	sort.SliceStable(merged.Records, func(i, j int) bool {
+		return merged.Records[i].Start.After(merged.Records[j].Start)
+	})
+	if n > 0 && len(merged.Records) > n {
+		merged.Records = merged.Records[:n]
+	}
+	writeJSON(w, merged)
+}
+
+// fetchSolves pulls one member's telemetry ring slice.
+func (p *Proxy) fetchSolves(ctx context.Context, member string, n int) (service.SolvesDebugResponse, error) {
+	path := "/debug/solves"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var out service.SolvesDebugResponse
+	resp, err := p.comm.Get(ctx, member, path)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return out, errStatus(resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// handleDebugTrace resolves a trace ID anywhere in the fleet: the
+// proxy's own span set (route/forward spans) is checked first, then
+// the healthy members are asked in order and the first non-404 answer
+// is relayed. A trace that spans proxy AND node exists as two span
+// sets — one per process — under the same ID; callers fetch the node
+// half via the relayed view and the proxy half stays queryable here
+// after the node's ring evicts it.
+func (p *Proxy) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	p.m.requests.Add(1)
+	id := r.PathValue("id")
+	if tr := p.recorder.Lookup(id); tr != nil {
+		writeJSON(w, tr.View())
+		return
+	}
+	p.m.fanouts.Add(1)
+	for _, member := range healthyMembers(p.ring) {
+		resp, err := p.comm.Get(r.Context(), member, "/debug/trace/"+id)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		relayResponse(w, resp, member)
+		return
+	}
+	httpError(w, http.StatusNotFound, "unknown trace on every cluster member")
+}
+
+// errStatus wraps a non-200 downstream status as an error.
+type errStatus int
+
+func (e errStatus) Error() string { return "status " + strconv.Itoa(int(e)) }

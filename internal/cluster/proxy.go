@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"rbpebble/internal/instcache"
+	"rbpebble/internal/obs"
 	"rbpebble/internal/service"
 )
 
@@ -59,6 +61,12 @@ type ProxyConfig struct {
 	// Client; Comm.OnBreakerOpen is chained so an opening breaker also
 	// demotes the member in the ring.
 	Comm CommConfig
+	// TraceCap bounds the proxy's /debug/trace/{id} recorder ring
+	// (default 256 most recent traces).
+	TraceCap int
+	// Logger receives structured membership/breaker lifecycle logs
+	// (default: discard).
+	Logger *slog.Logger
 }
 
 // proxyMetrics are the proxy's own monotone counters.
@@ -88,6 +96,8 @@ type Proxy struct {
 	prober     *Prober
 	mux        *http.ServeMux
 	quota      *TenantQuota
+	recorder   *obs.Recorder
+	log        *slog.Logger
 	m          proxyMetrics
 
 	stop chan struct{}
@@ -106,10 +116,15 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 60 * time.Second}
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	p := &Proxy{
-		cfg:  cfg,
-		ring: NewRing(cfg.VirtualNodes),
-		stop: make(chan struct{}),
+		cfg:      cfg,
+		ring:     NewRing(cfg.VirtualNodes),
+		recorder: obs.NewRecorder(cfg.TraceCap),
+		log:      cfg.Logger,
+		stop:     make(chan struct{}),
 	}
 	p.membership = NewMembership(p.ring, cfg.MemberTTL)
 	p.membership.AddStatic(cfg.Members...)
@@ -122,6 +137,7 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 	userOnOpen := comm.OnBreakerOpen
 	comm.OnBreakerOpen = func(member string) {
 		p.ring.SetHealthy(member, false)
+		p.log.Warn("circuit breaker opened; member demoted", slog.String("member", member))
 		if userOnOpen != nil {
 			userOnOpen(member)
 		}
@@ -147,6 +163,8 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 	p.mux.HandleFunc("GET /cluster/members", p.handleMembers)
 	p.mux.HandleFunc("POST /cluster/handoff", p.handleHandoff)
 	p.mux.HandleFunc("POST /cluster/replicate", p.handleReplicate)
+	p.mux.HandleFunc("GET /debug/solves", p.handleDebugSolves)
+	p.mux.HandleFunc("GET /debug/trace/{id}", p.handleDebugTrace)
 	return p
 }
 
@@ -212,6 +230,9 @@ func RouteKey(req service.SolveRequest, maxNodes int) (string, error) {
 // owner demotes it and moves on to the next ring member.
 func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 	p.m.requests.Add(1)
+	// Start (or adopt) the trace before any rejection path so quota
+	// 429s and routing errors still carry X-Rbpebble-Trace.
+	ctx, _ := obs.StartRequest(w, r, p.recorder)
 	if !p.admitTenant(w, r, 1) {
 		return
 	}
@@ -227,12 +248,16 @@ func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	rctx, rsp := obs.StartSpan(ctx, "route")
 	key, err := RouteKey(req, p.cfg.MaxNodes)
 	if err != nil {
+		rsp.SetAttr("err", err.Error())
+		rsp.End()
 		p.m.errors.Add(1)
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	rsp.End()
 	owners := p.ring.Owners(key, len(p.ring.Members()))
 	if len(owners) == 0 {
 		p.m.errors.Add(1)
@@ -243,14 +268,24 @@ func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			p.m.failovers.Add(1)
 		}
+		// Each failover attempt is its own span under the same trace: the
+		// span tree shows which members were tried and why they lost the
+		// request, while the node sees one trace ID across all attempts.
+		fctx, fsp := obs.StartSpan(rctx, "forward")
+		fsp.SetAttr("member", member)
 		// The comm layer retries pre-send dial failures with backoff and
 		// fails fast on an open breaker; anything it still can't deliver
 		// demotes the member and fails over along the ring.
-		resp, err := p.comm.Post(r.Context(), member, "/solve", "application/json", body)
+		resp, err := p.comm.Post(fctx, member, "/solve", "application/json", body)
 		if err != nil {
+			fsp.SetAttr("err", err.Error())
+			fsp.End()
 			p.ring.SetHealthy(member, false)
+			p.log.Warn("solve forward failed; member demoted",
+				slog.String("member", member), slog.String("trace", obs.TraceIDFrom(ctx)), slog.Any("err", err))
 			continue
 		}
+		fsp.SetAttr("status", strconv.Itoa(resp.StatusCode))
 		if resp.StatusCode == http.StatusBadGateway ||
 			(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("X-Rbserve-Draining") == "1") {
 			// The node is going away (draining) or fronting something
@@ -262,11 +297,14 @@ func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 			// can be reused.
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			fsp.SetAttr("failover", "true")
+			fsp.End()
 			p.ring.SetHealthy(member, false)
 			continue
 		}
 		p.m.routed.Add(1)
 		relayResponse(w, resp, member)
+		fsp.End()
 		return
 	}
 	p.m.errors.Add(1)
@@ -281,13 +319,14 @@ func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 func (p *Proxy) handleJob(w http.ResponseWriter, r *http.Request) {
 	p.m.requests.Add(1)
 	p.m.fanouts.Add(1)
+	ctx, _ := obs.StartRequest(w, r, nil)
 	members := healthyMembers(p.ring)
 	if len(members) == 0 {
 		httpError(w, http.StatusServiceUnavailable, "no healthy cluster members")
 		return
 	}
 	for _, member := range members {
-		resp, err := p.comm.Do(r.Context(), member, r.Method, "/solve/"+r.PathValue("id"), "", nil)
+		resp, err := p.comm.Do(ctx, member, r.Method, "/solve/"+r.PathValue("id"), "", nil)
 		if err != nil {
 			p.ring.SetHealthy(member, false)
 			continue

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"rbpebble/internal/obs"
 	"rbpebble/internal/service"
 )
 
@@ -52,6 +53,9 @@ type subBatch struct {
 // cache owns it.
 func (p *Proxy) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	p.m.requests.Add(1)
+	// Trace before any rejection so quota 429s and parse 400s carry
+	// X-Rbpebble-Trace; every sub-batch forward reuses the one ID.
+	ctx, _ := obs.StartRequest(w, r, p.recorder)
 	var req service.BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes)).Decode(&req); err != nil {
 		p.m.errors.Add(1)
@@ -138,7 +142,7 @@ func (p *Proxy) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(target string, g *subBatch) {
 				defer wg.Done()
-				retry, nodeSolves := p.forwardSubBatch(r.Context(), target, g, req, out)
+				retry, nodeSolves := p.forwardSubBatch(ctx, target, g, req, out)
 				mu.Lock()
 				solves += nodeSolves
 				if len(retry) > 0 {
@@ -182,6 +186,10 @@ func (p *Proxy) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 // the cluster-level summary.
 func (p *Proxy) forwardSubBatch(ctx context.Context, target string, g *subBatch, req service.BatchRequest, out []service.BatchItem) (retry []int, solves int) {
 	p.m.subBatches.Add(1)
+	ctx, fsp := obs.StartSpan(ctx, "forward")
+	fsp.SetAttr("member", target)
+	fsp.SetAttr("items", strconv.Itoa(len(g.items)))
+	defer fsp.End()
 	body, err := json.Marshal(service.BatchRequest{
 		Items:        g.items,
 		DeadlineMS:   req.DeadlineMS,

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"rbpebble/internal/obs"
 	"rbpebble/internal/pebble"
 )
 
@@ -167,10 +168,17 @@ func (c *Cache) Do(ctx context.Context, key string, tier int, fn func(warm *Valu
 	if f, ok := c.flights[key]; ok {
 		c.shared++
 		c.mu.Unlock()
+		// The wait on another request's in-flight solve is its own span:
+		// "where did this request's time go" for a latched waiter is
+		// almost entirely here.
+		_, wsp := obs.StartSpan(ctx, "cache-wait")
 		select {
 		case <-f.done:
+			wsp.End()
 			return f.val, false, true, false, f.err
 		case <-ctx.Done():
+			wsp.SetAttr("err", ctx.Err().Error())
+			wsp.End()
 			return Value{}, false, true, false, ctx.Err()
 		}
 	}

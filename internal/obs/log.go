@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// NewLogger builds the daemons' structured logger: format "json"
+// yields JSON lines, anything else human-readable text.
+func NewLogger(format string, w io.Writer) *slog.Logger {
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}
+
+// PprofMux builds the net/http/pprof mux the daemons serve on the
+// dedicated -pprof-addr listener — a separate mux so profiling is
+// never reachable on the serving port.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusWriter captures the response status for access logging while
+// preserving http.Flusher — the batch path streams per-item results
+// and must keep flushing through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps h to emit one structured line per request: method,
+// path, status, duration, and the trace ID the handler stamped on the
+// response. Health, metrics, and debug probes log at Debug so steady
+// -state scrape traffic doesn't drown solve lines.
+func AccessLog(logger *slog.Logger, h http.Handler) http.Handler {
+	if logger == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		level := slog.LevelInfo
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/") {
+			level = slog.LevelDebug
+		}
+		logger.LogAttrs(r.Context(), level, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Duration("dur", time.Since(start)),
+			slog.String("trace", sw.Header().Get(TraceHeader)),
+		)
+	})
+}

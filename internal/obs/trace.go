@@ -1,0 +1,269 @@
+// Package obs is the observability layer for the rbpebble serving
+// stack: lightweight request tracing (spans carried in context.Context
+// across the proxy → lane scheduler → cache → anytime-orchestrator
+// pipeline), a per-solve telemetry store feeding the learned portfolio
+// scheduler, and shared slog/pprof plumbing for the daemons.
+//
+// The tracing model is deliberately small: a Trace is an append-only
+// set of Spans owned by one process; the trace ID (not span data)
+// crosses process boundaries via the X-Rbpebble-Trace header, so the
+// proxy and each node hold their own span set for the same ID. All
+// span methods are nil-safe — code paths that run without a trace in
+// context pay only a pointer check.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries the trace ID on requests and responses. A client
+// may supply its own ID; otherwise the first hop (proxy or node) mints
+// one, and every response — including 429 sheds and draining 503s —
+// echoes it back for correlation.
+const TraceHeader = "X-Rbpebble-Trace"
+
+// traceIDPattern bounds accepted inbound IDs: hex-ish tokens only, so
+// a hostile header can't smuggle log-breaking bytes into span stores.
+var traceIDPattern = regexp.MustCompile(`^[A-Za-z0-9_-]{8,64}$`)
+
+// NewTraceID mints a 16-byte random hex ID.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: a monotonic counter still yields unique IDs within
+		// the process, which is all correlation needs.
+		return "t" + hex.EncodeToString([]byte{byte(fallbackID.Add(1))})
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackID atomic.Uint64
+
+// Event is a timestamped point annotation on a span — e.g. a certified
+// lower-bound improvement streamed by the anytime orchestrator.
+type Event struct {
+	Time  time.Time `json:"time"`
+	Name  string    `json:"name"`
+	Value int64     `json:"value,omitempty"`
+}
+
+// Span is one timed region of a trace. Attributes are small string
+// pairs; Events record mid-span progress. A span is mutated only by
+// the goroutine that started it (End, SetAttr, Event), but may be read
+// concurrently by /debug/trace — hence the mutex.
+type Span struct {
+	mu       sync.Mutex
+	trace    *Trace
+	ID       uint64
+	Parent   uint64 // 0 = root
+	Name     string
+	Start    time.Time
+	EndTime  time.Time // zero while open
+	Attrs    map[string]string
+	Events   []Event
+	attrKeys []string // insertion order for stable JSON
+}
+
+// Trace is the process-local span set for one trace ID.
+type Trace struct {
+	ID    string
+	Start time.Time
+
+	mu     sync.Mutex
+	spans  []*Span
+	nextID uint64
+}
+
+// newTrace creates an empty trace with the given ID.
+func newTrace(id string) *Trace {
+	return &Trace{ID: id, Start: time.Now()}
+}
+
+type traceCtxKey struct{}
+type spanCtxKey struct{}
+
+// WithTrace returns ctx carrying tr. Spans started from the returned
+// context become roots (no parent span is carried over).
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}
+
+// TraceIDFrom returns the carried trace's ID, or "".
+func TraceIDFrom(ctx context.Context) string {
+	if tr := TraceFrom(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
+}
+
+// StartSpan opens a named span under the current span (if any) of the
+// trace carried by ctx. The returned context carries the new span as
+// the parent for further StartSpan calls. Without a trace in ctx it
+// returns (ctx, nil); all Span methods tolerate a nil receiver, so
+// call sites need no guards.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	if ps, _ := ctx.Value(spanCtxKey{}).(*Span); ps != nil {
+		parent = ps.ID
+	}
+	sp := &Span{trace: tr, Parent: parent, Name: name, Start: time.Now()}
+	tr.mu.Lock()
+	tr.nextID++
+	sp.ID = tr.nextID
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// Graft transplants the trace and current span of `from` onto `base`,
+// so work rooted at a long-lived context (a singleflight flight, an
+// async job) still records spans under the request that started it.
+// Cancellation and deadlines come from base only.
+func Graft(base, from context.Context) context.Context {
+	tr := TraceFrom(from)
+	if tr == nil {
+		return base
+	}
+	out := context.WithValue(base, traceCtxKey{}, tr)
+	if ps, _ := from.Value(spanCtxKey{}).(*Span); ps != nil {
+		out = context.WithValue(out, spanCtxKey{}, ps)
+	}
+	return out
+}
+
+// End closes the span. Nil-safe; a second End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.EndTime.IsZero() {
+		s.EndTime = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr records a string attribute. Nil-safe.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	if _, ok := s.Attrs[key]; !ok {
+		s.attrKeys = append(s.attrKeys, key)
+	}
+	s.Attrs[key] = val
+	s.mu.Unlock()
+}
+
+// Event appends a timestamped annotation, e.g. a certified lower-bound
+// improvement. Nil-safe.
+func (s *Span) Event(name string, value int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Events = append(s.Events, Event{Time: time.Now(), Name: name, Value: value})
+	s.mu.Unlock()
+}
+
+// SpanView is the JSON shape /debug/trace serves for one span.
+type SpanView struct {
+	ID         uint64            `json:"id"`
+	Parent     uint64            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Open       bool              `json:"open,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Events     []Event           `json:"events,omitempty"`
+}
+
+// TraceView is the JSON shape /debug/trace serves for a whole trace.
+type TraceView struct {
+	TraceID string     `json:"trace_id"`
+	Start   time.Time  `json:"start"`
+	Spans   []SpanView `json:"spans"`
+}
+
+// View snapshots the trace for serving. Open spans report duration up
+// to now and Open=true.
+func (t *Trace) View() TraceView {
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	v := TraceView{TraceID: t.ID, Start: t.Start, Spans: make([]SpanView, 0, len(spans))}
+	now := time.Now()
+	for _, sp := range spans {
+		sp.mu.Lock()
+		sv := SpanView{
+			ID:     sp.ID,
+			Parent: sp.Parent,
+			Name:   sp.Name,
+			Start:  sp.Start,
+		}
+		end := sp.EndTime
+		if end.IsZero() {
+			end = now
+			sv.Open = true
+		}
+		sv.DurationMS = float64(end.Sub(sp.Start)) / float64(time.Millisecond)
+		if len(sp.Attrs) > 0 {
+			sv.Attrs = make(map[string]string, len(sp.Attrs))
+			for k, val := range sp.Attrs {
+				sv.Attrs[k] = val
+			}
+		}
+		if len(sp.Events) > 0 {
+			sv.Events = append([]Event(nil), sp.Events...)
+		}
+		sp.mu.Unlock()
+		v.Spans = append(v.Spans, sv)
+	}
+	return v
+}
+
+// StartRequest begins (or continues) a trace for an inbound HTTP
+// request: it accepts a well-formed X-Rbpebble-Trace header or mints a
+// fresh ID, echoes the ID on the response immediately — so even early
+// rejections (shed 429s, draining 503s) carry it — registers the trace
+// with rec when non-nil, and returns a context carrying the trace.
+func StartRequest(w http.ResponseWriter, r *http.Request, rec *Recorder) (context.Context, *Trace) {
+	id := r.Header.Get(TraceHeader)
+	if !traceIDPattern.MatchString(id) {
+		id = NewTraceID()
+	}
+	tr := newTrace(id)
+	w.Header().Set(TraceHeader, id)
+	if rec != nil {
+		rec.Register(tr)
+	}
+	return WithTrace(r.Context(), tr), tr
+}

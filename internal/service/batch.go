@@ -12,6 +12,7 @@ import (
 
 	"rbpebble/internal/dag"
 	"rbpebble/internal/instcache"
+	"rbpebble/internal/obs"
 	"rbpebble/internal/solve"
 )
 
@@ -92,6 +93,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
 	s.m.batchRequests.Add(1)
 	start := time.Now()
+	ctx, _ := obs.StartRequest(w, r, s.recorder)
 	if s.draining.Load() {
 		w.Header().Set("X-Rbserve-Draining", "1")
 		httpError(w, http.StatusServiceUnavailable, "server draining")
@@ -120,6 +122,8 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	// never touches the cache or the lanes, so it can run at full
 	// parallelism without admission control.
 	states := make([]batchItemState, len(req.Items))
+	_, csp := obs.StartSpan(ctx, "canonicalize")
+	csp.SetAttr("items", strconv.Itoa(len(req.Items)))
 	sem := make(chan struct{}, s.cfg.CanonWorkers)
 	var canonWG sync.WaitGroup
 	for i := range req.Items {
@@ -147,6 +151,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	canonWG.Wait()
+	csp.End()
 
 	// Phase 2 — in-batch dedup: group items by canonical key. k
 	// isomorphic instances become one group = one canonicalization-class
@@ -182,6 +187,8 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		keys[i] = g.key
 		tiers[i] = instcache.TierForBudget(g.deadline)
 	}
+	_, psp := obs.StartSpan(ctx, "cache-probe")
+	psp.SetAttr("groups", strconv.Itoa(len(groups)))
 	for i, v := range s.cache.ProbeBatch(keys, tiers) {
 		groups[i].probed = v
 		if v != nil || groups[i].deadline <= s.cfg.FastLaneBudget {
@@ -190,6 +197,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			groups[i].lane = laneHeavy
 		}
 	}
+	psp.End()
 
 	// Phase 4 — dispatch each group to its lane. A full lane sheds the
 	// whole group (429-class per-item errors with a backlog-derived
@@ -204,7 +212,14 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	var solvesDispatched, shedItems int
 	for _, g := range groups {
 		g := g
-		if !s.lanes.byName(g.lane).submit(func() { s.runBatchGroup(g, states, out) }) {
+		// Per-group lane-queue span: starts at submission, ends when a
+		// lane worker picks the group up — the queue-wait is exactly the
+		// gap admission control exists to bound.
+		gctx, qsp := obs.StartSpan(ctx, "lane-queue")
+		qsp.SetAttr("lane", g.lane)
+		if !s.lanes.byName(g.lane).submit(func() { qsp.End(); s.runBatchGroup(gctx, g, states, out) }) {
+			qsp.SetAttr("shed", "true")
+			qsp.End()
 			retry := s.retryAfterSeconds()
 			for _, idx := range g.members {
 				out[idx] = BatchItem{
@@ -293,18 +308,20 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 // probe already holds a servable value), then one per-member
 // translation + replay verification. A member's translation failure
 // poisons only that member.
-func (s *Server) runBatchGroup(g *batchGroup, states []batchItemState, out []BatchItem) {
+func (s *Server) runBatchGroup(ctx context.Context, g *batchGroup, states []batchItemState, out []BatchItem) {
 	defer close(g.done)
 	leader := g.members[0]
 	val, hit, shared, warmed := instcache.Value{}, true, false, false
 	if g.probed != nil {
 		val = *g.probed
+		s.recordProbeHit(ctx, states[leader].p, val, g.deadline, time.Now())
 	} else {
 		var err error
 		// The solve runs under baseCtx (not the HTTP request context):
 		// like the sync path, a client that gives up mid-batch doesn't
-		// kill a solve whose result is about to land in the cache.
-		val, hit, shared, warmed, err = s.solveKeyed(s.baseCtx, states[leader].p, g.key, states[leader].perm, g.deadline, nil)
+		// kill a solve whose result is about to land in the cache. The
+		// graft keeps the batch request's trace on it.
+		val, hit, shared, warmed, err = s.solveKeyed(obs.Graft(s.baseCtx, ctx), states[leader].p, g.key, states[leader].perm, g.deadline, nil)
 		if err != nil {
 			s.m.solveErrors.Add(1)
 			status := http.StatusUnprocessableEntity
@@ -320,7 +337,7 @@ func (s *Server) runBatchGroup(g *batchGroup, states []batchItemState, out []Bat
 	for n, idx := range g.members {
 		st := &states[idx]
 		mStart := time.Now()
-		resp, err := s.buildResponse(st.p, val, st.perm, st.includeTrace, hit, shared || n > 0, warmed, mStart)
+		resp, err := s.buildResponse(ctx, st.p, val, st.perm, st.includeTrace, hit, shared || n > 0, warmed, mStart)
 		s.reqSeconds.observe(time.Since(mStart))
 		if err != nil {
 			out[idx] = BatchItem{Index: idx, Lane: g.lane, Error: err.Error(), Status: http.StatusUnprocessableEntity}

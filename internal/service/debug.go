@@ -1,0 +1,40 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+
+	"rbpebble/internal/obs"
+)
+
+// SolvesDebugResponse is the GET /debug/solves body: the most recent
+// per-solve telemetry records, newest first, plus the all-time count
+// (including records the ring has since evicted). The cluster proxy
+// fans this endpoint across the fleet and merges the rings.
+type SolvesDebugResponse struct {
+	Total   uint64            `json:"total"`
+	Records []obs.SolveRecord `json:"records"`
+}
+
+// handleDebugSolves serves the telemetry ring: GET /debug/solves?n=K
+// returns the K most recent records (all retained records when n is
+// absent or non-positive).
+func (s *Server) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	recs := s.tel.Recent(n)
+	if recs == nil {
+		recs = []obs.SolveRecord{}
+	}
+	writeJSON(w, SolvesDebugResponse{Total: s.tel.Total(), Records: recs})
+}
+
+// handleDebugTrace serves one retained trace's span tree:
+// GET /debug/trace/{id}.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.recorder.Lookup(r.PathValue("id"))
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "unknown trace")
+		return
+	}
+	writeJSON(w, tr.View())
+}

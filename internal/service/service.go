@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -30,6 +31,7 @@ import (
 	"rbpebble/internal/anytime"
 	"rbpebble/internal/dag"
 	"rbpebble/internal/instcache"
+	"rbpebble/internal/obs"
 	"rbpebble/internal/pebble"
 	"rbpebble/internal/solve"
 )
@@ -91,6 +93,18 @@ type Config struct {
 	// key's next ring owner — crash safety for the cache. Called from
 	// the request path; implementations must not block.
 	Replicate func(instcache.Entry)
+	// TraceCap bounds the /debug/trace/{id} recorder ring (default 256
+	// most recent traces).
+	TraceCap int
+	// TelemetryCap bounds the /debug/solves telemetry ring (default 512
+	// most recent solve records).
+	TelemetryCap int
+	// TelemetrySink, when non-nil, additionally receives every solve
+	// record as one JSON line (rbserve -telemetry-log).
+	TelemetrySink io.Writer
+	// Logger receives structured request/job lifecycle logs with trace
+	// and job IDs attached (default: discard).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +155,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FastLaneBudget <= 0 {
 		c.FastLaneBudget = 150 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -202,6 +219,10 @@ type JobResponse struct {
 
 type job struct {
 	id string
+	// traceID correlates the job with the request that submitted it
+	// (the job context carries the full trace, so the worker's solve
+	// spans land on the submitting request's trace).
+	traceID string
 	// The request is parsed once at submission; the worker reuses the
 	// materialized problem instead of re-decoding the DAG JSON.
 	p            solve.Problem
@@ -377,6 +398,13 @@ type Server struct {
 
 	m metrics
 
+	// recorder retains recent traces for GET /debug/trace/{id}; tel is
+	// the per-solve telemetry ring behind GET /debug/solves — the
+	// feature store the learned portfolio scheduler consumes.
+	recorder *obs.Recorder
+	tel      *obs.SolveLog
+	log      *slog.Logger
+
 	// solveFn is the underlying solver, swappable in tests (e.g. to
 	// gate concurrency deterministically).
 	solveFn func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error)
@@ -413,6 +441,9 @@ func New(cfg Config) *Server {
 		closed:    make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.recorder = obs.NewRecorder(s.cfg.TraceCap)
+	s.tel = obs.NewSolveLog(s.cfg.TelemetryCap, s.cfg.TelemetrySink)
+	s.log = s.cfg.Logger
 	s.cache = instcache.New(s.cfg.CacheSize)
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -429,6 +460,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /cache/import", s.handleCacheImport)
+	s.mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
 	return s
 }
 
@@ -513,6 +546,9 @@ func (s *Server) worker() {
 					s.m.jobsFailed.Add(1)
 				}
 				j.set("error", nil, err.Error())
+				s.log.LogAttrs(j.ctx, slog.LevelWarn, "job failed",
+					slog.String("job", j.id), slog.String("trace", j.traceID),
+					slog.String("err", err.Error()))
 				continue
 			}
 			if wasCanceled {
@@ -521,6 +557,9 @@ func (s *Server) worker() {
 				s.m.jobsDone.Add(1)
 			}
 			j.set("done", &resp, "")
+			s.log.LogAttrs(j.ctx, slog.LevelInfo, "job finished",
+				slog.String("job", j.id), slog.String("trace", j.traceID),
+				slog.String("status", j.snapshot().Status))
 		}
 	}
 }
@@ -692,16 +731,54 @@ func (s *Server) flightDone(key string) {
 // the solve, not when it latches onto another request's flight.
 func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Duration, includeTrace bool, onLower func(int64)) (SolveResponse, error) {
 	start := time.Now()
+	_, csp := obs.StartSpan(ctx, "canonicalize")
 	inst := instcache.Instance{G: p.G, Model: p.Model, R: p.R, Convention: p.Convention}
 	key, perm := inst.Key()
+	csp.End()
 	val, hit, shared, warmed, err := s.solveKeyed(ctx, p, key, perm, deadline, onLower)
 	if err != nil {
 		s.m.solveErrors.Add(1)
 		return SolveResponse{}, err
 	}
-	resp, err := s.buildResponse(p, val, perm, includeTrace, hit, shared, warmed, start)
+	resp, err := s.buildResponse(ctx, p, val, perm, includeTrace, hit, shared, warmed, start)
 	s.reqSeconds.observe(time.Since(start))
 	return resp, err
+}
+
+// modelName maps a materialized model back to its wire name for the
+// telemetry record (the inverse of BuildProblem's model switch).
+func modelName(m pebble.Model) string {
+	switch m.Kind {
+	case pebble.Base:
+		return "base"
+	case pebble.NoDel:
+		return "nodel"
+	case pebble.CompCost:
+		return "compcost"
+	default:
+		return "oneshot"
+	}
+}
+
+// recordProbeHit appends the telemetry record for a request served
+// entirely by a pre-dispatch cache probe (solveKeyed records every
+// other disposition itself).
+func (s *Server) recordProbeHit(ctx context.Context, p solve.Problem, val instcache.Value, deadline time.Duration, start time.Time) {
+	s.tel.Append(obs.SolveRecord{
+		TraceID:     obs.TraceIDFrom(ctx),
+		Start:       start,
+		Features:    obs.ComputeFeatures(p.G, p.R),
+		Model:       modelName(p.Model),
+		Engine:      val.Source,
+		Workers:     s.cfg.SolveWorkers,
+		BudgetMS:    deadline.Milliseconds(),
+		Tier:        instcache.TierForBudget(deadline),
+		Disposition: "hit",
+		LowerScaled: val.LowerScaled,
+		UpperScaled: val.UpperScaled,
+		Optimal:     val.Optimal,
+		WallMS:      float64(time.Since(start).Microseconds()) / 1000,
+	})
 }
 
 // solveKeyed is runSolve after the canonical key is known: interest
@@ -710,6 +787,7 @@ func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Du
 // amortized canonicalization pool) and calls this directly, once per
 // in-batch canonical class.
 func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, perm []dag.NodeID, deadline time.Duration, onLower func(int64)) (instcache.Value, bool, bool, bool, error) {
+	start := time.Now()
 	tier := instcache.TierForBudget(deadline)
 	release := s.registerInterest(key, ctx)
 	defer release()
@@ -720,11 +798,30 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 	// client past its budget, nor pin a canceled job's worker.
 	waitCtx, cancelWait := context.WithTimeout(ctx, deadline+2*time.Second)
 	defer cancelWait()
-	val, hit, shared, warmed, err := s.cache.Do(waitCtx, key, tier, func(warm *instcache.Value) (instcache.Value, error) {
+	// The cache span covers the whole Do: a hit ends it in
+	// microseconds, a latched waiter spends it inside the nested
+	// cache-wait span, and a flight leader nests the engine spans
+	// under it.
+	dctx, dsp := obs.StartSpan(waitCtx, "cache")
+	// run captures what the flight actually did when THIS request led
+	// it, for the telemetry record (waiters latch on and see none of
+	// it). Written inside fn, read after Do returns — fn runs
+	// synchronously on this goroutine when it runs at all.
+	var run struct {
+		res      anytime.Result
+		canceled bool
+		ran      bool
+	}
+	val, hit, shared, warmed, err := s.cache.Do(dctx, key, tier, func(warm *instcache.Value) (instcache.Value, error) {
 		s.m.solves.Add(1)
 		fctx, cancelFlight := s.flightContext(key)
 		defer cancelFlight()
 		defer s.flightDone(key)
+		// The flight context is rooted at baseCtx (concurrent identical
+		// requests share one solve, so no single request's cancellation
+		// may govern it); grafting transplants the leader's trace onto
+		// it so the engine spans land under this request's cache span.
+		fctx = obs.Graft(fctx, dctx)
 		opts := anytime.Options{
 			Budget:  deadline,
 			Workers: s.cfg.SolveWorkers,
@@ -751,6 +848,7 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 		if err != nil {
 			return instcache.Value{}, err
 		}
+		run.res, run.canceled, run.ran = res, fctx.Err() != nil, true
 		// A solve canceled well short of its budget (DELETE, shutdown
 		// grace) only earned a lower tier: crediting the full requested
 		// tier would let its weak interval be served to smaller-budget
@@ -772,9 +870,48 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 			Tier:        effTier,
 		}, nil
 	})
+	dsp.End()
+	// Every completion — hit, warm, shared, cold, canceled, failed —
+	// appends one telemetry record: the feature store the portfolio
+	// scheduler trains on must see the failures and cancellations too.
+	rec := obs.SolveRecord{
+		TraceID:     obs.TraceIDFrom(ctx),
+		Start:       start,
+		Features:    obs.ComputeFeatures(p.G, p.R),
+		Model:       modelName(p.Model),
+		Engine:      val.Source,
+		Workers:     s.cfg.SolveWorkers,
+		BudgetMS:    deadline.Milliseconds(),
+		Tier:        tier,
+		Disposition: "cold",
+		Canceled:    run.canceled,
+		LowerScaled: val.LowerScaled,
+		UpperScaled: val.UpperScaled,
+		Optimal:     val.Optimal,
+		WallMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	switch {
+	case hit:
+		rec.Disposition = "hit"
+	case shared:
+		rec.Disposition = "shared"
+	case warmed:
+		rec.Disposition = "warm"
+	}
+	if run.ran {
+		rec.Expanded = uint64(run.res.Expanded)
+		rec.Visits = uint64(run.res.Visits)
+		rec.TableBytes = uint64(run.res.TableBytes)
+	}
 	if err != nil {
+		rec.Err = err.Error()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			rec.Canceled = true
+		}
+		s.tel.Append(rec)
 		return instcache.Value{}, false, false, false, err
 	}
+	s.tel.Append(rec)
 	if !hit && !shared && s.cfg.Replicate != nil {
 		// This request's own solve produced (or tightened) the stored
 		// entry: push it toward the key's next ring owner so a hard crash
@@ -791,13 +928,16 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 // every member of a canonical-class group goes through its own
 // buildResponse (k isomorphic items = 1 solve, k translations), so a
 // translation failure poisons only its own item.
-func (s *Server) buildResponse(p solve.Problem, val instcache.Value, perm []dag.NodeID, includeTrace bool, hit, shared, warmed bool, start time.Time) (SolveResponse, error) {
+func (s *Server) buildResponse(ctx context.Context, p solve.Problem, val instcache.Value, perm []dag.NodeID, includeTrace bool, hit, shared, warmed bool, start time.Time) (SolveResponse, error) {
+	_, tsp := obs.StartSpan(ctx, "translate")
+	defer tsp.End()
 	moves := instcache.FromCanonical(val.Moves, perm)
 	// Replay-verify on the requester's own graph: the response is
 	// certified even when the moves crossed the cache through another
 	// instance's labeling.
 	tr := &pebble.Trace{Model: p.Model, R: p.R, Convention: p.Convention, Moves: moves}
 	if _, err := tr.Run(p.G); err != nil {
+		tsp.SetAttr("err", err.Error())
 		s.m.solveErrors.Add(1)
 		return SolveResponse{}, fmt.Errorf("cached trace failed verification: %w", err)
 	}
@@ -826,6 +966,10 @@ func (s *Server) buildResponse(p solve.Problem, val instcache.Value, perm []dag.
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
+	// The trace starts (or continues, when the proxy minted the ID)
+	// before any rejection path, so even a draining 503 or a shed 429
+	// carries the X-Rbpebble-Trace correlation header.
+	ctx, _ := obs.StartRequest(w, r, s.recorder)
 	if s.draining.Load() {
 		// The header lets the routing proxy tell "this node is going
 		// away, fail over" apart from per-request 503s (queue full,
@@ -855,13 +999,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		jctx, jcancel := context.WithCancel(s.baseCtx)
 		j := &job{
 			id:           "job-" + s.jobPrefix + "-" + strconv.FormatUint(s.jobSeq.Add(1), 10),
+			traceID:      obs.TraceIDFrom(ctx),
 			p:            p,
 			deadline:     deadline,
 			includeTrace: req.IncludeTrace,
 			status:       "queued",
-			ctx:          jctx,
-			cancel:       jcancel,
-			done:         make(chan struct{}),
+			// The job context cancels with the job (DELETE, shutdown
+			// grace) but carries the submitting request's trace, so the
+			// worker's solve spans land on it after the 202 returns.
+			ctx:    obs.Graft(jctx, ctx),
+			cancel: jcancel,
+			done:   make(chan struct{}),
 		}
 		select {
 		case <-s.closed:
@@ -885,12 +1033,92 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		s.m.jobsSubmitted.Add(1)
 		s.registerJob(j)
+		s.log.LogAttrs(ctx, slog.LevelInfo, "job queued",
+			slog.String("job", j.id), slog.String("trace", j.traceID))
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(j.snapshot())
 		return
 	}
-	resp, err := s.runSolve(s.baseCtx, p, deadline, req.IncludeTrace, nil)
+	s.syncSolve(w, ctx, p, deadline, req.IncludeTrace)
+}
+
+// syncSolve serves a single synchronous solve through the two-lane
+// scheduler: a pre-dispatch cache probe (plus the fast-lane budget
+// threshold) classifies the request exactly like a batch group, the
+// lane-queue wait is a span on the trace, and a saturated lane sheds
+// with 429 + Retry-After instead of queueing a cache hit behind
+// multi-second exact solves.
+func (s *Server) syncSolve(w http.ResponseWriter, ctx context.Context, p solve.Problem, deadline time.Duration, includeTrace bool) {
+	start := time.Now()
+	_, csp := obs.StartSpan(ctx, "canonicalize")
+	inst := instcache.Instance{G: p.G, Model: p.Model, R: p.R, Convention: p.Convention}
+	key, perm := inst.Key()
+	csp.End()
+
+	_, psp := obs.StartSpan(ctx, "cache-probe")
+	tier := instcache.TierForBudget(deadline)
+	probedVal, probeHit := s.cache.Probe(key, tier)
+	psp.SetAttr("hit", strconv.FormatBool(probeHit))
+	psp.End()
+	laneName := laneHeavy
+	if probeHit || deadline <= s.cfg.FastLaneBudget {
+		laneName = laneFast
+	}
+
+	_, qsp := obs.StartSpan(ctx, "lane-queue")
+	qsp.SetAttr("lane", laneName)
+	var (
+		resp SolveResponse
+		err  error
+	)
+	done := make(chan struct{})
+	var started atomic.Bool
+	task := func() {
+		started.Store(true)
+		qsp.End()
+		defer close(done)
+		if probeHit {
+			resp, err = s.buildResponse(ctx, p, probedVal, perm, includeTrace, true, false, false, start)
+			s.reqSeconds.observe(time.Since(start))
+			s.recordProbeHit(ctx, p, probedVal, deadline, start)
+			return
+		}
+		// The solve runs under baseCtx with the request's trace grafted
+		// on: a client that disconnects mid-solve doesn't kill a solve
+		// whose result is about to land in the cache.
+		sctx := obs.Graft(s.baseCtx, ctx)
+		var val instcache.Value
+		var hit, shared, warmed bool
+		val, hit, shared, warmed, err = s.solveKeyed(sctx, p, key, perm, deadline, nil)
+		if err != nil {
+			s.m.solveErrors.Add(1)
+			return
+		}
+		resp, err = s.buildResponse(ctx, p, val, perm, includeTrace, hit, shared, warmed, start)
+		s.reqSeconds.observe(time.Since(start))
+	}
+	if !s.lanes.byName(laneName).submit(task) {
+		qsp.SetAttr("shed", "true")
+		qsp.End()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, laneName+" lane saturated")
+		return
+	}
+	select {
+	case <-done:
+	case <-s.closed:
+		// Lane workers are gone or going. A task that already started
+		// still finishes — its partial certified interval must reach the
+		// client — but one still queued never runs.
+		if started.Load() {
+			<-done
+		} else {
+			qsp.End()
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			httpError(w, http.StatusServiceUnavailable,
@@ -922,6 +1150,7 @@ func (s *Server) registerJob(j *job) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
+	obs.StartRequest(w, r, nil) // echo the trace header; polls aren't recorded
 	s.jobMu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
 	s.jobMu.Unlock()
@@ -939,6 +1168,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // best incumbent instead of wasting the work done so far).
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Add(1)
+	obs.StartRequest(w, r, nil)
 	s.jobMu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
 	s.jobMu.Unlock()
@@ -1059,6 +1289,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rbserve_batch_dedup_total", s.m.batchDeduped.Load()},
 		{"rbserve_batch_shed_total", s.m.batchShed.Load()},
 		{"rbserve_lane_shed_total", s.lanes.fast.shed.Load() + s.lanes.heavy.shed.Load()},
+		{"rbserve_telemetry_records_total", s.tel.Total()},
 		{"rbserve_draining", drainingGauge},
 	} {
 		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)

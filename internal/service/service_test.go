@@ -112,7 +112,10 @@ func TestSolveOptimalAndCacheHit(t *testing.T) {
 // TestSingleflightConcurrentRequests gates the solver so that N
 // concurrent identical requests demonstrably share one solve.
 func TestSingleflightConcurrentRequests(t *testing.T) {
-	s := New(Config{})
+	// One heavy-lane worker per request: every concurrent request must
+	// reach the singleflight (and latch on) while the leader is gated,
+	// or the misses counter below never reaches n.
+	s := New(Config{HeavyLaneWorkers: 8})
 	defer s.Close()
 	gate := make(chan struct{})
 	started := make(chan struct{}, 64)
