@@ -18,6 +18,9 @@
 // of dying on a budget error. Adding -progress streams every certified
 // tightening of the interval to stderr while the solve runs — including
 // the async engine's mid-flight certified lower bound under -workers.
+// Adding -watch refreshes a live single-line search view (engine,
+// expansion rate, frontier and table size) from the engines' sampled
+// introspection snapshots.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 
 	"rbpebble/internal/anytime"
 	"rbpebble/internal/dag"
+	"rbpebble/internal/obs"
 	"rbpebble/internal/pebble"
 	"rbpebble/internal/solve"
 )
@@ -53,6 +57,7 @@ func main() {
 		maxVisits = flag.Int("maxvisits", 0, "dfs solver visit budget (0 = default)")
 		deadline  = flag.Duration("deadline", 0, "anytime budget: race heuristics and exact engines, print a certified [lower, upper] interval (overrides -solver)")
 		progress  = flag.Bool("progress", false, "with -deadline: print live certified [lower, upper] updates to stderr as the interval tightens (works with -workers > 1: the async engine streams its certified bound mid-flight)")
+		watch     = flag.Bool("watch", false, "with -deadline: live single-line search view on stderr (engine, expansion rate, frontier, table size), refreshed from the engines' sampled snapshots")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -99,7 +104,22 @@ func main() {
 					s.LowerScaled, upper, s.Source, s.Elapsed.Round(time.Millisecond))
 			}
 		}
+		watching := false
+		if *watch {
+			// Live single-line search view, refreshed in place. Snapshots
+			// from the racing exact engines share one stream with strictly
+			// increasing Seq, so the line simply shows the latest sample.
+			opts.OnSearch = func(sn obs.SearchSnapshot) {
+				watching = true
+				fmt.Fprintf(os.Stderr, "\rwatch:     %-12s %6.1fs  %9d expanded  %8.0f st/s  frontier %-8d lower %-6d table %s   ",
+					sn.Engine, float64(sn.ElapsedMS)/1000, sn.Expanded, sn.Rate,
+					sn.FrontierSize, sn.LowerBound, fmtBytes(sn.TableBytes))
+			}
+		}
 		res, aerr := anytime.Solve(context.Background(), p, opts)
+		if watching {
+			fmt.Fprintln(os.Stderr) // terminate the refreshed line
+		}
 		if aerr != nil {
 			fatal(aerr)
 		}
@@ -232,6 +252,20 @@ func parseRule(name string) (solve.GreedyRule, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown greedy rule %q", name)
+}
+
+// fmtBytes renders a byte count at watch-line precision.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func fatal(err error) {

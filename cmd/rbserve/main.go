@@ -19,8 +19,11 @@
 // Every request is traced end to end (X-Rbpebble-Trace): span trees are
 // served from GET /debug/trace/{id}, per-solve telemetry records from
 // GET /debug/solves, and -telemetry-log appends each record as JSONL
-// for offline scheduler training. -pprof-addr exposes net/http/pprof on
-// a separate listener.
+// for offline scheduler training. Running async jobs additionally
+// expose live engine introspection on GET /debug/jobs/{id}/search and
+// per-job search gauges on /metrics; -search-log appends every sampled
+// snapshot as JSONL. -pprof-addr exposes net/http/pprof on a separate
+// listener.
 //
 // With -join, the node registers itself with an rbproxy's membership
 // API, heartbeats its lease, replicates freshly stored cache entries to
@@ -73,6 +76,7 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
 		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled)")
 		telemetryLog = flag.String("telemetry-log", "", "append per-solve telemetry records as JSONL to this file")
+		searchLog    = flag.String("search-log", "", "append live search-engine snapshots as JSONL to this file")
 		traceCap     = flag.Int("trace-cap", 0, "retained solve traces for /debug/trace (0 = default 256)")
 		telemetryCap = flag.Int("telemetry-cap", 0, "retained telemetry records for /debug/solves (0 = default 512)")
 	)
@@ -90,6 +94,16 @@ func main() {
 		}
 		defer f.Close()
 		telemetrySink = f
+	}
+	var searchSink io.Writer
+	if *searchLog != "" {
+		f, err := os.OpenFile(*searchLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbserve: search-log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		searchSink = f
 	}
 
 	// The agent pointer is set only in -join mode, after the server
@@ -115,6 +129,7 @@ func main() {
 		TraceCap:         *traceCap,
 		TelemetryCap:     *telemetryCap,
 		TelemetrySink:    telemetrySink,
+		SearchSink:       searchSink,
 		Logger:           logger,
 		Replicate: func(e instcache.Entry) {
 			if a := agentPtr.Load(); a != nil {

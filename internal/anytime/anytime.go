@@ -67,6 +67,16 @@ type Options struct {
 	// several engines report the same bound concurrently. Called from
 	// solver goroutines; must be fast.
 	OnProgress func(Snapshot)
+	// OnSearch, when non-nil, receives the exact engines' live search
+	// snapshots (expansion rate, frontier shape, table occupancy,
+	// per-worker mailbox/heap data — see obs.SearchSnapshot) on a
+	// time-based cadence during phase 2. Emissions are serialized with
+	// strictly increasing Seq across both racing engines. Called from
+	// solver goroutines; must be fast.
+	OnSearch func(obs.SearchSnapshot)
+	// SnapshotEvery is the engines' search-snapshot cadence (zero =
+	// the engines' ~100ms default).
+	SnapshotEvery time.Duration
 	// Warm, when non-nil, resumes refinement from a previously certified
 	// interval of the SAME instance (e.g. a cached deadline-limited
 	// result): the cached incumbent is replay-verified and installed
@@ -130,6 +140,12 @@ type Result struct {
 	// best-first visited tables plus the depth-first memo/heuristic
 	// tables) — the memory half of the per-solve telemetry record.
 	TableBytes int64
+	// PeakFrontier and PeakRate are the largest open-frontier size and
+	// expansion rate (states/s) observed across the solve's search
+	// snapshots (zero when phase 2 never ran or finished between
+	// samples) — the SolveRecord fields the portfolio scheduler wants.
+	PeakFrontier int64
+	PeakRate     float64
 }
 
 // Gap returns the relative optimality gap (upper-lower)/upper of a
@@ -184,6 +200,8 @@ func refinementOptions(opts Options, incumbentScaled, lowerScaled int64) (solve.
 		MaxVisits:         maxVisits,
 		InitialLowerBound: lowerScaled,
 	}
+	exact.ProgressEvery = opts.SnapshotEvery
+	dfs.ProgressEvery = opts.SnapshotEvery
 	if incumbentScaled < math.MaxInt64 {
 		// Exclusive bounds: keep equal-cost completions so the engines
 		// can still PROVE the incumbent optimal, prune anything worse.
@@ -191,6 +209,94 @@ func refinementOptions(opts Options, incumbentScaled, lowerScaled int64) (solve.
 		dfs.InitialBound = incumbentScaled + 1
 	}
 	return exact, dfs
+}
+
+// searchRelay funnels both racing engines' search snapshots into one
+// ordered stream: it converts the solve-layer snapshot to the wire
+// form, assigns a strictly increasing Seq, tracks the peak frontier
+// size and expansion rate for the Result, mirrors each sample as a
+// search-snapshot span event, and fans out to the caller's OnSearch.
+// One mutex serializes everything so the observer never sees Seq go
+// backward even when the A* and IDA* engines sample concurrently.
+type searchRelay struct {
+	mu           sync.Mutex
+	seq          int
+	peakFrontier int64
+	peakRate     float64
+	on           func(obs.SearchSnapshot)
+}
+
+func (r *searchRelay) relay(sp *obs.Span, pr solve.ExactProgress) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	snap := searchSnapshotFrom(pr)
+	snap.Seq = r.seq
+	if snap.FrontierSize > r.peakFrontier {
+		r.peakFrontier = snap.FrontierSize
+	}
+	if snap.Rate > r.peakRate {
+		r.peakRate = snap.Rate
+	}
+	sp.Event("search-snapshot", snap.Expanded)
+	if r.on != nil {
+		r.on(snap)
+	}
+}
+
+// peaks returns the peak frontier size and expansion rate seen so far.
+func (r *searchRelay) peaks() (frontier int64, rate float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.peakFrontier, r.peakRate
+}
+
+// searchSnapshotFrom converts the solve layer's engine snapshot into
+// the wire form shared by the service, proxy, CLI and JSONL sinks.
+func searchSnapshotFrom(pr solve.ExactProgress) obs.SearchSnapshot {
+	s := obs.SearchSnapshot{
+		Engine:       pr.Engine,
+		ElapsedMS:    pr.Elapsed.Milliseconds(),
+		Expanded:     int64(pr.Expanded),
+		Rate:         pr.Rate,
+		Pushed:       int64(pr.Pushed),
+		Distinct:     int64(pr.Distinct),
+		LowerBound:   pr.LowerBound,
+		FrontierSize: int64(pr.OpenSize),
+		FrontierF:    pr.FrontierF,
+		FrontierG:    pr.FrontierG,
+		TableStates:  int64(pr.Distinct),
+		TableBytes:   pr.TableBytes,
+		TableLoad:    pr.TableLoad,
+		SafraSent:    pr.SafraSent,
+		SafraRecv:    pr.SafraRecv,
+		Threshold:    pr.Threshold,
+		Pass:         pr.Pass,
+	}
+	if len(pr.OpenBuckets) > 0 {
+		s.OpenBuckets = make([]obs.SearchBucket, len(pr.OpenBuckets))
+		for i, b := range pr.OpenBuckets {
+			s.OpenBuckets[i] = obs.SearchBucket{F: b.F, Count: b.Count}
+		}
+	}
+	if len(pr.Workers) > 0 {
+		s.Workers = make([]obs.SearchWorker, len(pr.Workers))
+		for i, w := range pr.Workers {
+			s.Workers[i] = obs.SearchWorker{
+				ID:           w.ID,
+				Expanded:     int64(w.Expanded),
+				Pushed:       int64(w.Pushed),
+				HeapSize:     int64(w.OpenSize),
+				HeapMinF:     w.HeapMinF,
+				Floor:        w.Floor,
+				MailboxDepth: int64(w.MailboxDepth),
+				TableStates:  int64(w.TableCount),
+				TableBytes:   w.TableBytes,
+				Passive:      w.Passive,
+			}
+		}
+	}
+	return s
 }
 
 // collector accumulates the certified interval across phases and
@@ -400,6 +506,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 	// the budget died during phase 1).
 	var exactStats solve.ExactStats
 	var dfsStats solve.ExactDFSStats
+	relay := &searchRelay{on: opts.OnSearch}
 	if !c.closed() && ctx.Err() == nil {
 		var wg sync.WaitGroup
 
@@ -422,6 +529,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 			exactOpts.Progress = func(pr solve.ExactProgress) {
 				asp.Event("lower-bound", pr.LowerBound)
 				c.raiseLower(pr.LowerBound, "astar")
+				relay.relay(asp, pr)
 			}
 			sol, err := solve.Exact(p, exactOpts)
 			defer func() {
@@ -461,6 +569,9 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 					dsp.Event("lower-bound", st.LowerBound)
 					c.raiseLower(st.LowerBound, "ida*")
 				}
+				dfsOpts.Search = func(pr solve.ExactProgress) {
+					relay.relay(dsp, pr)
+				}
 				sol, err := solve.ExactDFS(p, dfsOpts)
 				defer func() {
 					dsp.SetAttr("visits", strconv.Itoa(dfsStats.Visits))
@@ -494,6 +605,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 		Visits:      dfsStats.Visits,
 		TableBytes:  exactStats.TableBytes + dfsStats.TableBytes,
 	}
+	res.PeakFrontier, res.PeakRate = relay.peaks()
 	res.Upper = float64(res.UpperScaled) / CostScale(p.Model)
 	res.Lower = float64(res.LowerScaled) / CostScale(p.Model)
 	return res, nil

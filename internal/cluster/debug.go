@@ -108,6 +108,40 @@ func (p *Proxy) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusNotFound, "unknown trace on every cluster member")
 }
 
+// handleDebugJobSearch resolves an async job's live search telemetry
+// anywhere in the fleet: job IDs carry a per-node random prefix, so the
+// healthy members are simply asked in order and the first non-404
+// answer wins. The owning node's name is stamped into the body (and the
+// X-Rbproxy-Node header), so a dashboard polling a running job knows
+// which member's gauges to watch.
+func (p *Proxy) handleDebugJobSearch(w http.ResponseWriter, r *http.Request) {
+	p.m.requests.Add(1)
+	p.m.fanouts.Add(1)
+	id := r.PathValue("id")
+	for _, member := range healthyMembers(p.ring) {
+		resp, err := p.comm.Get(r.Context(), member, "/debug/jobs/"+id+"/search")
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var body service.SearchDebugResponse
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		body.Node = member
+		w.Header().Set("X-Rbproxy-Node", member)
+		writeJSON(w, body)
+		return
+	}
+	httpError(w, http.StatusNotFound, "unknown job on every cluster member")
+}
+
 // errStatus wraps a non-200 downstream status as an error.
 type errStatus int
 

@@ -165,6 +165,7 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 	p.mux.HandleFunc("POST /cluster/replicate", p.handleReplicate)
 	p.mux.HandleFunc("GET /debug/solves", p.handleDebugSolves)
 	p.mux.HandleFunc("GET /debug/trace/{id}", p.handleDebugTrace)
+	p.mux.HandleFunc("GET /debug/jobs/{id}/search", p.handleDebugJobSearch)
 	return p
 }
 
@@ -622,6 +623,9 @@ func (p *Proxy) importTarget(key, exclude string, failed map[string]bool) string
 var labelPreservedMetrics = map[string]bool{
 	"rbserve_request_seconds_bucket": true,
 	"rbserve_queue_depth":            true,
+	// Summed per version label set, the standard fleet-rollout view:
+	// cluster_rbserve_build_info{version=...} counts nodes per build.
+	"rbserve_build_info": true,
 }
 
 // fetchMetrics scrapes one member's Prometheus text exposition into

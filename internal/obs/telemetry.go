@@ -109,6 +109,11 @@ type SolveRecord struct {
 	Expanded    uint64 `json:"expanded,omitempty"`
 	Visits      uint64 `json:"visits,omitempty"`
 	TableBytes  uint64 `json:"table_bytes,omitempty"`
+	// PeakFrontier/PeakRate are the largest open-frontier size and
+	// expansion rate (states/s) observed across the solve's search
+	// snapshots (0 when no snapshots were sampled).
+	PeakFrontier int64   `json:"peak_frontier,omitempty"`
+	PeakRate     float64 `json:"peak_rate,omitempty"`
 	// Certified interval in scaled cost units; Optimal when closed.
 	LowerScaled int64   `json:"lower_scaled"`
 	UpperScaled int64   `json:"upper_scaled"`

@@ -321,7 +321,7 @@ func (s *Server) runBatchGroup(ctx context.Context, g *batchGroup, states []batc
 		// like the sync path, a client that gives up mid-batch doesn't
 		// kill a solve whose result is about to land in the cache. The
 		// graft keeps the batch request's trace on it.
-		val, hit, shared, warmed, err = s.solveKeyed(obs.Graft(s.baseCtx, ctx), states[leader].p, g.key, states[leader].perm, g.deadline, nil)
+		val, hit, shared, warmed, err = s.solveKeyed(obs.Graft(s.baseCtx, ctx), states[leader].p, g.key, states[leader].perm, g.deadline, nil, nil)
 		if err != nil {
 			s.m.solveErrors.Add(1)
 			status := http.StatusUnprocessableEntity

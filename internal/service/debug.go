@@ -38,3 +38,33 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, tr.View())
 }
+
+// SearchDebugResponse is the GET /debug/jobs/{id}/search body: an async
+// job's most recent live engine-introspection snapshot. Snapshot is
+// null until the solve's first sample (queued jobs, cache hits, solves
+// shorter than the sampling cadence); after completion the last
+// snapshot is retained alongside the terminal status. The cluster proxy
+// fans this endpoint across the fleet and fills Node.
+type SearchDebugResponse struct {
+	Job      string              `json:"job"`
+	Status   string              `json:"status"`
+	Node     string              `json:"node,omitempty"`
+	Snapshot *obs.SearchSnapshot `json:"snapshot"`
+}
+
+// handleDebugJobSearch serves a job's live search telemetry:
+// GET /debug/jobs/{id}/search.
+func (s *Server) handleDebugJobSearch(w http.ResponseWriter, r *http.Request) {
+	s.jobMu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.jobMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, SearchDebugResponse{
+		Job:      j.id,
+		Status:   j.snapshot().Status,
+		Snapshot: j.search.Load(),
+	})
+}

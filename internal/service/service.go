@@ -23,6 +23,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -102,6 +103,11 @@ type Config struct {
 	// TelemetrySink, when non-nil, additionally receives every solve
 	// record as one JSON line (rbserve -telemetry-log).
 	TelemetrySink io.Writer
+	// SearchSink, when non-nil, receives every live engine-introspection
+	// snapshot sampled during this node's solves as one JSON line
+	// (rbserve -search-log). Lines are written under a server-wide lock
+	// so concurrent solves never interleave.
+	SearchSink io.Writer
 	// Logger receives structured request/job lifecycle logs with trace
 	// and job IDs attached (default: discard).
 	Logger *slog.Logger
@@ -241,6 +247,12 @@ type job struct {
 	// even under SolveWorkers > 1). Exposed while the job runs as the
 	// rbserve_job_lower_bound gauge.
 	lower atomic.Int64
+
+	// search is the most recent live engine-introspection snapshot of
+	// the running solve (nil until the first sample; the last snapshot
+	// is retained after completion). Served by
+	// GET /debug/jobs/{id}/search and the rbserve_job_* search gauges.
+	search atomic.Pointer[obs.SearchSnapshot]
 
 	mu       sync.Mutex
 	status   string
@@ -409,6 +421,15 @@ type Server struct {
 	// gate concurrency deterministically).
 	solveFn func(ctx context.Context, p solve.Problem, opts anytime.Options) (anytime.Result, error)
 
+	// start stamps process start for rbserve_uptime_seconds; version is
+	// the main module version for rbserve_build_info.
+	start   time.Time
+	version string
+
+	// searchMu serializes SearchSink writes so snapshot lines from
+	// concurrent solves never interleave.
+	searchMu sync.Mutex
+
 	// baseCtx parents every solve; baseCancel fires when a graceful
 	// shutdown exhausts its grace period, turning the surviving
 	// in-flight solves into certified partial intervals.
@@ -439,6 +460,8 @@ func New(cfg Config) *Server {
 		interest:  make(map[string]*keyInterest),
 		solveFn:   anytime.Solve,
 		closed:    make(chan struct{}),
+		start:     time.Now(),
+		version:   mainVersion(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.recorder = obs.NewRecorder(s.cfg.TraceCap)
@@ -462,7 +485,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /cache/import", s.handleCacheImport)
 	s.mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
+	s.mux.HandleFunc("GET /debug/jobs/{id}/search", s.handleDebugJobSearch)
 	return s
+}
+
+// mainVersion resolves the main module version stamped into the binary
+// ("(devel)" for plain go build / go test).
+func mainVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // Handler returns the HTTP handler.
@@ -535,7 +568,8 @@ func (s *Server) worker() {
 				s.m.jobsCanceled.Add(1)
 				continue
 			}
-			resp, err := s.runSolve(j.ctx, j.p, j.deadline, j.includeTrace, j.lower.Store)
+			resp, err := s.runSolve(j.ctx, j.p, j.deadline, j.includeTrace, j.lower.Store,
+				func(sn obs.SearchSnapshot) { j.search.Store(&sn) })
 			j.mu.Lock()
 			wasCanceled := j.canceled
 			j.mu.Unlock()
@@ -728,14 +762,17 @@ func (s *Server) flightDone(key string) {
 // when non-nil, receives every certified scaled lower-bound improvement
 // streamed by the orchestrator while the solve runs (async jobs feed it
 // into their live metrics gauge); it fires only when this request leads
-// the solve, not when it latches onto another request's flight.
-func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Duration, includeTrace bool, onLower func(int64)) (SolveResponse, error) {
+// the solve, not when it latches onto another request's flight. onSearch
+// likewise receives the orchestrator's live engine-introspection
+// snapshots when this request leads the solve (async jobs retain the
+// latest one for GET /debug/jobs/{id}/search).
+func (s *Server) runSolve(ctx context.Context, p solve.Problem, deadline time.Duration, includeTrace bool, onLower func(int64), onSearch func(obs.SearchSnapshot)) (SolveResponse, error) {
 	start := time.Now()
 	_, csp := obs.StartSpan(ctx, "canonicalize")
 	inst := instcache.Instance{G: p.G, Model: p.Model, R: p.R, Convention: p.Convention}
 	key, perm := inst.Key()
 	csp.End()
-	val, hit, shared, warmed, err := s.solveKeyed(ctx, p, key, perm, deadline, onLower)
+	val, hit, shared, warmed, err := s.solveKeyed(ctx, p, key, perm, deadline, onLower, onSearch)
 	if err != nil {
 		s.m.solveErrors.Add(1)
 		return SolveResponse{}, err
@@ -781,12 +818,21 @@ func (s *Server) recordProbeHit(ctx context.Context, p solve.Problem, val instca
 	})
 }
 
+// searchLogLine is one -search-log JSONL row: a live engine snapshot
+// stamped with its solve's trace ID for correlation against the
+// telemetry log and /debug/trace/{id}.
+type searchLogLine struct {
+	Time     time.Time          `json:"time"`
+	TraceID  string             `json:"trace_id,omitempty"`
+	Snapshot obs.SearchSnapshot `json:"snapshot"`
+}
+
 // solveKeyed is runSolve after the canonical key is known: interest
 // registration, the cache/singleflight Do, and replication of freshly
 // produced entries. The batch plane computes keys up front (in its
 // amortized canonicalization pool) and calls this directly, once per
 // in-batch canonical class.
-func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, perm []dag.NodeID, deadline time.Duration, onLower func(int64)) (instcache.Value, bool, bool, bool, error) {
+func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, perm []dag.NodeID, deadline time.Duration, onLower func(int64), onSearch func(obs.SearchSnapshot)) (instcache.Value, bool, bool, bool, error) {
 	start := time.Now()
 	tier := instcache.TierForBudget(deadline)
 	release := s.registerInterest(key, ctx)
@@ -830,6 +876,27 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 			opts.OnProgress = func(sn anytime.Snapshot) {
 				if sn.LowerScaled > 0 {
 					onLower(sn.LowerScaled)
+				}
+			}
+		}
+		if onSearch != nil || s.cfg.SearchSink != nil {
+			// Live engine introspection fans out to the caller (async
+			// jobs retain the latest snapshot) and to the -search-log
+			// JSONL sink. Like onLower, only the flight leader samples —
+			// latched waiters see nothing, which is exactly right: there
+			// is one search, and one stream describing it.
+			traceID := obs.TraceIDFrom(dctx)
+			opts.OnSearch = func(sn obs.SearchSnapshot) {
+				if onSearch != nil {
+					onSearch(sn)
+				}
+				if s.cfg.SearchSink != nil {
+					line := searchLogLine{Time: time.Now(), TraceID: traceID, Snapshot: sn}
+					if b, jerr := json.Marshal(line); jerr == nil {
+						s.searchMu.Lock()
+						s.cfg.SearchSink.Write(append(b, '\n'))
+						s.searchMu.Unlock()
+					}
 				}
 			}
 		}
@@ -902,6 +969,8 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 		rec.Expanded = uint64(run.res.Expanded)
 		rec.Visits = uint64(run.res.Visits)
 		rec.TableBytes = uint64(run.res.TableBytes)
+		rec.PeakFrontier = run.res.PeakFrontier
+		rec.PeakRate = run.res.PeakRate
 	}
 	if err != nil {
 		rec.Err = err.Error()
@@ -1090,7 +1159,7 @@ func (s *Server) syncSolve(w http.ResponseWriter, ctx context.Context, p solve.P
 		sctx := obs.Graft(s.baseCtx, ctx)
 		var val instcache.Value
 		var hit, shared, warmed bool
-		val, hit, shared, warmed, err = s.solveKeyed(sctx, p, key, perm, deadline, nil)
+		val, hit, shared, warmed, err = s.solveKeyed(sctx, p, key, perm, deadline, nil, nil)
 		if err != nil {
 			s.m.solveErrors.Add(1)
 			return
@@ -1294,6 +1363,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} {
 		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)
 	}
+	// Build identity and uptime. The proxy's fleet merge preserves
+	// build_info's labels (a sum of constant-1 series per version is the
+	// standard fleet-rollout view); uptime sums into cluster seconds.
+	fmt.Fprintf(w, "rbserve_build_info{version=%q,go_version=%q} 1\n", s.version, runtime.Version())
+	fmt.Fprintf(w, "rbserve_uptime_seconds %s\n",
+		strconv.FormatFloat(time.Since(s.start).Seconds(), 'g', -1, 64))
 	// Per-lane queued backlog (instantaneous gauge) — the admission
 	// signal behind 429 shedding, exported so operators can see which
 	// lane is saturating. "jobs" is the async-solve queue that predates
@@ -1311,8 +1386,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// after releasing it: a slow-reading scraper must not block job
 	// submission and polling on jobMu.
 	type jobGauge struct {
-		id    string
-		lower int64
+		id     string
+		lower  int64
+		search *obs.SearchSnapshot
 	}
 	var gauges []jobGauge
 	s.jobMu.Lock()
@@ -1322,12 +1398,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		running := j.status == "running"
 		j.mu.Unlock()
 		if running {
-			gauges = append(gauges, jobGauge{id: id, lower: j.lower.Load()})
+			gauges = append(gauges, jobGauge{id: id, lower: j.lower.Load(), search: j.search.Load()})
 		}
 	}
 	s.jobMu.Unlock()
 	for _, g := range gauges {
 		fmt.Fprintf(w, "rbserve_job_lower_bound{job=%q} %d\n", g.id, g.lower)
+		if g.search == nil {
+			continue // no snapshot sampled yet
+		}
+		// Live search-introspection gauges, from the job's latest engine
+		// snapshot. The proxy's fleet merge strips the labels and sums
+		// into cluster_rbserve_job_*.
+		fmt.Fprintf(w, "rbserve_job_expansion_rate{job=%q} %s\n", g.id,
+			strconv.FormatFloat(g.search.Rate, 'g', -1, 64))
+		fmt.Fprintf(w, "rbserve_job_table_bytes{job=%q} %d\n", g.id, g.search.TableBytes)
+		fmt.Fprintf(w, "rbserve_job_frontier_size{job=%q} %d\n", g.id, g.search.FrontierSize)
+		for _, wk := range g.search.Workers {
+			fmt.Fprintf(w, "rbserve_job_mailbox_depth{job=%q,worker=\"%d\"} %d\n", g.id, wk.ID, wk.MailboxDepth)
+		}
 	}
 }
 

@@ -135,6 +135,10 @@ type asyncMailbox struct {
 	batches []*asyncBatch
 	pendF   atomic.Int64
 	pendG   atomic.Int64
+	// pendN counts the pending proposals (snapshot introspection only:
+	// the coordinator sums it into per-worker mailbox depths; neither
+	// the throttle nor the certified merge reads it).
+	pendN atomic.Int64
 }
 
 // asyncShared is the state shared by all workers and the coordinator.
@@ -161,6 +165,24 @@ type asyncShared struct {
 	incG     atomic.Int64
 	incShard int32
 	incNode  int32
+
+	// wantStats gates the per-worker stat mirror below: workers copy
+	// their private counters into these atomics once per loop turn (in
+	// publish) only when a Progress listener wants snapshots, so a
+	// listener-free run pays one predictable branch per turn.
+	wantStats bool
+	wstats    []asyncWorkerStats
+}
+
+// asyncWorkerStats is one worker's published introspection mirror,
+// read by the coordinator when it builds a snapshot.
+type asyncWorkerStats struct {
+	expanded   atomic.Int64
+	pushed     atomic.Int64
+	openLen    atomic.Int64
+	tableCount atomic.Int64
+	tableBytes atomic.Int64
+	tableSlots atomic.Int64
 }
 
 // improve lowers the shared incumbent (cold path: goals are rare).
@@ -248,6 +270,10 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 		fmins:   make([]atomic.Int64, nw),
 		gtops:   make([]atomic.Int64, nw),
 		floors:  make([]atomic.Int64, nw),
+	}
+	sh.wantStats = opts.Progress != nil
+	if sh.wantStats {
+		sh.wstats = make([]asyncWorkerStats, nw)
 	}
 	sh.incG.Store(costUnreached)
 	for i := range sh.fmins {
@@ -341,6 +367,10 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 	// which every generated proposal sits relaxed in some shard heap, so
 	// the heap tops are the full open frontier and their minimum is the
 	// final (tightest) certified lower bound on the optimum.
+	var sampler *progressSampler
+	if opts.Progress != nil {
+		sampler = newProgressSampler(opts.ProgressEvery)
+	}
 	coSleep := 20 * time.Microsecond
 	for {
 		if sh.expanded.Load() > int64(maxStates) {
@@ -354,11 +384,16 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 			default:
 			}
 		}
+		improved := false
 		if v := sh.certifiedMin(); v != costUnreached && v > certLower {
 			certLower = v
-			if opts.Progress != nil {
-				opts.Progress(ExactProgress{Expanded: int(sh.expanded.Load()), LowerBound: certLower})
-			}
+			improved = true
+		}
+		// Snapshot on every certified-bound improvement (the anytime
+		// layer wants those promptly) and on the time cadence between
+		// improvements, so a long plateau still streams live stats.
+		if sampler != nil && (improved || sampler.due()) {
+			opts.Progress(sh.snapshot(sampler, certLower))
 		}
 		if sh.terminated() {
 			sh.done.Store(true)
@@ -514,6 +549,15 @@ func (w *asyncWorker) publish(sh *asyncShared) {
 		f, g = w.open.top()
 	}
 	w.publishFloor(sh, min(f, w.outMin))
+	if sh.wantStats {
+		ws := &sh.wstats[w.id]
+		ws.expanded.Store(int64(w.expanded))
+		ws.pushed.Store(int64(w.pushed))
+		ws.openLen.Store(int64(w.open.len()))
+		ws.tableCount.Store(int64(w.table.count()))
+		ws.tableBytes.Store(w.table.bytes())
+		ws.tableSlots.Store(int64(len(w.table.slots)))
+	}
 	if f == w.lastF && g == w.lastG {
 		return
 	}
@@ -628,6 +672,7 @@ func (w *asyncWorker) drain(sh *asyncShared) int {
 		b.batches = nil
 		b.pendF.Store(costUnreached)
 		b.pendG.Store(0)
+		b.pendN.Store(0)
 		b.mu.Unlock()
 		for _, ba := range batches {
 			w.relaxBatch(sh, ba.meta, ba.keys)
@@ -829,6 +874,7 @@ func (w *asyncWorker) flush(sh *asyncShared, d int) {
 	if ba.maxG > b.pendG.Load() {
 		b.pendG.Store(ba.maxG)
 	}
+	b.pendN.Add(n)
 	b.mu.Unlock()
 	// Counted after the deposit: a probe that misses this increment
 	// sees either recv < sent or a sent change on its re-read, and a
@@ -846,6 +892,61 @@ func (w *asyncWorker) flushAll(sh *asyncShared) {
 			w.flush(sh, d)
 		}
 	}
+}
+
+// snapshot assembles the coordinator-side introspection snapshot from
+// the workers' published stat mirrors, the watermark/floor slots and
+// the mailbox pending counters. Everything read here is an atomic the
+// workers keep fresh (publish runs once per worker loop turn), so the
+// snapshot is a consistent-enough instant without stopping anyone.
+// Only called with wantStats set (wstats non-nil).
+func (sh *asyncShared) snapshot(s *progressSampler, lower int64) ExactProgress {
+	expanded := int(sh.expanded.Load())
+	elapsed, rate := s.tick(expanded)
+	pr := ExactProgress{
+		Engine:     "async-hda",
+		Expanded:   expanded,
+		LowerBound: lower,
+		Elapsed:    elapsed,
+		Rate:       rate,
+		FrontierF:  -1,
+		FrontierG:  -1,
+		SafraSent:  sh.sent.Load(),
+		SafraRecv:  sh.recv.Load(),
+		Workers:    make([]WorkerProgress, sh.nw),
+	}
+	var slots int64
+	for i := 0; i < sh.nw; i++ {
+		ws := &sh.wstats[i]
+		wp := WorkerProgress{
+			ID:         i,
+			Expanded:   int(ws.expanded.Load()),
+			Pushed:     int(ws.pushed.Load()),
+			OpenSize:   int(ws.openLen.Load()),
+			HeapMinF:   normF(sh.fmins[i].Load()),
+			Floor:      normF(sh.floors[i].Load()),
+			TableCount: int(ws.tableCount.Load()),
+			TableBytes: ws.tableBytes.Load(),
+			Passive:    sh.passive[i].Load(),
+		}
+		for src := 0; src < sh.nw; src++ {
+			wp.MailboxDepth += int(sh.boxes[src*sh.nw+i].pendN.Load())
+		}
+		pr.Pushed += wp.Pushed
+		pr.Distinct += wp.TableCount
+		pr.OpenSize += wp.OpenSize
+		pr.TableBytes += wp.TableBytes
+		slots += ws.tableSlots.Load()
+		if f := sh.fmins[i].Load(); f != costUnreached && (pr.FrontierF < 0 || f < pr.FrontierF) {
+			pr.FrontierF = f
+			pr.FrontierG = sh.gtops[i].Load()
+		}
+		pr.Workers[i] = wp
+	}
+	if slots > 0 {
+		pr.TableLoad = float64(pr.Distinct) / float64(slots)
+	}
+	return pr
 }
 
 // shardTrace reconstructs the incumbent's move chain across the

@@ -157,8 +157,9 @@ func TestAsyncInitialLowerBoundSeedsCertificate(t *testing.T) {
 }
 
 // TestAsyncStreamedBoundMonotone: the mid-flight certified f-min
-// streamed through Progress must be strictly increasing (the engine
-// reports only improvements) and never exceed the true optimum, across
+// streamed through Progress must be non-decreasing (the engine emits on
+// bound improvement AND on the sampling cadence, so a slow solve may
+// repeat its current bound) and never exceed the true optimum, across
 // models, conventions and worker counts. Progress runs on the
 // coordinator goroutine — the same one that called Exact — so the
 // plain slice append is race-free by construction.
@@ -199,8 +200,8 @@ func TestAsyncStreamedBoundMonotone(t *testing.T) {
 							t.Fatalf("seed %d %v %s workers=%d: streamed bound %d exceeds optimum %d",
 								seed, kind, convName(conv), workers, b, opt)
 						}
-						if i > 0 && b <= bounds[i-1] {
-							t.Fatalf("seed %d %v %s workers=%d: bound stream not strictly increasing: %v",
+						if i > 0 && b < bounds[i-1] {
+							t.Fatalf("seed %d %v %s workers=%d: bound stream regressed: %v",
 								seed, kind, convName(conv), workers, bounds)
 						}
 					}

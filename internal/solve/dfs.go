@@ -3,6 +3,7 @@ package solve
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"rbpebble/internal/pebble"
 )
@@ -82,6 +83,15 @@ type ExactDFSOptions struct {
 	// threshold pass with the current stats snapshot (whose LowerBound
 	// ratchets up as passes complete).
 	Progress func(ExactDFSStats)
+	// Search, when non-nil, receives uniform mid-pass search snapshots
+	// on a time-based cadence (ProgressEvery, default ~100ms): the
+	// current threshold, pass number, visit count and transposition-
+	// cache occupancy, in the same ExactProgress shape the best-first
+	// engines emit. Passes can run for seconds, so this is the only
+	// live view inside one. Runs on the solver goroutine; must be fast.
+	Search func(ExactProgress)
+	// ProgressEvery is the Search snapshot cadence (default ~100ms).
+	ProgressEvery time.Duration
 }
 
 // ExactDFSStats reports search effort and bound progress from one
@@ -111,6 +121,12 @@ type ExactDFSStats struct {
 	// backing-store footprint when the search stopped (peak: the tables
 	// keep their capacity across IDA* passes).
 	TableBytes int64
+	// CacheStates is the learned-bound transposition cache's distinct
+	// state count (the hcache persists across IDA* passes).
+	CacheStates int
+	// MemoStates is the per-pass memo's distinct state count (reset at
+	// every threshold pass).
+	MemoStates int
 }
 
 // ErrVisitLimit is returned when ExactDFS exceeds its visit budget.
@@ -175,6 +191,14 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 		cancel:       opts.Cancel,
 		onIncumbent:  opts.OnIncumbent,
 		onProgress:   opts.Progress,
+		onSearch:     opts.Search,
+		engine:       opts.Algorithm.String(),
+	}
+	if opts.Algorithm == DFSAuto {
+		d.engine = DFSIDAStar.String()
+	}
+	if d.onSearch != nil {
+		d.sampler = newProgressSampler(opts.ProgressEvery)
 	}
 	report := func() {
 		if opts.Stats != nil {
@@ -246,17 +270,43 @@ type dfsSearch struct {
 	cancel      <-chan struct{}
 	onIncumbent func(scaled int64, moves []pebble.Move)
 	onProgress  func(ExactDFSStats)
+	onSearch    func(ExactProgress)
+	sampler     *progressSampler
+	engine      string
 }
 
 // stats snapshots the search counters and bounds.
 func (d *dfsSearch) stats() ExactDFSStats {
 	return ExactDFSStats{
-		Visits:     d.visits,
-		Iterations: d.iterations,
-		Threshold:  d.threshold,
-		Incumbent:  d.bound,
+		Visits:      d.visits,
+		Iterations:  d.iterations,
+		Threshold:   d.threshold,
+		Incumbent:   d.bound,
+		LowerBound:  d.lower,
+		TableBytes:  d.memo.bytes() + d.hcache.bytes(),
+		CacheStates: d.hcache.count(),
+		MemoStates:  d.memo.count(),
+	}
+}
+
+// searchProgress builds the uniform mid-pass snapshot: visits play the
+// expansion counter, the transposition cache plays the state table, and
+// the threshold schedule stands in for the frontier.
+func (d *dfsSearch) searchProgress() ExactProgress {
+	elapsed, rate := d.sampler.tick(d.visits)
+	return ExactProgress{
+		Engine:     d.engine,
+		Expanded:   d.visits,
 		LowerBound: d.lower,
+		Elapsed:    elapsed,
+		Rate:       rate,
+		Distinct:   d.hcache.count(),
+		FrontierF:  -1,
+		FrontierG:  -1,
 		TableBytes: d.memo.bytes() + d.hcache.bytes(),
+		TableLoad:  d.hcache.load(),
+		Threshold:  d.threshold,
+		Pass:       d.iterations,
 	}
 }
 
@@ -276,15 +326,20 @@ func (d *dfsSearch) improved(cost int64) {
 // the best-first solver's Expanded counter means.
 func (d *dfsSearch) visitLimited() bool {
 	d.visits++
-	if d.cancel != nil && d.visits&255 == 0 {
-		select {
-		case <-d.cancel:
-			if d.limitErr == nil {
-				d.limitErr = fmt.Errorf("%w after %d visits (incumbent %d, lower bound %d)",
-					ErrCanceled, d.visits, d.bound, d.lower)
+	if d.visits&255 == 0 {
+		if d.cancel != nil {
+			select {
+			case <-d.cancel:
+				if d.limitErr == nil {
+					d.limitErr = fmt.Errorf("%w after %d visits (incumbent %d, lower bound %d)",
+						ErrCanceled, d.visits, d.bound, d.lower)
+				}
+				return true
+			default:
 			}
-			return true
-		default:
+		}
+		if d.sampler != nil && d.sampler.due() {
+			d.onSearch(d.searchProgress())
 		}
 	}
 	if d.visits <= d.maxVisits {

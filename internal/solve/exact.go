@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"rbpebble/internal/bitset"
 	"rbpebble/internal/dag"
@@ -85,27 +86,71 @@ type ExactOptions struct {
 	// shutdown. The anytime orchestrator uses this to turn a deadline
 	// into a [lower, upper] certificate instead of a wasted solve.
 	Cancel <-chan struct{}
-	// Progress, when non-nil, receives periodic snapshots from the
-	// serial search (every few thousand expansions), from the
-	// synchronous-rounds parallel engine (once per round), and from the
-	// async HDA* engine's coordinator whenever its certified global
-	// f-min improves. The async bound is certified without any
-	// stop-and-drain: every worker publishes an in-flight-aware floor
-	// (its heap minimum, lowered to cover proposals it has generated but
-	// not yet deposited and batches it is draining) and every mailbox
-	// already tracks the minimum parent f of its pending batches, so the
-	// merged minimum never overlooks work in flight — see async.go. The
-	// callback runs on a solver goroutine and must be fast.
+	// Progress, when non-nil, receives periodic search snapshots on a
+	// time-based cadence (ProgressEvery) from every engine: the serial
+	// loop and the synchronous-rounds engine sample at their natural
+	// gate points, and the async HDA* engine's coordinator additionally
+	// fires whenever its certified global f-min improves, so the
+	// streamed lower bound stays prompt. The async bound is certified
+	// without any stop-and-drain: every worker publishes an
+	// in-flight-aware floor (its heap minimum, lowered to cover
+	// proposals it has generated but not yet deposited and batches it
+	// is draining) and every mailbox already tracks the minimum parent
+	// f of its pending batches, so the merged minimum never overlooks
+	// work in flight — see async.go. The callback runs on a solver
+	// goroutine and must be fast. With Progress nil the engines build
+	// no snapshots and pay only a nil check at the gate.
 	Progress func(ExactProgress)
+	// ProgressEvery is the snapshot cadence (default ~100ms). Ignored
+	// without a Progress listener.
+	ProgressEvery time.Duration
 }
 
-// ExactProgress is one periodic snapshot of a running exact search.
+// ExactProgress is one periodic snapshot of a running exact search:
+// the live shape of the search, not just its counters. Field coverage
+// varies by engine (Engine names which one filled it); fields an engine
+// cannot observe are zero, and f-valued fields use -1 for "none".
 type ExactProgress struct {
 	// Expanded is the number of states expanded so far.
 	Expanded int
 	// LowerBound is the certified scaled lower bound on the optimal
 	// cost proven so far (see ExactStats.LowerBound).
 	LowerBound int64
+	// Engine names the engine that built the snapshot: "astar",
+	// "sync-rounds", "async-hda" or "ida-star"/"branch-and-bound".
+	Engine string
+	// Elapsed is the wall time since the search started.
+	Elapsed time.Duration
+	// Rate is the expansion rate (states/s) over the window since the
+	// previous snapshot.
+	Rate float64
+	// Pushed is the number of open-list insertions so far.
+	Pushed int
+	// Distinct is the number of distinct states reached so far.
+	Distinct int
+	// OpenSize is the total open-list length (summed over shards).
+	OpenSize int
+	// FrontierF/FrontierG are the current cheapest open entry's f and g
+	// (-1 when the frontier is empty or not observable).
+	FrontierF int64
+	FrontierG int64
+	// OpenBuckets is the open queue's per-f histogram (serial engine
+	// only; ascending f, capped at 32 levels).
+	OpenBuckets []QueueBucket
+	// TableBytes/TableLoad are the visited-table footprint and probe
+	// load factor (summed/aggregated over shards).
+	TableBytes int64
+	TableLoad  float64
+	// Workers is the per-worker breakdown (parallel engines only).
+	Workers []WorkerProgress
+	// SafraSent/SafraRecv are the async termination protocol's global
+	// proposal counters (async engine only).
+	SafraSent int64
+	SafraRecv int64
+	// Threshold and Pass are the current IDA* f-threshold and pass
+	// number (IDA* only).
+	Threshold int64
+	Pass      int
 }
 
 // ExactStats reports search-effort counters from one Exact run.
@@ -407,6 +452,10 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 	// Certified lower bound: running max of min open f, seeded from the
 	// caller's already-certified floor (warm start) when one is given.
 	lower := opts.InitialLowerBound
+	var sampler *progressSampler
+	if opts.Progress != nil {
+		sampler = newProgressSampler(opts.ProgressEvery)
+	}
 	report := func() {
 		if opts.Stats != nil {
 			*opts.Stats = ExactStats{Expanded: expanded, Pushed: pushed, Distinct: table.count(), LowerBound: lower, TableBytes: table.bytes()}
@@ -463,8 +512,8 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 				default:
 				}
 			}
-			if opts.Progress != nil && expanded&8191 == 0 {
-				opts.Progress(ExactProgress{Expanded: expanded, LowerBound: lower})
+			if sampler != nil && sampler.due() {
+				opts.Progress(singleProgress(sampler, expanded, pushed, lower, table, &open))
 			}
 		}
 

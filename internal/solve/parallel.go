@@ -70,6 +70,9 @@ type parWorker struct {
 	outKeys [][]uint64   // outKeys[dest], kw words per proposal
 	popped  int          // expansions this round
 	pushed  int
+
+	cumPopped int // cumulative counters (snapshot introspection)
+	cumPushed int
 }
 
 func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates int) (Solution, error) {
@@ -93,6 +96,10 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 
 	expanded, pushed := 0, 0
 	lower := int64(0) // certified lower bound (see exactSerial)
+	var sampler *progressSampler
+	if opts.Progress != nil {
+		sampler = newProgressSampler(opts.ProgressEvery)
+	}
 	report := func() {
 		if opts.Stats != nil {
 			distinct, tableBytes := 0, int64(0)
@@ -167,8 +174,11 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 			default:
 			}
 		}
-		if opts.Progress != nil {
-			opts.Progress(ExactProgress{Expanded: expanded, LowerBound: lower})
+		// Round boundaries are the natural snapshot points: every worker
+		// is quiescent here, so their heaps and tables are safe to read
+		// from this single-threaded section.
+		if sampler != nil && sampler.due() {
+			opts.Progress(syncRoundsProgress(sampler, expanded, pushed, lower, fmin, workers))
 		}
 
 		// Expand phase.
@@ -182,6 +192,7 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 		wg.Wait()
 		for _, w := range workers {
 			expanded += w.popped
+			w.cumPopped += w.popped
 		}
 		if expanded > maxStates {
 			report()
@@ -199,6 +210,7 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 		wg.Wait()
 		for _, w := range workers {
 			pushed += w.pushed
+			w.cumPushed += w.pushed
 		}
 	}
 
@@ -209,6 +221,53 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 		logs[i] = w.nodes
 	}
 	return shardTrace(p, logs, incShard, incNode), nil
+}
+
+// syncRoundsProgress builds the round-boundary snapshot. Called from
+// the coordinator's single-threaded section with all workers quiesced,
+// so the per-shard heaps and tables are safe to read directly.
+func syncRoundsProgress(s *progressSampler, expanded, pushed int, lower, fmin int64, workers []*parWorker) ExactProgress {
+	elapsed, rate := s.tick(expanded)
+	pr := ExactProgress{
+		Engine:     "sync-rounds",
+		Expanded:   expanded,
+		LowerBound: lower,
+		Elapsed:    elapsed,
+		Rate:       rate,
+		Pushed:     pushed,
+		FrontierF:  normF(fmin),
+		FrontierG:  -1,
+		Workers:    make([]WorkerProgress, len(workers)),
+	}
+	var slots int64
+	for i, w := range workers {
+		wp := WorkerProgress{
+			ID:         i,
+			Expanded:   w.cumPopped,
+			Pushed:     w.cumPushed,
+			OpenSize:   w.open.len(),
+			HeapMinF:   -1,
+			Floor:      -1,
+			TableCount: w.table.count(),
+			TableBytes: w.table.bytes(),
+		}
+		if w.open.len() > 0 {
+			f, g := w.open.top()
+			wp.HeapMinF = f
+			if f == pr.FrontierF {
+				pr.FrontierG = g
+			}
+		}
+		pr.Distinct += wp.TableCount
+		pr.OpenSize += wp.OpenSize
+		pr.TableBytes += wp.TableBytes
+		slots += int64(len(w.table.slots))
+		pr.Workers[i] = wp
+	}
+	if slots > 0 {
+		pr.TableLoad = float64(pr.Distinct) / float64(slots)
+	}
+	return pr
 }
 
 // expandBatch pops up to parBatch fresh entries from this shard's open
