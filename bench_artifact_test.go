@@ -37,7 +37,7 @@ func TestBenchArtifactParses(t *testing.T) {
 	if len(rows) == 0 {
 		t.Fatal("artifact is empty")
 	}
-	hasAnytime, hasConvergence, hasBatch := false, false, false
+	hasAnytime, hasConvergence, hasBatch, hasMemBudget := false, false, false, false
 	for _, r := range rows {
 		if r.Name == "" || r.NsPerOp <= 0 {
 			t.Fatalf("malformed row: %+v", r)
@@ -72,6 +72,20 @@ func TestBenchArtifactParses(t *testing.T) {
 					r.NsItemBatch, r.NsItemSeq, r)
 			}
 		}
+		if r.Name == "BenchmarkMemBudgetAbort" {
+			hasMemBudget = true
+			// The memory-governance contract: the abort is not a wasted
+			// solve (a certified lower bound was harvested) and the table
+			// stopped at its budget (1 MiB in the benchmark) instead of
+			// growing without bound — 2x covers the final arena slab
+			// granted before the check tripped.
+			if r.LowerScaled <= 0 {
+				t.Fatalf("mem-budget row lost its certified lower bound: %+v", r)
+			}
+			if r.PeakTableBytes <= 0 || r.PeakTableBytes > 2<<20 {
+				t.Fatalf("mem-budget row peak table %d outside (0, 2 MiB]: %+v", r.PeakTableBytes, r)
+			}
+		}
 		if strings.HasPrefix(r.Name, "BenchmarkIntervalConvergence") {
 			hasConvergence = true
 			if r.LowerScaled <= 0 || r.LowerScaled > r.UpperScaled {
@@ -93,5 +107,9 @@ func TestBenchArtifactParses(t *testing.T) {
 	if !hasBatch {
 		t.Fatal("artifact has no batch-throughput row (regenerate with " +
 			`go test ./internal/service -run '^$' -bench BenchmarkBatchThroughputPyramid -benchtime 1x -benchjson "$PWD"/BENCH_solver.json)`)
+	}
+	if !hasMemBudget {
+		t.Fatal("artifact has no memory-budget abort row (regenerate with " +
+			`go test ./internal/solve -run '^$' -bench BenchmarkMemBudgetAbort -benchtime 1x -benchjson "$PWD"/BENCH_solver.json)`)
 	}
 }

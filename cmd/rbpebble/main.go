@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -48,6 +49,7 @@ func main() {
 		rule      = flag.String("rule", "most-red-inputs", "greedy rule: most-red-inputs|fewest-blue-inputs|red-ratio")
 		tracePath = flag.String("trace", "", "write the verified move trace to this file")
 		maxStates = flag.Int("maxstates", 0, "exact solver state budget (0 = default)")
+		maxTableB = flag.Int64("maxtablebytes", 0, "exact/dfs/anytime table memory budget in bytes (0 = unlimited); on abort the certified partial interval is printed")
 		blueSrc   = flag.Bool("blue-sources", false, "sources start blue (Hong-Kung convention)")
 		blueSink  = flag.Bool("blue-sinks", false, "sinks must end blue")
 		workers   = flag.Int("workers", 0, "exact solver parallel workers (>1; async HDA* engine)")
@@ -88,8 +90,9 @@ func main() {
 	switch {
 	case *deadline > 0:
 		opts := anytime.Options{
-			Budget:  *deadline,
-			Workers: *workers,
+			Budget:        *deadline,
+			Workers:       *workers,
+			MaxTableBytes: *maxTableB,
 		}
 		if *progress {
 			// Each snapshot strictly tightens the interval (the
@@ -128,6 +131,9 @@ func main() {
 		if res.Optimal {
 			state = "proven optimal"
 		}
+		if res.MemoryLimited {
+			state += ", memory-limited"
+		}
 		anytimeInfo = fmt.Sprintf("anytime:   [%d, %d] scaled, gap=%.1f%%, %s via %s in %s\n",
 			res.LowerScaled, res.UpperScaled, 100*res.Gap(), state, res.Source,
 			res.Elapsed.Round(time.Millisecond))
@@ -137,17 +143,31 @@ func main() {
 		if herr != nil {
 			fatal(herr)
 		}
-		opts := solve.ExactOptions{MaxStates: *maxStates, Heuristic: h, Parallel: *workers}
+		var stats solve.ExactStats
+		opts := solve.ExactOptions{
+			MaxStates: *maxStates, Heuristic: h, Parallel: *workers,
+			MaxTableBytes: *maxTableB, Stats: &stats,
+		}
 		if *syncPar {
 			opts.ParallelAlgo = solve.ParallelSyncRounds
 		}
 		sol, err = solve.Exact(p, opts)
+		if errors.Is(err, solve.ErrMemoryBudget) {
+			fatalMemBudget(*maxTableB, stats.LowerBound, -1)
+		}
 	case *solver == "dfs":
 		a, aerr := parseDFSAlgo(*dfsAlgo)
 		if aerr != nil {
 			fatal(aerr)
 		}
-		sol, err = solve.ExactDFS(p, solve.ExactDFSOptions{MaxVisits: *maxVisits, Algorithm: a})
+		var stats solve.ExactDFSStats
+		sol, err = solve.ExactDFS(p, solve.ExactDFSOptions{
+			MaxVisits: *maxVisits, Algorithm: a,
+			MaxTableBytes: *maxTableB, Stats: &stats,
+		})
+		if errors.Is(err, solve.ErrMemoryBudget) {
+			fatalMemBudget(*maxTableB, stats.LowerBound, stats.Incumbent)
+		}
 	case *solver == "orderopt":
 		sol, err = solve.OrderOpt(p, solve.OrderOptOptions{})
 	case *solver == "greedy":
@@ -270,5 +290,19 @@ func fmtBytes(n int64) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rbpebble:", err)
+	os.Exit(1)
+}
+
+// fatalMemBudget reports a -maxtablebytes abort as a certified partial
+// result — the search proved lower <= optimum (<= upper, when the
+// engine carries an incumbent) before the table filled — instead of a
+// bare failure. upper < 0 means the engine has no incumbent.
+func fatalMemBudget(budget, lower, upper int64) {
+	fmt.Fprintf(os.Stderr, "rbpebble: table memory budget (%s) exceeded\n", fmtBytes(budget))
+	if upper >= 0 {
+		fmt.Printf("partial:   certified interval [%d, %d] scaled (memory-limited; raise -maxtablebytes or use -deadline)\n", lower, upper)
+	} else {
+		fmt.Printf("partial:   certified lower bound %d scaled (memory-limited; raise -maxtablebytes or use -deadline)\n", lower)
+	}
 	os.Exit(1)
 }

@@ -31,6 +31,13 @@
 // leaving:
 //
 //	rbserve -addr :8081 -join 127.0.0.1:8080
+//
+// With -refine-interval, an idle node re-solves its widest cached
+// certified intervals at escalating budgets in the background
+// (preempted instantly by foreground work; see GET /debug/refiner),
+// and -mem-budget caps per-solve table memory — over-budget solves
+// abort with a certified partial interval instead of swelling the
+// heap.
 package main
 
 import (
@@ -55,55 +62,71 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 2, "async job worker-pool size")
-		queueDepth   = flag.Int("queue", 64, "async job queue depth")
-		cacheSize    = flag.Int("cache", 256, "solution cache entries (LRU)")
-		deadline     = flag.Duration("deadline", 2*time.Second, "default per-request solve budget")
-		maxDeadline  = flag.Duration("max-deadline", 30*time.Second, "largest accepted per-request budget")
-		solveWorkers = flag.Int("solve-workers", 1, "parallel expansion workers inside each exact solve")
-		maxNodes     = flag.Int("max-nodes", 100000, "largest accepted instance")
-		grace        = flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight solves on SIGTERM")
-		join         = flag.String("join", "", "rbproxy address (host:port) to register with for dynamic membership")
-		advertise    = flag.String("advertise", "", "address other cluster members reach this node at (default: 127.0.0.1 + -addr port)")
-		batchItems   = flag.Int("batch-items", 256, "largest accepted POST /solve/batch item count")
-		canonWorkers = flag.Int("canon-workers", 0, "batch canonicalization pool size (0 = GOMAXPROCS)")
-		fastWorkers  = flag.Int("fast-workers", 4, "fast-lane workers (cache-served and sub-budget batch groups)")
-		heavyWorkers = flag.Int("heavy-workers", 2, "heavy-lane workers (exact-solve batch groups)")
-		fastQueue    = flag.Int("fast-queue", 256, "fast-lane queue depth before shedding")
-		heavyQueue   = flag.Int("heavy-queue", 64, "heavy-lane queue depth before shedding")
-		fastBudget   = flag.Duration("fast-budget", 150*time.Millisecond, "largest per-item deadline the fast lane accepts for uncached work")
-		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
-		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled)")
-		telemetryLog = flag.String("telemetry-log", "", "append per-solve telemetry records as JSONL to this file")
-		searchLog    = flag.String("search-log", "", "append live search-engine snapshots as JSONL to this file")
-		traceCap     = flag.Int("trace-cap", 0, "retained solve traces for /debug/trace (0 = default 256)")
-		telemetryCap = flag.Int("telemetry-cap", 0, "retained telemetry records for /debug/solves (0 = default 512)")
+		addr           = flag.String("addr", ":8080", "listen address")
+		workers        = flag.Int("workers", 2, "async job worker-pool size")
+		queueDepth     = flag.Int("queue", 64, "async job queue depth")
+		cacheSize      = flag.Int("cache", 256, "solution cache entries (LRU)")
+		deadline       = flag.Duration("deadline", 2*time.Second, "default per-request solve budget")
+		maxDeadline    = flag.Duration("max-deadline", 30*time.Second, "largest accepted per-request budget")
+		solveWorkers   = flag.Int("solve-workers", 1, "parallel expansion workers inside each exact solve")
+		maxNodes       = flag.Int("max-nodes", 100000, "largest accepted instance")
+		grace          = flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight solves on SIGTERM")
+		join           = flag.String("join", "", "rbproxy address (host:port) to register with for dynamic membership")
+		advertise      = flag.String("advertise", "", "address other cluster members reach this node at (default: 127.0.0.1 + -addr port)")
+		batchItems     = flag.Int("batch-items", 256, "largest accepted POST /solve/batch item count")
+		canonWorkers   = flag.Int("canon-workers", 0, "batch canonicalization pool size (0 = GOMAXPROCS)")
+		fastWorkers    = flag.Int("fast-workers", 4, "fast-lane workers (cache-served and sub-budget batch groups)")
+		heavyWorkers   = flag.Int("heavy-workers", 2, "heavy-lane workers (exact-solve batch groups)")
+		fastQueue      = flag.Int("fast-queue", 256, "fast-lane queue depth before shedding")
+		heavyQueue     = flag.Int("heavy-queue", 64, "heavy-lane queue depth before shedding")
+		fastBudget     = flag.Duration("fast-budget", 150*time.Millisecond, "largest per-item deadline the fast lane accepts for uncached work")
+		memBudget      = flag.Int64("mem-budget", 0, "per-solve visited-table memory budget in bytes (0 = unlimited); solves over budget abort with a certified partial interval, background refinement runs at half")
+		refineInterval = flag.Duration("refine-interval", 0, "background refiner idle scan cadence (0 = disabled)")
+		refineMaxTier  = flag.Int("refine-max-tier", 12, "highest budget tier background refinement may escalate a cached interval to")
+		logFormat      = flag.String("log-format", "text", "structured log format: text or json")
+		pprofAddr      = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled)")
+		telemetryLog   = flag.String("telemetry-log", "", "append per-solve telemetry records as JSONL to this file")
+		searchLog      = flag.String("search-log", "", "append live search-engine snapshots as JSONL to this file")
+		logMaxBytes    = flag.Int64("log-max-bytes", 0, "rotate the -telemetry-log and -search-log files at this size (0 = never rotate)")
+		logKeep        = flag.Int("log-keep", 3, "rotated generations to keep per JSONL log")
+		traceCap       = flag.Int("trace-cap", 0, "retained solve traces for /debug/trace (0 = default 256)")
+		telemetryCap   = flag.Int("telemetry-cap", 0, "retained telemetry records for /debug/solves (0 = default 512)")
 	)
 	flag.Parse()
 
 	logger := obs.NewLogger(*logFormat, os.Stderr)
 	slog.SetDefault(logger)
 
-	var telemetrySink io.Writer
-	if *telemetryLog != "" {
-		f, err := os.OpenFile(*telemetryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	// JSONL sinks append forever by default; -log-max-bytes switches them
+	// to size-rotated writers so a long-lived node's telemetry cannot
+	// fill the disk.
+	openSink := func(path, name string) io.Writer {
+		var (
+			w   io.WriteCloser
+			err error
+		)
+		if *logMaxBytes > 0 {
+			w, err = obs.NewRotatingWriter(path, *logMaxBytes, *logKeep)
+		} else {
+			w, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rbserve: telemetry-log:", err)
+			fmt.Fprintf(os.Stderr, "rbserve: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		telemetrySink = f
+		return w
+	}
+	var telemetrySink io.Writer
+	if *telemetryLog != "" {
+		w := openSink(*telemetryLog, "telemetry-log")
+		defer w.(io.Closer).Close()
+		telemetrySink = w
 	}
 	var searchSink io.Writer
 	if *searchLog != "" {
-		f, err := os.OpenFile(*searchLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rbserve: search-log:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		searchSink = f
+		w := openSink(*searchLog, "search-log")
+		defer w.(io.Closer).Close()
+		searchSink = w
 	}
 
 	// The agent pointer is set only in -join mode, after the server
@@ -126,6 +149,9 @@ func main() {
 		FastLaneQueue:    *fastQueue,
 		HeavyLaneQueue:   *heavyQueue,
 		FastLaneBudget:   *fastBudget,
+		MaxTableBytes:    *memBudget,
+		RefinerInterval:  *refineInterval,
+		RefinerMaxTier:   *refineMaxTier,
 		TraceCap:         *traceCap,
 		TelemetryCap:     *telemetryCap,
 		TelemetrySink:    telemetrySink,
@@ -135,6 +161,15 @@ func main() {
 			if a := agentPtr.Load(); a != nil {
 				a.Replicate(e)
 			}
+		},
+		// Ownership filter for the background refiner: only keys this
+		// node would be routed anyway are worth its idle cycles. Solo (or
+		// pre-join) nodes own everything.
+		RefinerOwns: func(key string) bool {
+			if a := agentPtr.Load(); a != nil {
+				return a.Owns(key)
+			}
+			return true
 		},
 	})
 	srv := &http.Server{Addr: *addr, Handler: obs.AccessLog(logger, s.Handler())}

@@ -31,6 +31,7 @@ import (
 	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rbpebble/internal/obs"
@@ -56,6 +57,13 @@ type Options struct {
 	MaxStates int
 	// MaxVisits caps the depth-first engine's expansions (0 = 1<<40).
 	MaxVisits int
+	// MaxTableBytes caps EACH refinement engine's table footprint
+	// (solve.ExactOptions.MaxTableBytes / ExactDFSOptions.MaxTableBytes;
+	// 0 = unlimited). An engine tripping the budget aborts with
+	// solve.ErrMemoryBudget, its certified bounds are harvested into the
+	// interval like any other early stop, and Result.MemoryLimited is
+	// set — the node-wide memory governor rests on this.
+	MaxTableBytes int64
 	// DisableDFS turns off the IDA* refinement engine (it only runs for
 	// the oneshot and nodel models regardless).
 	DisableDFS bool
@@ -146,6 +154,11 @@ type Result struct {
 	// samples) — the SolveRecord fields the portfolio scheduler wants.
 	PeakFrontier int64
 	PeakRate     float64
+	// MemoryLimited reports that at least one refinement engine aborted
+	// on Options.MaxTableBytes (solve.ErrMemoryBudget): the interval is
+	// still certified, but it stopped where the memory governor cut the
+	// search rather than where the deadline did.
+	MemoryLimited bool
 }
 
 // Gap returns the relative optimality gap (upper-lower)/upper of a
@@ -193,11 +206,13 @@ func refinementOptions(opts Options, incumbentScaled, lowerScaled int64) (solve.
 	}
 	exact := solve.ExactOptions{
 		MaxStates:         maxStates,
+		MaxTableBytes:     opts.MaxTableBytes,
 		Parallel:          opts.Workers,
 		InitialLowerBound: lowerScaled,
 	}
 	dfs := solve.ExactDFSOptions{
 		MaxVisits:         maxVisits,
+		MaxTableBytes:     opts.MaxTableBytes,
 		InitialLowerBound: lowerScaled,
 	}
 	exact.ProgressEvery = opts.SnapshotEvery
@@ -506,6 +521,7 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 	// the budget died during phase 1).
 	var exactStats solve.ExactStats
 	var dfsStats solve.ExactDFSStats
+	var memLimited atomic.Bool
 	relay := &searchRelay{on: opts.OnSearch}
 	if !c.closed() && ctx.Err() == nil {
 		var wg sync.WaitGroup
@@ -547,6 +563,9 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 			// harvest the certified bound either way.
 			asp.SetAttr("outcome", err.Error())
 			c.raiseLower(exactStats.LowerBound, "astar")
+			if errors.Is(err, solve.ErrMemoryBudget) {
+				memLimited.Store(true)
+			}
 			if errors.Is(err, solve.ErrBoundExhausted) {
 				rcancel()
 			}
@@ -587,6 +606,9 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 				}
 				dsp.SetAttr("outcome", err.Error())
 				c.raiseLower(dfsStats.LowerBound, "ida*")
+				if errors.Is(err, solve.ErrMemoryBudget) {
+					memLimited.Store(true)
+				}
 			}()
 		}
 		wg.Wait()
@@ -595,15 +617,16 @@ func Solve(ctx context.Context, p solve.Problem, opts Options) (Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	res := Result{
-		Solution:    c.best,
-		UpperScaled: c.upper,
-		LowerScaled: min(c.lower, c.upper), // an achievable cost caps any certificate
-		Optimal:     c.upper <= c.lower,
-		Source:      c.source,
-		Elapsed:     time.Since(start),
-		Expanded:    exactStats.Expanded,
-		Visits:      dfsStats.Visits,
-		TableBytes:  exactStats.TableBytes + dfsStats.TableBytes,
+		Solution:      c.best,
+		UpperScaled:   c.upper,
+		LowerScaled:   min(c.lower, c.upper), // an achievable cost caps any certificate
+		Optimal:       c.upper <= c.lower,
+		Source:        c.source,
+		Elapsed:       time.Since(start),
+		Expanded:      exactStats.Expanded,
+		Visits:        dfsStats.Visits,
+		TableBytes:    exactStats.TableBytes + dfsStats.TableBytes,
+		MemoryLimited: memLimited.Load(),
 	}
 	res.PeakFrontier, res.PeakRate = relay.peaks()
 	res.Upper = float64(res.UpperScaled) / CostScale(p.Model)

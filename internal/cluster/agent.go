@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +48,14 @@ type Agent struct {
 	cfg      AgentConfig
 	comm     *CommClient
 	draining atomic.Bool
+
+	// ring mirrors the proxy's consistent-hash ring, rebuilt from each
+	// join response's member list. It backs Owns — the background
+	// refiner's ownership filter — so a node only spends idle cycles on
+	// keys it would be routed anyway. ringSig detects membership churn
+	// cheaply between heartbeats.
+	ring    atomic.Pointer[Ring]
+	ringSig atomic.Pointer[string]
 
 	stop chan struct{}
 	kick chan struct{} // forces an immediate heartbeat (drain announcement)
@@ -107,7 +118,39 @@ func (a *Agent) join(ctx context.Context) (time.Duration, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
 		return 0, err
 	}
+	a.updateRing(jr)
 	return time.Duration(jr.TTLMS) * time.Millisecond, nil
+}
+
+// updateRing rebuilds the local ring mirror when the join response's
+// member list changed (sorted-list signature comparison: membership
+// churn is rare, heartbeats are not).
+func (a *Agent) updateRing(jr JoinResponse) {
+	if len(jr.MemberList) == 0 {
+		return // old proxy without the list: keep whatever we have
+	}
+	members := append([]string(nil), jr.MemberList...)
+	sort.Strings(members)
+	sig := strconv.Itoa(jr.VNodes) + "|" + strings.Join(members, ",")
+	if old := a.ringSig.Load(); old != nil && *old == sig {
+		return
+	}
+	a.ring.Store(NewRing(jr.VNodes, members...))
+	a.ringSig.Store(&sig)
+	a.cfg.Logf("cluster agent: ring mirror updated (%d members)", len(members))
+}
+
+// Owns reports whether this node is the first ring owner of key — the
+// background refiner's ownership filter. Before the first join
+// response carrying a member list, every key is owned: a solo or
+// just-started node refines everything rather than nothing.
+func (a *Agent) Owns(key string) bool {
+	r := a.ring.Load()
+	if r == nil {
+		return true
+	}
+	owners := r.Owners(key, 1)
+	return len(owners) == 0 || owners[0] == a.cfg.Self
 }
 
 // SetDraining flips the drain flag and fires an immediate heartbeat so

@@ -467,10 +467,15 @@ type joinRequest struct {
 }
 
 // JoinResponse tells the joining node its lease: renew well within
-// TTLMS (nodes use TTL/3) or be declared dead.
+// TTLMS (nodes use TTL/3) or be declared dead. MemberList and VNodes
+// let the node mirror the proxy's ring locally, so its background
+// refiner can compute key ownership without a round trip per key;
+// draining members are excluded (they no longer own keys).
 type JoinResponse struct {
-	TTLMS   int64 `json:"ttl_ms"`
-	Members int   `json:"members"`
+	TTLMS      int64    `json:"ttl_ms"`
+	Members    int      `json:"members"`
+	MemberList []string `json:"member_list,omitempty"`
+	VNodes     int      `json:"vnodes,omitempty"`
 }
 
 // handleJoin registers or renews a member lease. Heartbeat renewals
@@ -487,7 +492,18 @@ func (p *Proxy) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.membership.Join(req.Member, req.Draining)
-	writeJSON(w, JoinResponse{TTLMS: p.membership.TTL().Milliseconds(), Members: p.membership.Size()})
+	var list []string
+	for _, v := range p.membership.View() {
+		if !v.Draining {
+			list = append(list, v.Member)
+		}
+	}
+	writeJSON(w, JoinResponse{
+		TTLMS:      p.membership.TTL().Milliseconds(),
+		Members:    p.membership.Size(),
+		MemberList: list,
+		VNodes:     p.cfg.VirtualNodes,
+	})
 }
 
 // handleLeave deregisters a member immediately (the graceful goodbye

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRotatingWriterRotatesAndBounds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.jsonl")
+	w, err := NewRotatingWriter(path, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	line := []byte(strings.Repeat("x", 29) + "\n") // 30 bytes: 2 lines per file
+	for i := 0; i < 10; i++ {
+		if _, err := w.Write(line); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// 10 lines, 2 per file: current + .1 + .2 survive, older are gone.
+	for _, name := range []string{"search.jsonl", "search.jsonl.1", "search.jsonl.2"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Size() == 0 || st.Size() > 64 {
+			t.Fatalf("%s size %d outside (0, 64]", name, st.Size())
+		}
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Fatalf("generation .3 should have been dropped (keep=2), stat err=%v", err)
+	}
+	// Every surviving file holds whole lines.
+	for _, name := range []string{"search.jsonl", "search.jsonl.1", "search.jsonl.2"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b)%30 != 0 {
+			t.Fatalf("%s holds a split line: %d bytes", name, len(b))
+		}
+	}
+}
+
+func TestRotatingWriterOversizedLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+	w, err := NewRotatingWriter(path, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	big := []byte(strings.Repeat("y", 40) + "\n")
+	if _, err := w.Write([]byte("small\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(big) {
+		t.Fatalf("oversized line not written whole to a fresh file: %q", b)
+	}
+}
+
+func TestRotatingWriterNoRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plain.jsonl")
+	w, err := NewRotatingWriter(path, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write([]byte("line\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatal("maxBytes=0 must never rotate")
+	}
+	st, _ := os.Stat(path)
+	if st.Size() != 500 {
+		t.Fatalf("size %d, want 500", st.Size())
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"rbpebble/internal/instcache"
 	"rbpebble/internal/obs"
 	"rbpebble/internal/pebble"
+	"rbpebble/internal/refine"
 	"rbpebble/internal/solve"
 )
 
@@ -103,6 +104,27 @@ type Config struct {
 	// TelemetrySink, when non-nil, additionally receives every solve
 	// record as one JSON line (rbserve -telemetry-log).
 	TelemetrySink io.Writer
+	// MaxTableBytes caps each foreground solve's visited-table memory
+	// (0 = unlimited): an exact engine that outgrows the budget aborts
+	// with a certified partial interval instead of taking the node down.
+	// Threaded to anytime.Options.MaxTableBytes.
+	MaxTableBytes int64
+	// RefinerInterval enables the background refiner at this idle scan
+	// cadence (0 = disabled). When enabled the node spends its idle
+	// cycles re-solving the widest certified intervals in its cache at
+	// the next budget tier, strictly preempted by foreground work.
+	RefinerInterval time.Duration
+	// RefinerMaxTier caps the budget tier a background refinement may
+	// escalate to (default 12: budgets up to ~4s).
+	RefinerMaxTier int
+	// RefinerTableBytes is the refiner's per-solve table-memory
+	// sub-budget (default MaxTableBytes/2 when a node budget is set):
+	// background work runs under a tighter governor than foreground so
+	// an ambitious refinement cannot pressure live traffic.
+	RefinerTableBytes int64
+	// RefinerOwns, when set, filters background refinement to keys this
+	// node owns on the cluster ring (nil = solo node: refine all).
+	RefinerOwns func(key string) bool
 	// SearchSink, when non-nil, receives every live engine-introspection
 	// snapshot sampled during this node's solves as one JSON line
 	// (rbserve -search-log). Lines are written under a server-wide lock
@@ -161,6 +183,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FastLaneBudget <= 0 {
 		c.FastLaneBudget = 150 * time.Millisecond
+	}
+	if c.RefinerMaxTier <= 0 {
+		c.RefinerMaxTier = 12
+	}
+	if c.RefinerTableBytes <= 0 && c.MaxTableBytes > 0 {
+		c.RefinerTableBytes = c.MaxTableBytes / 2
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
@@ -334,6 +362,9 @@ type metrics struct {
 	jobsSubmitted, jobsDone, jobsFailed, jobsRejected, jobsCanceled atomic.Uint64
 	jobsShed                                                        atomic.Uint64
 	batchRequests, batchItems, batchDeduped, batchShed              atomic.Uint64
+	// solvesMemLimited counts solves whose exact engines hit the
+	// node's table-memory governor and certified a partial interval.
+	solvesMemLimited atomic.Uint64
 }
 
 // requestSecondsBounds are the rbserve_request_seconds histogram bucket
@@ -400,6 +431,21 @@ type Server struct {
 	// (or worse, a cancel) could land on another node's job.
 	jobPrefix string
 
+	// known remembers the parsed problem and canonical permutation
+	// behind each cache key this node has served: cache keys are
+	// digests and cannot be decoded back into instances, so the
+	// background refiner can only re-solve keys recorded here. Bounded
+	// FIFO (2x the cache size) — a forgotten key is simply skipped.
+	knownMu    sync.Mutex
+	known      map[string]keyedProblem
+	knownOrder []string
+
+	// refiner is the background interval refiner (nil unless
+	// Config.RefinerInterval > 0). fgActive counts live foreground
+	// solves — the refiner's admission gate and preemption trigger.
+	refiner  *refine.Refiner
+	fgActive atomic.Int64
+
 	// interest tracks, per cache key, how many live requests care about
 	// the key's in-flight solve and how many of them have canceled. The
 	// flight is canceled only when EVERY interested request has — one
@@ -441,6 +487,13 @@ type Server struct {
 	once     sync.Once
 }
 
+// keyedProblem is one entry of the key -> problem registry (see
+// Server.known).
+type keyedProblem struct {
+	p    solve.Problem
+	perm []dag.NodeID
+}
+
 // keyInterest is the per-key cancellation vote state (see
 // Server.interest).
 type keyInterest struct {
@@ -458,6 +511,7 @@ func New(cfg Config) *Server {
 		jobs:      make(map[string]*job),
 		jobPrefix: hex.EncodeToString(idSeed[:]),
 		interest:  make(map[string]*keyInterest),
+		known:     make(map[string]keyedProblem),
 		solveFn:   anytime.Solve,
 		closed:    make(chan struct{}),
 		start:     time.Now(),
@@ -486,6 +540,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
 	s.mux.HandleFunc("GET /debug/jobs/{id}/search", s.handleDebugJobSearch)
+	s.mux.HandleFunc("GET /debug/refiner", s.handleDebugRefiner)
+	if s.cfg.RefinerInterval > 0 {
+		s.refiner = refine.New(refine.Config{
+			Export:     s.cache.Export,
+			Solve:      s.refineKey,
+			Owns:       s.cfg.RefinerOwns,
+			Resolvable: s.knowsKey,
+			Busy:       s.refinerBusy,
+			Interval:   s.cfg.RefinerInterval,
+			MaxTier:    s.cfg.RefinerMaxTier,
+			Logf: func(format string, args ...any) {
+				s.log.Info(fmt.Sprintf(format, args...))
+			},
+		})
+	}
 	return s
 }
 
@@ -505,8 +574,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // (so a routing proxy stops sending new work here) and new solve
 // submissions are refused with 503. Requests already in flight keep
 // running. Drain is the first step of a graceful shutdown and may be
-// called on its own.
-func (s *Server) Drain() { s.draining.Store(true) }
+// called on its own. The background refiner is stopped first — its
+// in-flight refinement is canceled cooperatively and lands its
+// certified partial interval in the cache before this returns, so the
+// drain handoff exports every tightening instead of racing the last
+// one.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	if s.refiner != nil {
+		s.refiner.Stop()
+	}
+}
 
 // Draining reports whether Drain (or Shutdown) has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -516,6 +594,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // closed, so submissions racing a shutdown get a 503 rather than a
 // panic.
 func (s *Server) Close() {
+	if s.refiner != nil {
+		s.refiner.Stop()
+	}
 	s.once.Do(func() { close(s.closed) })
 	s.wg.Wait()
 	s.baseCancel()
@@ -835,6 +916,16 @@ type searchLogLine struct {
 func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, perm []dag.NodeID, deadline time.Duration, onLower func(int64), onSearch func(obs.SearchSnapshot)) (instcache.Value, bool, bool, bool, error) {
 	start := time.Now()
 	tier := instcache.TierForBudget(deadline)
+	// Foreground work preempts background refinement the moment it
+	// arrives: the refiner's in-flight solve is canceled cooperatively
+	// (it still certifies its partial interval) and its admission gate
+	// sees fgActive > 0 until this request's solve is done.
+	s.rememberKey(key, p, perm)
+	s.fgActive.Add(1)
+	defer s.fgActive.Add(-1)
+	if s.refiner != nil {
+		s.refiner.Preempt()
+	}
 	release := s.registerInterest(key, ctx)
 	defer release()
 	// The wait on another request's in-flight solve is bounded by this
@@ -869,8 +960,9 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 		// it so the engine spans land under this request's cache span.
 		fctx = obs.Graft(fctx, dctx)
 		opts := anytime.Options{
-			Budget:  deadline,
-			Workers: s.cfg.SolveWorkers,
+			Budget:        deadline,
+			Workers:       s.cfg.SolveWorkers,
+			MaxTableBytes: s.cfg.MaxTableBytes,
 		}
 		if onLower != nil {
 			opts.OnProgress = func(sn anytime.Snapshot) {
@@ -914,6 +1006,9 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 		res, err := s.solveFn(fctx, p, opts)
 		if err != nil {
 			return instcache.Value{}, err
+		}
+		if res.MemoryLimited {
+			s.m.solvesMemLimited.Add(1)
 		}
 		run.res, run.canceled, run.ran = res, fctx.Err() != nil, true
 		// A solve canceled well short of its budget (DELETE, shutdown
@@ -989,6 +1084,176 @@ func (s *Server) solveKeyed(ctx context.Context, p solve.Problem, key string, pe
 		s.cfg.Replicate(instcache.Entry{Key: key, Tier: val.Tier, Value: val})
 	}
 	return val, hit, shared, warmed, nil
+}
+
+// rememberKey records the problem behind a cache key so the background
+// refiner can re-solve it later. Bounded FIFO at twice the cache size:
+// keys evicted here simply stop being refinement candidates.
+func (s *Server) rememberKey(key string, p solve.Problem, perm []dag.NodeID) {
+	s.knownMu.Lock()
+	defer s.knownMu.Unlock()
+	if _, ok := s.known[key]; ok {
+		return
+	}
+	s.known[key] = keyedProblem{p: p, perm: perm}
+	s.knownOrder = append(s.knownOrder, key)
+	for len(s.knownOrder) > 2*s.cfg.CacheSize {
+		delete(s.known, s.knownOrder[0])
+		s.knownOrder = s.knownOrder[1:]
+	}
+}
+
+// knowsKey reports whether the refiner can materialize key's problem.
+func (s *Server) knowsKey(key string) bool {
+	s.knownMu.Lock()
+	defer s.knownMu.Unlock()
+	_, ok := s.known[key]
+	return ok
+}
+
+func (s *Server) lookupKey(key string) (keyedProblem, bool) {
+	s.knownMu.Lock()
+	defer s.knownMu.Unlock()
+	kp, ok := s.known[key]
+	return kp, ok
+}
+
+// refinerBusy is the background refiner's admission gate: any live
+// foreground solve, queued async job, or lane backlog pauses
+// refinement scheduling — background work runs only on genuinely idle
+// cycles.
+func (s *Server) refinerBusy() bool {
+	return s.fgActive.Load() > 0 || len(s.queue) > 0 ||
+		s.lanes.fast.depth() > 0 || s.lanes.heavy.depth() > 0
+}
+
+// errUnknownKey marks a refinement request for a key whose problem this
+// node never parsed (e.g. the entry arrived via replication); the
+// refiner backs the key off and moves on.
+var errUnknownKey = errors.New("service: no problem registered for cache key")
+
+// refineKey is the background refiner's solve path: re-solve key at
+// the given budget tier through the same Cache.Do pipeline foreground
+// requests use (warm start from the stored interval, effective-tier
+// demotion, replication of the tightened entry), under the refiner's
+// tighter table-memory sub-budget. ctx is the refiner's run context —
+// canceled on preemption or drain, which the orchestrator turns into
+// a certified partial interval that still lands in the cache. Returns
+// the scaled gap of the stored interval after the attempt.
+func (s *Server) refineKey(ctx context.Context, key string, tier int) (int64, error) {
+	kp, ok := s.lookupKey(key)
+	if !ok {
+		return 0, errUnknownKey
+	}
+	// The tier's nominal budget: TierForBudget(2^(t-1) ms) == t, the
+	// smallest budget that earns the tier.
+	deadline := time.Duration(1<<(tier-1)) * time.Millisecond
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	start := time.Now()
+	var run struct {
+		res anytime.Result
+		ran bool
+	}
+	val, hit, shared, _, err := s.cache.Do(ctx, key, tier, func(warm *instcache.Value) (instcache.Value, error) {
+		s.m.solves.Add(1)
+		opts := anytime.Options{
+			Budget:        deadline,
+			Workers:       s.cfg.SolveWorkers,
+			MaxTableBytes: s.cfg.RefinerTableBytes,
+		}
+		if warm != nil {
+			opts.Warm = &anytime.WarmStart{
+				Moves:       instcache.FromCanonical(warm.Moves, kp.perm),
+				LowerScaled: warm.LowerScaled,
+				Source:      "cache:" + warm.Source,
+			}
+		}
+		res, err := s.solveFn(ctx, kp.p, opts)
+		if err != nil {
+			return instcache.Value{}, err
+		}
+		if res.MemoryLimited {
+			s.m.solvesMemLimited.Add(1)
+		}
+		run.res, run.ran = res, true
+		// A preempted refinement earned only the tier its elapsed time
+		// paid for (same demotion rule as foreground cancellations).
+		effTier := tier
+		if res.Elapsed > 0 && res.Elapsed*2 < deadline {
+			if t := instcache.TierForBudget(res.Elapsed); t < effTier {
+				effTier = t
+			}
+		}
+		return instcache.Value{
+			Moves:       instcache.ToCanonical(res.Solution.Trace.Moves, kp.perm),
+			UpperScaled: res.UpperScaled,
+			LowerScaled: res.LowerScaled,
+			Optimal:     res.Optimal,
+			Source:      res.Source,
+			Tier:        effTier,
+		}, nil
+	})
+	rec := obs.SolveRecord{
+		TraceID:     obs.TraceIDFrom(ctx),
+		Start:       start,
+		Features:    obs.ComputeFeatures(kp.p.G, kp.p.R),
+		Model:       modelName(kp.p.Model),
+		Engine:      val.Source,
+		Workers:     s.cfg.SolveWorkers,
+		BudgetMS:    deadline.Milliseconds(),
+		Tier:        tier,
+		Disposition: "refine",
+		Canceled:    ctx.Err() != nil,
+		LowerScaled: val.LowerScaled,
+		UpperScaled: val.UpperScaled,
+		Optimal:     val.Optimal,
+		WallMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if run.ran {
+		rec.Expanded = uint64(run.res.Expanded)
+		rec.Visits = uint64(run.res.Visits)
+		rec.TableBytes = uint64(run.res.TableBytes)
+		rec.PeakFrontier = run.res.PeakFrontier
+		rec.PeakRate = run.res.PeakRate
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		s.tel.Append(rec)
+		return 0, err
+	}
+	s.tel.Append(rec)
+	if !hit && !shared && s.cfg.Replicate != nil {
+		// Every background tightening is replicated exactly like a
+		// foreground result: the point of refining is to make the
+		// fleet's cached interval narrower, crash or no crash.
+		s.cfg.Replicate(instcache.Entry{Key: key, Tier: val.Tier, Value: val})
+	}
+	if val.Optimal {
+		return 0, nil
+	}
+	return val.UpperScaled - val.LowerScaled, nil
+}
+
+// RefinerStatus reports the background refiner's live state; ok is
+// false when the refiner is disabled.
+func (s *Server) RefinerStatus() (refine.Status, bool) {
+	if s.refiner == nil {
+		return refine.Status{}, false
+	}
+	return s.refiner.Status(), true
+}
+
+// handleDebugRefiner is GET /debug/refiner: the refiner's admission
+// state, current candidates and counters.
+func (s *Server) handleDebugRefiner(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.RefinerStatus()
+	if !ok {
+		writeJSON(w, refine.Status{Enabled: false})
+		return
+	}
+	writeJSON(w, st)
 }
 
 // buildResponse translates a canonical cache value back into one
@@ -1327,6 +1592,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		drainingGauge = 1
 	}
+	var refRuns, refTightened, refPreempted, refGapSum uint64
+	if s.refiner != nil {
+		refRuns, refTightened, refPreempted, refGapSum = s.refiner.Counters()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, kv := range []struct {
 		name string
@@ -1359,6 +1628,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"rbserve_batch_shed_total", s.m.batchShed.Load()},
 		{"rbserve_lane_shed_total", s.lanes.fast.shed.Load() + s.lanes.heavy.shed.Load()},
 		{"rbserve_telemetry_records_total", s.tel.Total()},
+		{"rbserve_solves_memlimited_total", s.m.solvesMemLimited.Load()},
+		{"rbserve_refiner_runs_total", refRuns},
+		{"rbserve_refiner_tightened_total", refTightened},
+		{"rbserve_refiner_preempted_total", refPreempted},
+		{"rbserve_refiner_gap_sum", refGapSum},
 		{"rbserve_draining", drainingGauge},
 	} {
 		fmt.Fprintf(w, "%s %d\n", kv.name, kv.v)

@@ -143,23 +143,29 @@ type asyncMailbox struct {
 
 // asyncShared is the state shared by all workers and the coordinator.
 type asyncShared struct {
-	nw    int
-	kw    int
-	prune int64          // ExactOptions.PruneBound (0 = off); immutable
-	boxes []asyncMailbox // boxes[src*nw+dst]
+	nw        int
+	kw        int
+	prune     int64          // ExactOptions.PruneBound (0 = off); immutable
+	memBudget int64          // ExactOptions.MaxTableBytes (0 = off); immutable
+	boxes     []asyncMailbox // boxes[src*nw+dst]
 
 	sent     atomic.Int64 // proposals deposited
 	recv     atomic.Int64 // proposals consumed
 	expanded atomic.Int64 // states expanded (for the budget and stats)
 	done     atomic.Bool  // optimum proven
 	abort    atomic.Bool  // state budget exhausted
+	memAbort atomic.Bool  // table memory budget exhausted (abort is also set)
 	stop     atomic.Bool  // cancellation requested: drain to quiescence, expand nothing
 	passive  []atomic.Bool
-	fmins    []atomic.Int64 // per-worker published heap minimum (the watermark)
-	gtops    []atomic.Int64 // g of the same top entry (for the plateau dive window)
-	floors   []atomic.Int64 // per-worker certified floor (heap min lowered to cover in-flight work)
-	wmF      atomic.Int64   // cached merged watermark f (throttle fast path)
-	wmG      atomic.Int64   // cached merged watermark g
+	// tableBytes mirrors each worker's table footprint for the
+	// coordinator's memory-budget check. Unlike the wstats mirror it is
+	// published whenever a budget is set, Progress listener or not.
+	tableBytes []atomic.Int64
+	fmins      []atomic.Int64 // per-worker published heap minimum (the watermark)
+	gtops      []atomic.Int64 // g of the same top entry (for the plateau dive window)
+	floors     []atomic.Int64 // per-worker certified floor (heap min lowered to cover in-flight work)
+	wmF        atomic.Int64   // cached merged watermark f (throttle fast path)
+	wmG        atomic.Int64   // cached merged watermark g
 
 	incMu    sync.Mutex
 	incG     atomic.Int64
@@ -262,14 +268,16 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 	kw := start.PackedWords()
 	base := newSearchCtx(p, opts, start)
 	sh := &asyncShared{
-		nw:      nw,
-		kw:      kw,
-		prune:   opts.PruneBound,
-		boxes:   make([]asyncMailbox, nw*nw),
-		passive: make([]atomic.Bool, nw),
-		fmins:   make([]atomic.Int64, nw),
-		gtops:   make([]atomic.Int64, nw),
-		floors:  make([]atomic.Int64, nw),
+		nw:         nw,
+		kw:         kw,
+		prune:      opts.PruneBound,
+		memBudget:  opts.MaxTableBytes,
+		boxes:      make([]asyncMailbox, nw*nw),
+		passive:    make([]atomic.Bool, nw),
+		fmins:      make([]atomic.Int64, nw),
+		gtops:      make([]atomic.Int64, nw),
+		floors:     make([]atomic.Int64, nw),
+		tableBytes: make([]atomic.Int64, nw),
 	}
 	sh.wantStats = opts.Progress != nil
 	if sh.wantStats {
@@ -377,6 +385,17 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 			sh.abort.Store(true)
 			break
 		}
+		if sh.memBudget > 0 {
+			var tb int64
+			for i := range sh.tableBytes {
+				tb += sh.tableBytes[i].Load()
+			}
+			if tb > sh.memBudget {
+				sh.memAbort.Store(true)
+				sh.abort.Store(true)
+				break
+			}
+		}
 		if opts.Cancel != nil && !sh.stop.Load() {
 			select {
 			case <-opts.Cancel:
@@ -412,6 +431,10 @@ func exactAsync(p Problem, opts ExactOptions, start *pebble.State, maxStates int
 		// survives the abort.
 		lowerBound = certLower
 		report()
+		if sh.memAbort.Load() {
+			return Solution{}, fmt.Errorf("%w: over budget %d after %d states (lower bound %d)",
+				ErrMemoryBudget, sh.memBudget, sh.expanded.Load(), lowerBound)
+		}
 		return Solution{}, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
 	}
 	incG := sh.incG.Load()
@@ -549,6 +572,9 @@ func (w *asyncWorker) publish(sh *asyncShared) {
 		f, g = w.open.top()
 	}
 	w.publishFloor(sh, min(f, w.outMin))
+	if sh.memBudget > 0 {
+		sh.tableBytes[w.id].Store(w.table.bytes())
+	}
 	if sh.wantStats {
 		ws := &sh.wstats[w.id]
 		ws.expanded.Store(int64(w.expanded))

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"testing"
 
 	"rbpebble/internal/benchharness"
@@ -240,6 +241,34 @@ func BenchmarkExactIDAStarFFT3R3(b *testing.B) {
 
 func BenchmarkExactDFSGrid44R3(b *testing.B) {
 	benchDFS(b, grid44R3(), ExactDFSOptions{})
+}
+
+// BenchmarkMemBudgetAbort measures the memory-governance abort path:
+// fft(3) R=3 (whose full table needs tens of megabytes) under a 1 MiB
+// budget. ns/op is the time from search start to the certified
+// ErrMemoryBudget abort — the latency bound on a memory-governed solve
+// detecting it cannot finish — and the recorded row carries the
+// harvested certified lower bound and the peak table footprint, which
+// must sit at the budget, not above it.
+func BenchmarkMemBudgetAbort(b *testing.B) {
+	p := fft3R3()
+	b.ReportAllocs()
+	var stats ExactStats
+	m0 := benchharness.Before()
+	for i := 0; i < b.N; i++ {
+		_, err := Exact(p, ExactOptions{MaxTableBytes: 1 << 20, Stats: &stats})
+		if !errors.Is(err, ErrMemoryBudget) {
+			b.Fatalf("err = %v, want ErrMemoryBudget", err)
+		}
+	}
+	b.ReportMetric(float64(stats.Expanded), "states/op")
+	b.ReportMetric(float64(stats.TableBytes), "table-bytes/op")
+	record(b, m0, benchharness.Record{
+		StatesExpanded: stats.Expanded,
+		DistinctStates: stats.Distinct,
+		LowerScaled:    stats.LowerBound,
+		PeakTableBytes: stats.TableBytes,
+	})
 }
 
 // BenchmarkSearchSnapshotOverhead measures the introspection tax: the

@@ -50,6 +50,13 @@ type ExactDFSOptions struct {
 	// recursion entry including memo-pruned re-entries, roughly 8x
 	// more numerous; the default is recalibrated for the new meaning.)
 	MaxVisits int
+	// MaxTableBytes caps the memo and transposition tables' combined
+	// backing-store footprint (0 = unlimited). Growth past the budget
+	// aborts the search with ErrMemoryBudget, with Stats filled — the
+	// incumbent and certified LowerBound survive as a partial
+	// certificate. Checked at the periodic expansion gate, so the real
+	// peak can overshoot by one gate interval's growth.
+	MaxTableBytes int64
 	// InitialBound, if nonzero, seeds the search with a known achievable
 	// scaled cost (e.g. from TopoBelady). Otherwise the solver computes
 	// one itself.
@@ -184,6 +191,7 @@ func ExactDFS(p Problem, opts ExactDFSOptions) (Solution, error) {
 		memo:         newStateTable(start.PackedWords(), payloadBestOnly, 1024),
 		hcache:       newStateTable(start.PackedWords(), payloadBestOnly, 1024),
 		maxVisits:    maxVisits,
+		maxTableB:    opts.MaxTableBytes,
 		bound:        bound,
 		bestMoves:    bestMoves,
 		maxDepth:     dfsMaxDepth(p),
@@ -253,6 +261,7 @@ type dfsSearch struct {
 	memo      *stateTable   // best entry cost per state, valid for one pass
 	hcache    *stateTable   // heuristic per state (best(ref) = h; dfsDeadH = dead), never reset
 	maxVisits int
+	maxTableB int64 // table memory budget (0 = unlimited)
 	maxDepth  int
 
 	bound     int64 // best achievable scaled cost known (incumbent, exclusive upper bound on improvements)
@@ -336,6 +345,15 @@ func (d *dfsSearch) visitLimited() bool {
 				}
 				return true
 			default:
+			}
+		}
+		if d.maxTableB > 0 {
+			if tb := d.memo.bytes() + d.hcache.bytes(); tb > d.maxTableB {
+				if d.limitErr == nil {
+					d.limitErr = fmt.Errorf("%w: %d table bytes over budget %d after %d visits (incumbent %d, lower bound %d)",
+						ErrMemoryBudget, tb, d.maxTableB, d.visits, d.bound, d.lower)
+				}
+				return true
 			}
 		}
 		if d.sampler != nil && d.sampler.due() {

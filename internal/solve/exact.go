@@ -29,11 +29,28 @@ var ErrCanceled = errors.New("solve: search canceled")
 // proven its cached incumbent optimal.
 var ErrBoundExhausted = errors.New("solve: bound exhausted")
 
+// ErrMemoryBudget is returned by the exact engines when their
+// visited-state tables outgrow ExactOptions.MaxTableBytes (or the DFS
+// equivalent) before the optimum is proven. Like ErrCanceled, the Stats
+// snapshot is filled with the certified LowerBound harvested when the
+// budget tripped, so anytime callers degrade to a certified partial
+// interval instead of OOMing the process.
+var ErrMemoryBudget = errors.New("solve: table memory budget exceeded")
+
 // ExactOptions configures the exact solver.
 type ExactOptions struct {
 	// MaxStates caps the number of expanded states (0 means the default
 	// of 2,000,000). The search fails with ErrStateLimit beyond it.
 	MaxStates int
+	// MaxTableBytes caps the visited-state tables' backing-store
+	// footprint (probe slots plus arena capacity, summed over parallel
+	// shards; 0 = unlimited). Growth past the budget aborts the search
+	// with ErrMemoryBudget, with Stats filled — including the certified
+	// LowerBound — so callers harvest a partial certificate instead of
+	// letting the search OOM the process. Enforcement is periodic (the
+	// engines check at their cancellation gates), so the real peak can
+	// overshoot the budget by one gate interval's growth.
+	MaxTableBytes int64
 	// DisablePruning turns off the safe dominance prunes (for the
 	// ablation benchmark; the result is identical, only slower).
 	DisablePruning bool
@@ -511,6 +528,11 @@ func exactSerial(p Problem, opts ExactOptions, start *pebble.State, maxStates in
 					return Solution{}, fmt.Errorf("%w after %d states (lower bound %d)", ErrCanceled, expanded, lower)
 				default:
 				}
+			}
+			if opts.MaxTableBytes > 0 && table.bytes() > opts.MaxTableBytes {
+				report()
+				return Solution{}, fmt.Errorf("%w: %d table bytes over budget %d after %d states (lower bound %d)",
+					ErrMemoryBudget, table.bytes(), opts.MaxTableBytes, expanded, lower)
 			}
 			if sampler != nil && sampler.due() {
 				opts.Progress(singleProgress(sampler, expanded, pushed, lower, table, &open))

@@ -174,6 +174,20 @@ func exactParallel(p Problem, opts ExactOptions, start *pebble.State, maxStates 
 			default:
 			}
 		}
+		if opts.MaxTableBytes > 0 {
+			// Round boundary: every worker is quiescent, so summing the
+			// shard tables here is race-free, and lower is the certified
+			// bound harvested into the memory-budget abort.
+			var tb int64
+			for _, w := range workers {
+				tb += w.table.bytes()
+			}
+			if tb > opts.MaxTableBytes {
+				report()
+				return Solution{}, fmt.Errorf("%w: %d table bytes over budget %d after %d states (lower bound %d)",
+					ErrMemoryBudget, tb, opts.MaxTableBytes, expanded, lower)
+			}
+		}
 		// Round boundaries are the natural snapshot points: every worker
 		// is quiescent here, so their heaps and tables are safe to read
 		// from this single-threaded section.

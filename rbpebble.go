@@ -331,6 +331,10 @@ var (
 	// ErrCanceled: a solver's Cancel channel fired first; the stats
 	// snapshot still carries the certified LowerBound it had proven.
 	ErrCanceled = solve.ErrCanceled
+	// ErrMemoryBudget: the visited table outgrew
+	// ExactOptions.MaxTableBytes; like ErrCanceled the stats snapshot
+	// keeps the certified partial interval proven up to the abort.
+	ErrMemoryBudget = solve.ErrMemoryBudget
 	// ErrInfeasible: the instance admits no complete pebbling.
 	ErrInfeasible = solve.ErrInfeasible
 )
